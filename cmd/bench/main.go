@@ -1,0 +1,214 @@
+// Command bench regenerates the paper's evaluation tables from the command
+// line: Figure 3 (three approaches of connecting big SQL with big ML, with
+// stage breakdown), Figure 4 (effect of caching), the §7 SVM-training side
+// note, and the design-choice ablations.
+//
+// Usage:
+//
+//	bench -fig 3            # Figure 3
+//	bench -fig 4            # Figure 4
+//	bench -fig svm          # §7 SVM training note
+//	bench -fig ablations    # transfer ablations (k, buffers, locality, ...)
+//	bench -fig all          # everything
+//	bench -users 2000 -carts-per-user 100   # scale override
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"sqlml/internal/experiments"
+	"sqlml/internal/stream"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which experiment to run: 3, 4, svm, ablations, all")
+	users := flag.Int("users", 1000, "users table rows")
+	cartsPer := flag.Int("carts-per-user", 100, "carts per user (the paper's ratio is 100)")
+	seed := flag.Int64("seed", 7, "workload seed")
+	flag.Parse()
+
+	scale := experiments.Scale{Users: *users, CartsPerUser: *cartsPer, Seed: *seed}
+	ok := true
+	run := func(name string, f func(experiments.Scale) error) {
+		if *fig != "all" && *fig != name {
+			return
+		}
+		if err := f(scale); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %s: %v\n", name, err)
+			ok = false
+		}
+	}
+	run("3", runFigure3)
+	run("4", runFigure4)
+	run("svm", runSVM)
+	run("ablations", runAblations)
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func newTab() *tabwriter.Writer {
+	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+}
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d)/float64(time.Millisecond))
+}
+
+func runFigure3(scale experiments.Scale) error {
+	env, err := experiments.Setup(scale, stream.DefaultSenderConfig())
+	if err != nil {
+		return err
+	}
+	defer env.Close()
+	rows, err := experiments.Figure3(env)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 3 — comparison of three approaches of connecting big SQL and big ML")
+	fmt.Printf("(simulated cluster milliseconds; %d users x %d carts each)\n", scale.Users, scale.CartsPerUser)
+	w := newTab()
+	fmt.Fprintln(w, "approach\tstage breakdown (sim-ms)\ttotal sim-ms\twall")
+	for _, r := range rows {
+		stages := ""
+		for i, s := range r.Stages {
+			if i > 0 {
+				stages += "  "
+			}
+			stages += fmt.Sprintf("%s=%s", s.Stage, ms(s.Sim))
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", r.Approach, stages, ms(r.TotalSim), r.Wall.Round(time.Millisecond))
+	}
+	w.Flush()
+	if len(rows) == 3 && rows[1].TotalSim > 0 && rows[2].TotalSim > 0 {
+		fmt.Printf("speedups: naive/insql = %.2fx (paper: 1.7x), insql/insql+stream = %.2fx\n\n",
+			float64(rows[0].TotalSim)/float64(rows[1].TotalSim),
+			float64(rows[1].TotalSim)/float64(rows[2].TotalSim))
+	}
+	return nil
+}
+
+func runFigure4(scale experiments.Scale) error {
+	for _, onDFS := range []bool{false, true} {
+		env, err := experiments.Setup(scale, stream.DefaultSenderConfig())
+		if err != nil {
+			return err
+		}
+		rows, err := experiments.Figure4(env, onDFS)
+		env.Close()
+		if err != nil {
+			return err
+		}
+		variant := "in-memory materialized view"
+		if onDFS {
+			variant = "actual DFS table (the paper's setting)"
+		}
+		fmt.Printf("Figure 4 — effect of caching (insql+stream pipeline; cache as %s)\n", variant)
+		w := newTab()
+		fmt.Fprintln(w, "tier\tcache hit\ttotal sim-ms\twall")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", r.Tier, r.Hit, ms(r.TotalSim), r.Wall.Round(time.Millisecond))
+		}
+		w.Flush()
+		if len(rows) == 3 && rows[1].TotalSim > 0 && rows[2].TotalSim > 0 {
+			fmt.Printf("speedups vs no cache: recode maps = %.2fx (paper: 1.5x), full result = %.2fx (paper: 2.2x)\n\n",
+				float64(rows[0].TotalSim)/float64(rows[1].TotalSim),
+				float64(rows[0].TotalSim)/float64(rows[2].TotalSim))
+		}
+	}
+	return nil
+}
+
+func runSVM(scale experiments.Scale) error {
+	env, err := experiments.Setup(scale, stream.DefaultSenderConfig())
+	if err != nil {
+		return err
+	}
+	defer env.Close()
+	rep, err := experiments.SVMTraining(env, 10)
+	if err != nil {
+		return err
+	}
+	fmt.Println("§7 note — transformed-data ingestion + SVMWithSGD, 10 iterations")
+	fmt.Printf("ingest sim-ms=%s  train wall=%s  train accuracy=%.3f\n\n",
+		ms(rep.IngestSim), rep.TrainWall.Round(time.Millisecond), rep.Accuracy)
+	return nil
+}
+
+func runAblations(experiments.Scale) error {
+	fmt.Println("Ablations — parallel streaming transfer design choices (§3)")
+	w := newTab()
+	fmt.Fprintln(w, "experiment\tvariant\tsim-ms\tnet-KB\tspilled-KB\trestarts")
+	report := func(name, variant string, rep *experiments.TransferReport) {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%.1f\t%.1f\t%d\n",
+			name, variant, ms(rep.SimTime), float64(rep.NetBytes)/1024, float64(rep.SpilledBytes)/1024, rep.Restarts)
+	}
+
+	for _, k := range []int{1, 2, 4, 8} {
+		cfg := experiments.DefaultTransfer()
+		cfg.K = k
+		rep, err := experiments.RunTransfer(cfg)
+		if err != nil {
+			return err
+		}
+		report("split factor", fmt.Sprintf("k=%d", k), rep)
+	}
+	for _, size := range []int{1 << 10, 4 << 10, 64 << 10} {
+		cfg := experiments.DefaultTransfer()
+		cfg.BufferSize = size
+		rep, err := experiments.RunTransfer(cfg)
+		if err != nil {
+			return err
+		}
+		report("buffer size", fmt.Sprintf("%dKB", size>>10), rep)
+	}
+	for _, colocate := range []bool{true, false} {
+		cfg := experiments.DefaultTransfer()
+		cfg.Colocate = colocate
+		variant := "colocated"
+		if !colocate {
+			variant = "remote"
+		}
+		rep, err := experiments.RunTransfer(cfg)
+		if err != nil {
+			return err
+		}
+		report("locality", variant, rep)
+	}
+	{
+		cfg := experiments.DefaultTransfer()
+		cfg.ConsumeDelay = 50 * time.Microsecond
+		cfg.QueueFrames = 4
+		cfg.RowsPerWork = 1500
+		rep, err := experiments.RunTransfer(cfg)
+		if err != nil {
+			return err
+		}
+		report("slow consumer", "spill path", rep)
+	}
+	{
+		cfg := experiments.DefaultTransfer()
+		cfg.RowsPerWork = 500
+		cfg.FailSplit = 1
+		cfg.FailAfterRows = 100
+		rep, err := experiments.RunTransfer(cfg)
+		if err != nil {
+			return err
+		}
+		report("failure recovery", "1 ML worker crash", rep)
+	}
+	{
+		rep, err := experiments.MessageLogTransfer(4, 2000)
+		if err != nil {
+			return err
+		}
+		report("message log (§8)", "kafka-style", rep)
+	}
+	w.Flush()
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,44 @@
+// Command coordinator runs the paper's long-standing matchmaking service
+// (§3) as a standalone process: SQL-side senders and ML-side
+// SQLStreamInputFormats from other processes connect to it over TCP.
+//
+// Usage:
+//
+//	coordinator -listen 127.0.0.1:7077 [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"sqlml/internal/stream"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7077", "address to listen on")
+	verbose := flag.Bool("v", false, "log protocol events")
+	flag.Parse()
+
+	// Standalone deployments launch ML jobs out of band (the job is already
+	// running and polling get_splits), so no launcher is registered.
+	coord := stream.NewCoordinator(nil)
+	if *verbose {
+		coord.Logf = log.Printf
+	}
+	addr, err := coord.Start(*listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coordinator: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("coordinator listening on %s", addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("coordinator shutting down")
+	coord.Stop()
+}

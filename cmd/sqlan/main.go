@@ -1,0 +1,152 @@
+// Command sqlan runs one integrated SQL→ML pipeline end to end on a
+// simulated deployment: generate (or reuse) the §7 warehouse, execute the
+// preparation query, transform it In-SQL, hand it to the ML engine with
+// the selected approach, and train the selected model.
+//
+// Usage:
+//
+//	sqlan -approach insql+stream -model svm
+//	sqlan -approach naive -users 500 -carts-per-user 50
+//	sqlan -query "SELECT ..." -label abandoned -recode gender,abandoned -dummy gender
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sqlml/internal/core"
+	"sqlml/internal/experiments"
+	"sqlml/internal/ml"
+	"sqlml/internal/stream"
+	"sqlml/internal/transform"
+)
+
+func main() {
+	approach := flag.String("approach", "insql+stream", "naive | insql | insql+stream")
+	model := flag.String("model", "svm", "svm | logreg | bayes | tree | none")
+	users := flag.Int("users", 1000, "users table rows")
+	cartsPer := flag.Int("carts-per-user", 100, "carts per user")
+	query := flag.String("query", experiments.PaperQuery, "preparation SQL")
+	label := flag.String("label", "abandoned", "label column after transformation")
+	recode := flag.String("recode", "gender,abandoned", "categorical columns to recode")
+	dummy := flag.String("dummy", "gender", "recoded columns to dummy-code")
+	k := flag.Int("k", 2, "streaming split factor (ML workers per SQL worker)")
+	cache := flag.Bool("cache", false, "run twice and use the transformation cache on the second run")
+	flag.Parse()
+
+	if err := run(*approach, *model, *users, *cartsPer, *query, *label, *recode, *dummy, *k, *cache); err != nil {
+		fmt.Fprintf(os.Stderr, "sqlan: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(approach, model string, users, cartsPer int, query, label, recode, dummy string, k int, useCache bool) error {
+	var a core.Approach
+	switch approach {
+	case "naive":
+		a = core.Naive
+	case "insql":
+		a = core.InSQL
+	case "insql+stream":
+		a = core.InSQLStream
+	default:
+		return fmt.Errorf("unknown approach %q", approach)
+	}
+
+	scale := experiments.Scale{Users: users, CartsPerUser: cartsPer, Seed: 7}
+	env, err := experiments.Setup(scale, stream.DefaultSenderConfig())
+	if err != nil {
+		return err
+	}
+	defer env.Close()
+
+	spec := transform.Spec{Coding: transform.CodingDummy}
+	for _, c := range strings.Split(recode, ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			spec.RecodeCols = append(spec.RecodeCols, c)
+		}
+	}
+	for _, c := range strings.Split(dummy, ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			spec.CodeCols = append(spec.CodeCols, c)
+		}
+	}
+	cfg := core.PipelineConfig{
+		Query:          query,
+		Spec:           spec,
+		LabelCol:       label,
+		LabelTransform: func(v float64) float64 { return v - 1 },
+		K:              k,
+		CachePopulate:  useCache,
+	}
+
+	res, err := core.Run(env, a, cfg)
+	if err != nil {
+		return err
+	}
+	report(env, res)
+
+	if useCache {
+		cfg.CachePopulate = false
+		cfg.Tier = core.CacheFullResult
+		env.Cost.ResetStats()
+		fmt.Println("--- second run (cache enabled) ---")
+		res2, err := core.Run(env, a, cfg)
+		if err != nil {
+			return err
+		}
+		report(env, res2)
+		res = res2
+	}
+
+	return train(model, res.Dataset)
+}
+
+func report(env *core.Env, res *core.RunResult) {
+	fmt.Printf("approach=%s rows=%d partitions=%d features=%d cache=%s\n",
+		res.Approach, res.Rows, len(res.Dataset.Parts), res.Dataset.NumFeatures, res.CacheHit)
+	fmt.Printf("wall total=%s  simulated cluster time=%s\n",
+		res.Timings.Total.Round(time.Millisecond), env.Cost.Stats().SimulatedTime.Round(10*time.Microsecond))
+}
+
+func train(model string, d *ml.Dataset) error {
+	start := time.Now()
+	switch model {
+	case "none":
+		return nil
+	case "svm":
+		m, err := ml.TrainSVMWithSGD(d, ml.DefaultSGD())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("SVM trained in %s, train accuracy %.3f\n",
+			time.Since(start).Round(time.Millisecond), ml.Accuracy(d, m.Predict))
+	case "logreg":
+		m, err := ml.TrainLogisticRegressionWithSGD(d, ml.DefaultSGD())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("logistic regression trained in %s, train accuracy %.3f\n",
+			time.Since(start).Round(time.Millisecond), ml.Accuracy(d, m.Predict))
+	case "bayes":
+		m, err := ml.TrainNaiveBayes(d, 1.0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("naive Bayes trained in %s, train accuracy %.3f\n",
+			time.Since(start).Round(time.Millisecond), ml.Accuracy(d, m.Predict))
+	case "tree":
+		m, err := ml.TrainDecisionTree(d, ml.DefaultTree())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("decision tree (depth %d) trained in %s, train accuracy %.3f\n",
+			m.Depth, time.Since(start).Round(time.Millisecond), ml.Accuracy(d, m.Predict))
+	default:
+		return fmt.Errorf("unknown model %q", model)
+	}
+	return nil
+}

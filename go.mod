@@ -1,0 +1,3 @@
+module sqlml
+
+go 1.22

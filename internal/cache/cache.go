@@ -1,0 +1,241 @@
+// Package cache implements the paper's §5 caching of transformation
+// results: a store of (preparation query, transform spec) → cached
+// artifacts, where an artifact is the fully transformed data (materialised
+// as an engine table, §5.1) and/or the intermediate recode maps (§5.2).
+//
+// Lookup prefers the full result (the paper measures it fastest, 2.2×)
+// and falls back to the recode maps (1.5×); both assume no data updates,
+// as the paper does.
+package cache
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"sqlml/internal/dfs"
+	"sqlml/internal/rewriter"
+	"sqlml/internal/sqlengine"
+	"sqlml/internal/transform"
+)
+
+// Entry is one cached transformation outcome.
+type Entry struct {
+	// Name identifies the entry (diagnostics).
+	Name string
+	// Info is the canonical form of the preparation query that produced it.
+	Info *rewriter.QueryInfo
+	// Spec is the transformation that was applied.
+	Spec transform.Spec
+	// Map is the recode map built during the transformation.
+	Map *transform.RecodeMap
+	// TransformedTable is the catalog name of the materialised fully
+	// transformed result ("" when only the map is cached).
+	TransformedTable string
+}
+
+// HitKind classifies a cache lookup outcome.
+type HitKind int
+
+// Lookup outcomes, strongest first.
+const (
+	Miss HitKind = iota
+	RecodeMapHit
+	FullResultHit
+)
+
+// String renders the hit kind.
+func (k HitKind) String() string {
+	switch k {
+	case FullResultHit:
+		return "full-result"
+	case RecodeMapHit:
+		return "recode-map"
+	default:
+		return "miss"
+	}
+}
+
+// Hit is a successful lookup.
+type Hit struct {
+	Kind  HitKind
+	Entry *Entry
+	// RewrittenSQL answers the new query from the cached table
+	// (FullResultHit only).
+	RewrittenSQL string
+}
+
+// Store holds cache entries. Safe for concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	entries []*Entry
+	hits    map[HitKind]int
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{hits: make(map[HitKind]int)}
+}
+
+// Add registers a cached outcome.
+func (s *Store) Add(e *Entry) error {
+	if e == nil || e.Info == nil {
+		return fmt.Errorf("cache: entry needs query info")
+	}
+	if e.Map == nil && e.TransformedTable == "" {
+		return fmt.Errorf("cache: entry caches nothing")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries = append(s.entries, e)
+	return nil
+}
+
+// Len returns the number of entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Stats returns per-kind hit counters (Miss included).
+func (s *Store) Stats() map[HitKind]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[HitKind]int, len(s.hits))
+	for k, v := range s.hits {
+		out[k] = v
+	}
+	return out
+}
+
+// Lookup decides how much of a new pipeline (query + spec) the cache can
+// answer, preferring the fully transformed result.
+func (s *Store) Lookup(next *rewriter.QueryInfo, spec transform.Spec) *Hit {
+	return s.LookupAtMost(next, spec, FullResultHit)
+}
+
+// LookupAtMost is Lookup capped at a tier — the Figure 4 benchmarks use it
+// to isolate the recode-map tier from the full-result one.
+func (s *Store) LookupAtMost(next *rewriter.QueryInfo, spec transform.Spec, maxKind HitKind) *Hit {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Strongest first: §5.1 full-result reuse.
+	for _, e := range s.entries {
+		if maxKind < FullResultHit {
+			break
+		}
+		if e.TransformedTable == "" {
+			continue
+		}
+		if !specCompatible(e.Spec, spec) {
+			continue
+		}
+		if m, ok := rewriter.MatchFullResult(e.Info, next, e.Spec, e.Map); ok {
+			s.hits[FullResultHit]++
+			return &Hit{Kind: FullResultHit, Entry: e, RewrittenSQL: m.RewriteOnCache(e.TransformedTable)}
+		}
+	}
+	// §5.2 recode-map reuse.
+	for _, e := range s.entries {
+		if maxKind < RecodeMapHit {
+			break
+		}
+		if e.Map == nil {
+			continue
+		}
+		if rewriter.MatchRecodeMap(e.Info, next, e.Map.Columns(), spec.RecodeCols) {
+			s.hits[RecodeMapHit]++
+			return &Hit{Kind: RecodeMapHit, Entry: e}
+		}
+	}
+	s.hits[Miss]++
+	return &Hit{Kind: Miss}
+}
+
+// specCompatible reports whether a pipeline with spec `next` can consume
+// data transformed under `cached`: every column next recodes/codes must
+// have been handled identically.
+func specCompatible(cached, next transform.Spec) bool {
+	in := func(list []string, c string) bool {
+		for _, x := range list {
+			if strings.EqualFold(x, c) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, c := range next.RecodeCols {
+		if !in(cached.RecodeCols, c) {
+			return false
+		}
+	}
+	for _, c := range next.CodeCols {
+		if !in(cached.CodeCols, c) {
+			return false
+		}
+	}
+	// A column the new pipeline wants plain-recoded must not have been
+	// expanded in the cached data.
+	for _, c := range next.RecodeCols {
+		if in(cached.CodeCols, c) && !in(next.CodeCols, c) {
+			return false
+		}
+	}
+	if len(next.CodeCols) > 0 && cached.Coding != next.Coding {
+		return false
+	}
+	// Scaling rewrites numeric values in place, so the cached data is only
+	// usable when the scaled column set and family match exactly.
+	if len(cached.ScaleCols) != len(next.ScaleCols) {
+		return false
+	}
+	for _, c := range next.ScaleCols {
+		if !in(cached.ScaleCols, c) {
+			return false
+		}
+	}
+	if len(next.ScaleCols) > 0 && cached.Scaling != next.Scaling {
+		return false
+	}
+	return true
+}
+
+// MaterializeOnDFS stores the transformed result as an "actual HDFS table"
+// (the paper's other §5.1 variant): part files under dir on the DFS, with
+// an external catalog table over them. Cache-served queries then re-read
+// the DFS — slower than the in-memory materialized view, but durable and
+// shared, which is why the paper's measured full-result speedup (2.2x)
+// still pays a scan.
+func MaterializeOnDFS(e *sqlengine.Engine, fs *dfs.FileSystem, dir, name string, info *rewriter.QueryInfo, spec transform.Spec, out *transform.Output) (*Entry, error) {
+	if err := e.ExportToDFS(out.Result, fs, dir); err != nil {
+		return nil, err
+	}
+	if err := e.RegisterExternalTable(name, fs, dir, out.Result.Schema); err != nil {
+		return nil, err
+	}
+	return &Entry{
+		Name:             name,
+		Info:             info,
+		Spec:             spec,
+		Map:              out.Map,
+		TransformedTable: name,
+	}, nil
+}
+
+// Materialize registers a transformed result as an engine table and
+// returns a ready-to-Add entry. It is the §5.1 "store as a materialized
+// view or an actual HDFS table" step (kept in engine memory here; export
+// to the DFS via Engine.ExportToDFS when durability is wanted).
+func Materialize(e *sqlengine.Engine, name string, info *rewriter.QueryInfo, spec transform.Spec, out *transform.Output) (*Entry, error) {
+	if err := e.RegisterResult(name, out.Result); err != nil {
+		return nil, err
+	}
+	return &Entry{
+		Name:             name,
+		Info:             info,
+		Spec:             spec,
+		Map:              out.Map,
+		TransformedTable: name,
+	}, nil
+}

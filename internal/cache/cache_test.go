@@ -1,0 +1,233 @@
+package cache
+
+import (
+	"strings"
+	"testing"
+
+	"sqlml/internal/cluster"
+	"sqlml/internal/rewriter"
+	"sqlml/internal/row"
+	"sqlml/internal/sqlengine"
+	"sqlml/internal/transform"
+)
+
+func newEngine(t testing.TB) *sqlengine.Engine {
+	t.Helper()
+	topo := cluster.NewTopology(5)
+	e, err := sqlengine.New(topo, nil, sqlengine.Config{HeadNodeID: 0, WorkerNodeIDs: []int{1, 2, 3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := transform.RegisterUDFs(e); err != nil {
+		t.Fatal(err)
+	}
+	users := row.MustSchema(
+		row.Column{Name: "userid", Type: row.TypeInt},
+		row.Column{Name: "age", Type: row.TypeInt},
+		row.Column{Name: "gender", Type: row.TypeString},
+		row.Column{Name: "country", Type: row.TypeString},
+	)
+	carts := row.MustSchema(
+		row.Column{Name: "cartid", Type: row.TypeInt},
+		row.Column{Name: "userid", Type: row.TypeInt},
+		row.Column{Name: "amount", Type: row.TypeFloat},
+		row.Column{Name: "nitems", Type: row.TypeInt},
+		row.Column{Name: "year", Type: row.TypeInt},
+		row.Column{Name: "abandoned", Type: row.TypeString},
+	)
+	userRows := []row.Row{
+		{row.Int(1), row.Int(57), row.String_("F"), row.String_("USA")},
+		{row.Int(2), row.Int(40), row.String_("M"), row.String_("USA")},
+		{row.Int(3), row.Int(35), row.String_("F"), row.String_("USA")},
+		{row.Int(4), row.Int(22), row.String_("M"), row.String_("Germany")},
+	}
+	cartRows := []row.Row{
+		{row.Int(100), row.Int(1), row.Float(314.62), row.Int(3), row.Int(2014), row.String_("Yes")},
+		{row.Int(101), row.Int(2), row.Float(40.40), row.Int(1), row.Int(2014), row.String_("Yes")},
+		{row.Int(102), row.Int(3), row.Float(151.17), row.Int(2), row.Int(2013), row.String_("No")},
+		{row.Int(103), row.Int(4), row.Float(99.99), row.Int(5), row.Int(2014), row.String_("No")},
+	}
+	if err := e.LoadTable("users", users, userRows); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.LoadTable("carts", carts, cartRows); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+const prepQuery = `
+	SELECT U.age, U.gender, C.amount, C.abandoned
+	FROM carts C, users U
+	WHERE C.userid=U.userid AND U.country='USA'`
+
+func prepSpec() transform.Spec {
+	return transform.Spec{RecodeCols: []string{"gender", "abandoned"}}
+}
+
+// runAndCache executes the preparation pipeline once and caches the
+// transformed result.
+func runAndCache(t *testing.T, e *sqlengine.Engine, s *Store) *Entry {
+	t.Helper()
+	info, err := rewriter.AnalyzeSQL(e, prepQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Query(prepQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterResult("prep_tmp", res); err != nil {
+		t.Fatal(err)
+	}
+	defer e.DropTable("prep_tmp")
+	out, err := transform.Apply(e, "prep_tmp", prepSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, err := Materialize(e, "cached_full", info, prepSpec(), out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(entry); err != nil {
+		t.Fatal(err)
+	}
+	return entry
+}
+
+func TestFullResultHitAnswersSubsetQuery(t *testing.T) {
+	e := newEngine(t)
+	s := NewStore()
+	runAndCache(t, e, s)
+
+	next, err := rewriter.AnalyzeSQL(e, `
+		SELECT U.age, C.amount, C.abandoned
+		FROM carts C, users U
+		WHERE C.userid=U.userid AND U.country='USA' AND U.gender = 'F'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := s.Lookup(next, transform.Spec{RecodeCols: []string{"abandoned"}})
+	if hit.Kind != FullResultHit {
+		t.Fatalf("hit = %s, want full-result", hit.Kind)
+	}
+	res, err := e.Query(hit.RewrittenSQL)
+	if err != nil {
+		t.Fatalf("rewritten query failed: %v\n%s", err, hit.RewrittenSQL)
+	}
+	// USA female users: 2 of the 3 USA carts.
+	if res.NumRows() != 2 {
+		t.Errorf("rewritten query rows = %d, want 2", res.NumRows())
+	}
+	if res.Schema.Len() != 3 {
+		t.Errorf("rewritten schema = %s", res.Schema)
+	}
+}
+
+func TestIdenticalQueryFullHit(t *testing.T) {
+	e := newEngine(t)
+	s := NewStore()
+	runAndCache(t, e, s)
+	next, err := rewriter.AnalyzeSQL(e, prepQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := s.Lookup(next, prepSpec())
+	if hit.Kind != FullResultHit {
+		t.Fatalf("hit = %s", hit.Kind)
+	}
+	res, err := e.Query(hit.RewrittenSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 3 {
+		t.Errorf("rows = %d, want 3 (all USA carts)", res.NumRows())
+	}
+}
+
+func TestRecodeMapHitForPaper52Query(t *testing.T) {
+	e := newEngine(t)
+	s := NewStore()
+	runAndCache(t, e, s)
+	next, err := rewriter.AnalyzeSQL(e, `
+		SELECT U.age, U.gender, C.amount, C.nItems, C.abandoned
+		FROM carts C, users U
+		WHERE C.userid=U.userid AND U.country='USA' AND C.year = 2014`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := s.Lookup(next, prepSpec())
+	if hit.Kind != RecodeMapHit {
+		t.Fatalf("hit = %s, want recode-map", hit.Kind)
+	}
+	if hit.Entry.Map.Cardinality("gender") != 2 {
+		t.Error("hit returned wrong map")
+	}
+}
+
+func TestMissForUnrelatedQuery(t *testing.T) {
+	e := newEngine(t)
+	s := NewStore()
+	runAndCache(t, e, s)
+	next, err := rewriter.AnalyzeSQL(e, "SELECT u.gender FROM users u WHERE u.age > 30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit := s.Lookup(next, transform.Spec{RecodeCols: []string{"gender"}}); hit.Kind != Miss {
+		t.Errorf("hit = %s, want miss", hit.Kind)
+	}
+	stats := s.Stats()
+	if stats[Miss] != 1 {
+		t.Errorf("stats = %v", stats)
+	}
+}
+
+func TestSpecCompatibility(t *testing.T) {
+	cached := transform.Spec{
+		RecodeCols: []string{"gender", "abandoned"},
+		CodeCols:   []string{"gender"},
+		Coding:     transform.CodingDummy,
+	}
+	cases := []struct {
+		next transform.Spec
+		want bool
+	}{
+		{cached, true},
+		{transform.Spec{RecodeCols: []string{"abandoned"}}, true},
+		{transform.Spec{RecodeCols: []string{"newcol"}}, false},
+		// Wants gender recoded-only but the cache expanded it.
+		{transform.Spec{RecodeCols: []string{"gender"}}, false},
+		// Different coding family.
+		{transform.Spec{RecodeCols: []string{"gender"}, CodeCols: []string{"gender"}, Coding: transform.CodingEffect}, false},
+		{transform.Spec{RecodeCols: []string{"gender"}, CodeCols: []string{"gender"}, Coding: transform.CodingDummy}, true},
+	}
+	for i, c := range cases {
+		if got := specCompatible(cached, c.next); got != c.want {
+			t.Errorf("case %d: specCompatible = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestStoreValidation(t *testing.T) {
+	s := NewStore()
+	if err := s.Add(nil); err == nil {
+		t.Error("nil entry accepted")
+	}
+	if err := s.Add(&Entry{Info: &rewriter.QueryInfo{}}); err == nil {
+		t.Error("entry caching nothing accepted")
+	}
+	if s.Len() != 0 {
+		t.Error("failed adds must not register")
+	}
+}
+
+func TestRewrittenSQLMentionsCachedTable(t *testing.T) {
+	e := newEngine(t)
+	s := NewStore()
+	entry := runAndCache(t, e, s)
+	next, _ := rewriter.AnalyzeSQL(e, prepQuery)
+	hit := s.Lookup(next, prepSpec())
+	if hit.Kind != FullResultHit || !strings.Contains(hit.RewrittenSQL, entry.TransformedTable) {
+		t.Errorf("rewritten sql = %q", hit.RewrittenSQL)
+	}
+}

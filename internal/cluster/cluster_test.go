@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTopologyBasics(t *testing.T) {
+	top := NewTopology(4)
+	if top.Len() != 4 {
+		t.Fatalf("Len = %d", top.Len())
+	}
+	if top.Node(0).Addr != "10.0.0.1" || top.Node(3).Addr != "10.0.0.4" {
+		t.Errorf("addresses: %s %s", top.Node(0).Addr, top.Node(3).Addr)
+	}
+	if top.ByAddr("10.0.0.2") != top.Node(1) {
+		t.Error("ByAddr lookup failed")
+	}
+	if top.ByAddr("1.2.3.4") != nil {
+		t.Error("unknown addr should return nil")
+	}
+	if top.Node(1).Name != "node1" {
+		t.Errorf("name: %s", top.Node(1).Name)
+	}
+}
+
+func TestTopologyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range node")
+		}
+	}()
+	NewTopology(2).Node(5)
+}
+
+func TestCostModelAccounting(t *testing.T) {
+	top := NewTopology(2)
+	c := &CostModel{DiskReadBps: 1e6, DiskWriteBps: 1e6, NetBps: 1e6, TimeScale: 0}
+	c.ChargeDiskRead(top.Node(0), 100)
+	c.ChargeDiskWrite(top.Node(0), 200)
+	c.ChargeNet(top.Node(0), top.Node(1), 300)
+	s := c.Stats()
+	if s.DiskReadBytes != 100 || s.DiskWriteBytes != 200 || s.NetBytes != 300 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.SimulatedTime <= 0 {
+		t.Error("simulated time should accumulate even with TimeScale 0")
+	}
+	c.ResetStats()
+	if c.Stats() != (Stats{}) {
+		t.Error("ResetStats should zero counters")
+	}
+}
+
+func TestLocalNetworkIsFree(t *testing.T) {
+	top := NewTopology(2)
+	c := DefaultCostModel()
+	c.TimeScale = 0
+	c.ChargeNet(top.Node(0), top.Node(0), 1<<20)
+	if c.Stats().NetBytes != 0 {
+		t.Error("node-local transfer must not be charged")
+	}
+	c.ChargeNet(top.Node(0), top.Node(1), 1<<20)
+	if c.Stats().NetBytes != 1<<20 {
+		t.Error("remote transfer must be charged")
+	}
+}
+
+func TestNilCostModelIsNoop(t *testing.T) {
+	var c *CostModel
+	top := NewTopology(1)
+	c.ChargeDiskRead(top.Node(0), 10) // must not panic
+	c.ChargeDiskWrite(top.Node(0), 10)
+	c.ChargeNet(top.Node(0), top.Node(0), 10)
+	if c.Stats() != (Stats{}) {
+		t.Error("nil cost model should report zero stats")
+	}
+	c.ResetStats()
+}
+
+func TestChargeSleepsScaledDuration(t *testing.T) {
+	top := NewTopology(1)
+	// 1 MB at 1 MB/s simulated = 1 s simulated; TimeScale 0.01 => ~10 ms real.
+	c := &CostModel{DiskReadBps: 1e6, TimeScale: 0.01}
+	start := time.Now()
+	c.ChargeDiskRead(top.Node(0), 1_000_000)
+	elapsed := time.Since(start)
+	if elapsed < 8*time.Millisecond {
+		t.Errorf("charge slept only %v, want ~10ms", elapsed)
+	}
+	if got := c.Stats().SimulatedTime; got < 900*time.Millisecond || got > 1100*time.Millisecond {
+		t.Errorf("simulated time %v, want ~1s", got)
+	}
+}
+
+func TestDeviceContentionSerializes(t *testing.T) {
+	top := NewTopology(1)
+	c := &CostModel{DiskWriteBps: 1e6, TimeScale: 0.005} // 1 MB => 5 ms real
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.ChargeDiskWrite(top.Node(0), 1_000_000)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	// Four concurrent 5 ms charges on one disk must take ~20 ms, not ~5 ms.
+	if elapsed < 15*time.Millisecond {
+		t.Errorf("concurrent charges completed in %v; disk contention not modelled", elapsed)
+	}
+}
+
+func TestConcurrentStatsSafe(t *testing.T) {
+	top := NewTopology(3)
+	c := &CostModel{DiskReadBps: 1e15, NetBps: 1e15, TimeScale: 0}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.ChargeDiskRead(top.Node(i%3), 1)
+				c.ChargeNet(top.Node(i%3), top.Node((i+1)%3), 1)
+				_ = c.Stats()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Stats().DiskReadBytes != 800 {
+		t.Errorf("disk read bytes = %d, want 800", c.Stats().DiskReadBytes)
+	}
+}

@@ -1,0 +1,406 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"sqlml/internal/cache"
+	"sqlml/internal/cluster"
+	"sqlml/internal/datagen"
+	"sqlml/internal/ml"
+	"sqlml/internal/transform"
+)
+
+// paperQuery is the §1 example preparation query.
+const paperQuery = `
+	SELECT U.age, U.gender, C.amount, C.abandoned
+	FROM carts C, users U
+	WHERE C.userid=U.userid AND U.country='USA'`
+
+func paperSpec() transform.Spec {
+	return transform.Spec{
+		RecodeCols: []string{"gender", "abandoned"},
+		CodeCols:   []string{"gender"},
+		Coding:     transform.CodingDummy,
+	}
+}
+
+func paperConfig() PipelineConfig {
+	return PipelineConfig{
+		Query:    paperQuery,
+		Spec:     paperSpec(),
+		LabelCol: "abandoned",
+		// Recoded labels are {1: No, 2: Yes}; SVM wants {0, 1}.
+		LabelTransform: func(v float64) float64 { return v - 1 },
+		K:              2,
+	}
+}
+
+// newTestEnv wires a deployment and loads a small paper workload, with the
+// input tables stored as external text tables on the DFS (as in §7).
+func newTestEnv(t testing.TB, users, cartsPer int, cost *cluster.CostModel) *Env {
+	t.Helper()
+	cfg := DefaultEnvConfig()
+	cfg.Cost = cost
+	cfg.BlockSize = 16 << 10
+	env, err := NewEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(env.Close)
+
+	d, err := datagen.Generate(datagen.Config{Users: users, CartsPerUser: cartsPer, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	usersPath, cartsPath, err := datagen.WriteToDFS(d, env.FS, "/warehouse", env.Topo.Node(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Engine.RegisterExternalTable("users", env.FS, usersPath, datagen.UsersSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Engine.RegisterExternalTable("carts", env.FS, cartsPath, datagen.CartsSchema()); err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+// datasetFingerprint summarises a dataset independent of partitioning.
+func datasetFingerprint(d *ml.Dataset) []string {
+	var out []string
+	for _, p := range d.All() {
+		out = append(out, fmt.Sprintf("%.4f|%v", p.Label, p.Features))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestAllThreeApproachesProduceIdenticalDatasets(t *testing.T) {
+	env := newTestEnv(t, 60, 8, nil)
+	cfg := paperConfig()
+
+	results := make(map[Approach]*RunResult)
+	for _, a := range []Approach{Naive, InSQL, InSQLStream} {
+		res, err := Run(env, a, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		if res.Rows == 0 {
+			t.Fatalf("%s produced no rows", a)
+		}
+		results[a] = res
+	}
+	base := datasetFingerprint(results[Naive].Dataset)
+	for _, a := range []Approach{InSQL, InSQLStream} {
+		fp := datasetFingerprint(results[a].Dataset)
+		if len(fp) != len(base) {
+			t.Fatalf("%s: %d rows vs naive %d", a, len(fp), len(base))
+		}
+		for i := range fp {
+			if fp[i] != base[i] {
+				t.Fatalf("%s differs from naive at %d:\n%s\n%s", a, i, fp[i], base[i])
+			}
+		}
+	}
+	// Dummy coding: gender expands to 2 features → age, g1, g2, amount = 4.
+	if results[Naive].Dataset.NumFeatures != 4 {
+		t.Errorf("features = %d, want 4", results[Naive].Dataset.NumFeatures)
+	}
+}
+
+func TestPipelineOutputTrainsSVM(t *testing.T) {
+	env := newTestEnv(t, 150, 12, nil)
+	res, err := Run(env, InSQLStream, paperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sgd := ml.DefaultSGD()
+	sgd.Iterations = 120
+	model, err := ml.TrainSVMWithSGD(res.Dataset, sgd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := ml.Accuracy(res.Dataset, model.Predict)
+	// The datagen label is logistic in the features; SVM should comfortably
+	// beat a majority-class baseline.
+	if acc < 0.55 {
+		t.Errorf("SVM accuracy = %.3f on the generated workload", acc)
+	}
+}
+
+func TestFigure3CostOrdering(t *testing.T) {
+	// With the simulated I/O cost model, the per-run *simulated* time must
+	// order naive > insql > insql+stream — the shape of Figure 3.
+	cost := &cluster.CostModel{
+		DiskReadBps:  200e6,
+		DiskWriteBps: 150e6,
+		NetBps:       1.25e9,
+		ProcBps:      400e6,
+		TimeScale:    0, // accumulate but do not sleep
+	}
+	env := newTestEnv(t, 80, 10, cost)
+	cfg := paperConfig()
+
+	simTime := make(map[Approach]int64)
+	for _, a := range []Approach{Naive, InSQL, InSQLStream} {
+		cost.ResetStats()
+		if _, err := Run(env, a, cfg); err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		simTime[a] = int64(cost.Stats().SimulatedTime)
+		t.Logf("%-13s simulated %v (disk r/w %d/%d net %d)",
+			a, cost.Stats().SimulatedTime, cost.Stats().DiskReadBytes,
+			cost.Stats().DiskWriteBytes, cost.Stats().NetBytes)
+	}
+	if !(simTime[Naive] > simTime[InSQL]) {
+		t.Errorf("naive (%d) should cost more than insql (%d)", simTime[Naive], simTime[InSQL])
+	}
+	if !(simTime[InSQL] > simTime[InSQLStream]) {
+		t.Errorf("insql (%d) should cost more than insql+stream (%d)", simTime[InSQL], simTime[InSQLStream])
+	}
+}
+
+func TestFigure4CacheTiers(t *testing.T) {
+	cost := &cluster.CostModel{
+		DiskReadBps:  200e6,
+		DiskWriteBps: 150e6,
+		NetBps:       1.25e9,
+		ProcBps:      400e6,
+		TimeScale:    0,
+	}
+	env := newTestEnv(t, 80, 10, cost)
+	cfg := paperConfig()
+	cfg.CachePopulate = true
+
+	// Prime the cache with one full run.
+	if _, err := Run(env, InSQLStream, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if env.Cache.Len() != 1 {
+		t.Fatalf("cache entries = %d", env.Cache.Len())
+	}
+
+	cfg.CachePopulate = false
+	sim := make(map[CacheTier]int64)
+	for _, tier := range []CacheTier{CacheOff, CacheRecodeMaps, CacheFullResult} {
+		cfg.Tier = tier
+		cost.ResetStats()
+		res, err := Run(env, InSQLStream, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", tier, err)
+		}
+		sim[tier] = int64(cost.Stats().SimulatedTime)
+		wantHit := map[CacheTier]cache.HitKind{
+			CacheOff:        cache.Miss,
+			CacheRecodeMaps: cache.RecodeMapHit,
+			CacheFullResult: cache.FullResultHit,
+		}[tier]
+		if res.CacheHit != wantHit {
+			t.Errorf("%s: hit = %s, want %s", tier, res.CacheHit, wantHit)
+		}
+		t.Logf("%-24s simulated %v", tier, cost.Stats().SimulatedTime)
+	}
+	if !(sim[CacheOff] > sim[CacheRecodeMaps]) {
+		t.Errorf("no-cache (%d) should cost more than recode-map cache (%d)", sim[CacheOff], sim[CacheRecodeMaps])
+	}
+	if !(sim[CacheRecodeMaps] > sim[CacheFullResult]) {
+		t.Errorf("recode-map cache (%d) should cost more than full cache (%d)", sim[CacheRecodeMaps], sim[CacheFullResult])
+	}
+}
+
+func TestCacheServesSubsetQuery(t *testing.T) {
+	env := newTestEnv(t, 60, 8, nil)
+	cfg := paperConfig()
+	cfg.CachePopulate = true
+	if _, err := Run(env, InSQLStream, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	// §5.1's follow-up query: subset projection + extra predicate.
+	sub := cfg
+	sub.CachePopulate = false
+	sub.Tier = CacheFullResult
+	sub.Query = `
+		SELECT U.age, C.amount, C.abandoned
+		FROM carts C, users U
+		WHERE C.userid=U.userid AND U.country='USA' AND U.gender = 'F'`
+	sub.Spec = transform.Spec{RecodeCols: []string{"abandoned"}}
+	res, err := Run(env, InSQLStream, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHit != cache.FullResultHit {
+		t.Fatalf("hit = %s", res.CacheHit)
+	}
+	if res.Dataset.NumFeatures != 2 {
+		t.Errorf("features = %d, want 2 (age, amount)", res.Dataset.NumFeatures)
+	}
+	// Fresh run of the same query agrees with the cache-served one.
+	fresh := sub
+	fresh.Tier = CacheOff
+	fres, err := Run(env, InSQLStream, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := datasetFingerprint(res.Dataset), datasetFingerprint(fres.Dataset)
+	if len(a) != len(b) {
+		t.Fatalf("cache-served rows %d vs fresh %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("cache-served dataset differs from fresh at %d", i)
+		}
+	}
+}
+
+func TestStreamSplitFactorControlsMLParallelism(t *testing.T) {
+	env := newTestEnv(t, 40, 5, nil)
+	cfg := paperConfig()
+	cfg.K = 3
+	res, err := Run(env, InSQLStream, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(res.Dataset.Parts), 4*3; got != want {
+		t.Errorf("ML partitions = %d, want %d (n=4 SQL workers x k=3)", got, want)
+	}
+}
+
+func TestRunRejectsUnknownApproach(t *testing.T) {
+	env := newTestEnv(t, 10, 2, nil)
+	if _, err := Run(env, Approach(99), paperConfig()); err == nil {
+		t.Error("unknown approach accepted")
+	}
+}
+
+func TestCacheOnDFSVariant(t *testing.T) {
+	cost := &cluster.CostModel{
+		DiskReadBps:  200e6,
+		DiskWriteBps: 150e6,
+		NetBps:       1.25e9,
+		ProcBps:      400e6,
+		TimeScale:    0,
+	}
+	env := newTestEnv(t, 60, 8, cost)
+	cfg := paperConfig()
+	cfg.CachePopulate = true
+	cfg.CacheOnDFS = true
+	first, err := Run(env, InSQLStream, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.CachePopulate = false
+	cfg.Tier = CacheFullResult
+	cost.ResetStats()
+	res, err := Run(env, InSQLStream, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHit != cache.FullResultHit {
+		t.Fatalf("hit = %s", res.CacheHit)
+	}
+	dfsServed := cost.Stats()
+	if dfsServed.DiskReadBytes == 0 {
+		t.Error("DFS-backed cache hit should pay a DFS scan")
+	}
+	// Results agree with the original run.
+	a, b := datasetFingerprint(first.Dataset), datasetFingerprint(res.Dataset)
+	if len(a) != len(b) {
+		t.Fatalf("rows differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("DFS-cache-served dataset differs from fresh run")
+		}
+	}
+	// And the cached part files really exist on the DFS.
+	if len(env.FS.List("/cache")) == 0 {
+		t.Error("no cached part files on the DFS")
+	}
+}
+
+func TestPipelineWithScaling(t *testing.T) {
+	env := newTestEnv(t, 60, 8, nil)
+	cfg := paperConfig()
+	cfg.Spec.ScaleCols = []string{"age", "amount"}
+	cfg.Spec.Scaling = transform.ScalingStandard
+	res, err := Run(env, InSQLStream, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scaled features: age and amount are now ~N(0,1); dummy bits are not.
+	var sumAge, sumAgeSq float64
+	ageIdx := 0 // age is the first feature
+	for _, p := range res.Dataset.All() {
+		sumAge += p.Features[ageIdx]
+		sumAgeSq += p.Features[ageIdx] * p.Features[ageIdx]
+	}
+	n := float64(res.Dataset.NumRows())
+	if mean := sumAge / n; mean < -1e-6 || mean > 1e-6 {
+		t.Errorf("scaled age mean = %v", mean)
+	}
+	if variance := sumAgeSq / n; variance < 0.99 || variance > 1.01 {
+		t.Errorf("scaled age variance = %v", variance)
+	}
+	// Scaled pipelines cache-match only scaled pipelines.
+	cfg.CachePopulate = true
+	if _, err := Run(env, InSQLStream, cfg); err != nil {
+		t.Fatal(err)
+	}
+	unscaled := paperConfig()
+	unscaled.Tier = CacheFullResult
+	res2, err := Run(env, InSQLStream, unscaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.CacheHit == cache.FullResultHit {
+		t.Error("unscaled pipeline must not reuse a scaled cache entry")
+	}
+	scaledAgain := cfg
+	scaledAgain.CachePopulate = false
+	scaledAgain.Tier = CacheFullResult
+	res3, err := Run(env, InSQLStream, scaledAgain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.CacheHit != cache.FullResultHit {
+		t.Errorf("identical scaled pipeline should hit the cache, got %s", res3.CacheHit)
+	}
+}
+
+func TestScaledPipelineIdenticalAcrossApproaches(t *testing.T) {
+	env := newTestEnv(t, 50, 6, nil)
+	cfg := paperConfig()
+	cfg.Spec.ScaleCols = []string{"age", "amount"}
+	cfg.Spec.Scaling = transform.ScalingMinMax
+
+	results := make(map[Approach]*RunResult)
+	for _, a := range []Approach{Naive, InSQL, InSQLStream} {
+		res, err := Run(env, a, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		results[a] = res
+	}
+	base := datasetFingerprint(results[Naive].Dataset)
+	for _, a := range []Approach{InSQL, InSQLStream} {
+		fp := datasetFingerprint(results[a].Dataset)
+		if len(fp) != len(base) {
+			t.Fatalf("%s: %d rows vs naive %d", a, len(fp), len(base))
+		}
+		for i := range fp {
+			if fp[i] != base[i] {
+				t.Fatalf("%s differs from naive at row %d:\n%s\n%s", a, i, fp[i], base[i])
+			}
+		}
+	}
+	// Min-max scaled features land in [0,1].
+	for _, p := range results[Naive].Dataset.All() {
+		if p.Features[0] < 0 || p.Features[0] > 1 {
+			t.Fatalf("unscaled age feature %v", p.Features[0])
+		}
+	}
+}

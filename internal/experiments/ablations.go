@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sqlml/internal/cluster"
+	"sqlml/internal/core"
+	"sqlml/internal/ml"
+	"sqlml/internal/row"
+	"sqlml/internal/stream"
+	"sqlml/internal/transform"
+)
+
+// TransferConfig parameterises one isolated streaming-transfer experiment
+// (the §3 design-choice ablations: split factor k, buffer size, locality,
+// slow-consumer spilling, failure recovery).
+type TransferConfig struct {
+	Workers      int
+	K            int
+	RowsPerWork  int
+	BufferSize   int
+	QueueFrames  int
+	ConsumeDelay time.Duration
+	// Colocate places ML workers on the SQL workers' nodes (the
+	// coordinator's locality hint honoured); otherwise they all land on a
+	// remote node and every byte crosses the simulated network.
+	Colocate bool
+	// FailSplit / FailAfterRows inject one ML worker crash mid-transfer.
+	FailSplit     int
+	FailAfterRows int
+}
+
+// DefaultTransfer mirrors the paper's settings (4 KB buffers).
+func DefaultTransfer() TransferConfig {
+	return TransferConfig{
+		Workers:     4,
+		K:           1,
+		RowsPerWork: 2000,
+		BufferSize:  4 << 10,
+		QueueFrames: 64,
+		Colocate:    true,
+		FailSplit:   -1,
+	}
+}
+
+// TransferReport summarises one transfer experiment.
+type TransferReport struct {
+	Rows         int
+	SimTime      time.Duration
+	NetBytes     int64
+	SpilledBytes int64
+	Restarts     int
+	Wall         time.Duration
+}
+
+// transferSchema carries one id and one value column.
+func transferSchema() row.Schema {
+	return row.MustSchema(
+		row.Column{Name: "id", Type: row.TypeInt},
+		row.Column{Name: "x", Type: row.TypeFloat},
+		row.Column{Name: "label", Type: row.TypeInt},
+	)
+}
+
+// RunTransfer executes one coordinator-mediated transfer with the given
+// knobs and verifies exactly-once delivery.
+func RunTransfer(cfg TransferConfig) (*TransferReport, error) {
+	topo := cluster.NewTopology(cfg.Workers + 1)
+	cost := CalibratedCost()
+	coord := stream.NewCoordinator(nil)
+	addr, err := coord.Start("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer coord.Stop()
+
+	mlNodes := make([]*cluster.Node, 0, cfg.Workers)
+	if cfg.Colocate {
+		for w := 0; w < cfg.Workers; w++ {
+			mlNodes = append(mlNodes, topo.Node(w+1))
+		}
+	} else {
+		mlNodes = append(mlNodes, topo.Node(0)) // anti-located
+	}
+
+	var failOnce sync.Once
+	inFmt := &stream.InputFormat{
+		CoordAddr:         addr,
+		Job:               fmt.Sprintf("ablation-%d", time.Now().UnixNano()),
+		ReceiveBufferSize: cfg.BufferSize,
+		ConsumeDelay:      cfg.ConsumeDelay,
+	}
+	if cfg.FailSplit >= 0 {
+		inFmt.Inject = func(split, rowsRead int) bool {
+			fired := false
+			if split == cfg.FailSplit && rowsRead == cfg.FailAfterRows {
+				failOnce.Do(func() { fired = true })
+			}
+			return fired
+		}
+	}
+
+	type ingestResult struct {
+		d   *ml.Dataset
+		err error
+	}
+	done := make(chan ingestResult, 1)
+	go func() {
+		d, err := ml.Ingest(inFmt, ml.IngestOptions{LabelCol: "label", Nodes: mlNodes, Cost: cost})
+		done <- ingestResult{d, err}
+	}()
+
+	senderCfg := stream.DefaultSenderConfig()
+	senderCfg.BufferSize = cfg.BufferSize
+	senderCfg.QueueFrames = cfg.QueueFrames
+	senderCfg.MaxRestarts = 8
+	if cfg.ConsumeDelay > 0 {
+		// The spill ablation wants the producer to give up quickly.
+		senderCfg.SpillWait = cfg.ConsumeDelay / 2
+	}
+
+	start := time.Now()
+	stats := make([]*stream.SenderStats, cfg.Workers)
+	errs := make([]error, cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rows := make([]row.Row, cfg.RowsPerWork)
+			for i := range rows {
+				rows[i] = row.Row{
+					row.Int(int64(w*10_000_000 + i)),
+					row.Float(float64(i)),
+					row.Int(int64(i % 2)),
+				}
+			}
+			stats[w], errs[w] = stream.Send(stream.SendRequest{
+				CoordAddr:  addr,
+				Job:        inFmt.Job,
+				Command:    "bench",
+				Worker:     w,
+				NumWorkers: cfg.Workers,
+				K:          cfg.K,
+				Node:       topo.Node(w + 1),
+				Topo:       topo,
+				Cost:       cost,
+				Schema:     transferSchema(),
+				Rows:       rows,
+				Config:     senderCfg,
+			})
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	res := <-done
+	if res.err != nil {
+		return nil, res.err
+	}
+	want := cfg.Workers * cfg.RowsPerWork
+	if res.d.NumRows() != want {
+		return nil, fmt.Errorf("experiments: delivered %d rows, want %d", res.d.NumRows(), want)
+	}
+	report := &TransferReport{
+		Rows:     res.d.NumRows(),
+		SimTime:  cost.Stats().SimulatedTime,
+		NetBytes: cost.Stats().NetBytes,
+		Wall:     time.Since(start),
+	}
+	for _, s := range stats {
+		report.SpilledBytes += s.SpilledBytes
+		report.Restarts += s.Restarts
+	}
+	return report, nil
+}
+
+// MessageLogTransfer runs the §8 future-work alternative: the same rows
+// flow through a Kafka-style message log instead of direct sockets.
+func MessageLogTransfer(workers, rowsPerWorker int) (*TransferReport, error) {
+	topo := cluster.NewTopology(workers + 1)
+	cost := CalibratedCost()
+	log := stream.NewMessageLog()
+	if err := log.CreateTopic("t", workers, transferSchema()); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rowsPerWorker; i++ {
+				r := row.Row{row.Int(int64(w*10_000_000 + i)), row.Float(float64(i)), row.Int(int64(i % 2))}
+				if err := log.Append("t", w, r); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+			errs[w] = log.Seal("t", w)
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	d, err := ml.Ingest(&stream.LogFormat{Log: log, Topic: "t"}, ml.IngestOptions{
+		LabelCol: "label",
+		Nodes:    topo.Nodes(),
+		Cost:     cost,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if d.NumRows() != workers*rowsPerWorker {
+		return nil, fmt.Errorf("experiments: log delivered %d rows", d.NumRows())
+	}
+	return &TransferReport{
+		Rows:     d.NumRows(),
+		SimTime:  cost.Stats().SimulatedTime,
+		NetBytes: cost.Stats().NetBytes,
+		Wall:     time.Since(start),
+	}, nil
+}
+
+// RecodeAblation compares the paper's join-based recode (phase 2) against
+// the map-side recode_apply UDF on the same prepared table, returning the
+// simulated time of each.
+func RecodeAblation(env *core.Env) (joinSim, mapSideSim time.Duration, err error) {
+	prep, err := env.Engine.Query(PaperQuery)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := env.Engine.RegisterResult("__ablate_prep", prep); err != nil {
+		return 0, 0, err
+	}
+	defer env.Engine.DropTable("__ablate_prep")
+	_, mapTable, err := transform.BuildRecodeMap(env.Engine, "__ablate_prep", []string{"gender", "abandoned"})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer env.Engine.DropTable(mapTable)
+
+	env.Cost.ResetStats()
+	if _, err := transform.Recode(env.Engine, "__ablate_prep", mapTable, []string{"gender", "abandoned"}); err != nil {
+		return 0, 0, err
+	}
+	joinSim = env.Cost.Stats().SimulatedTime
+
+	env.Cost.ResetStats()
+	if _, err := transform.RecodeMapSide(env.Engine, "__ablate_prep", mapTable, []string{"gender", "abandoned"}); err != nil {
+		return 0, 0, err
+	}
+	mapSideSim = env.Cost.Stats().SimulatedTime
+	return joinSim, mapSideSim, nil
+}

@@ -1,0 +1,378 @@
+// Package hadoopfmt defines the Hadoop-style input interfaces that every
+// data-consuming engine in this repository ingests through: InputFormat,
+// InputSplit, and RecordReader.
+//
+// The paper's genericity claim rests on exactly this seam: "our techniques
+// apply to ... any big ML system that uses Hadoop InputFormats to ingest
+// input data". Both the in-memory ML engine and the MapReduce engine here
+// read only through these interfaces, so swapping a DFS text table for the
+// parallel streaming transfer (stream.SQLStreamInputFormat) requires no
+// engine changes — the paper's step-3 getInputSplits hook included.
+package hadoopfmt
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+
+	"sqlml/internal/cluster"
+	"sqlml/internal/dfs"
+	"sqlml/internal/row"
+)
+
+// InputSplit is one unit of parallel input, consumed by exactly one worker.
+type InputSplit interface {
+	// Locations returns addresses where reading this split is node-local.
+	// Schedulers use these to colocate workers with their data, in the
+	// best-effort manner the paper describes.
+	Locations() []string
+	// Length is the split's size in bytes (approximate for streams).
+	Length() int64
+	// String identifies the split for logging.
+	String() string
+}
+
+// RecordReader iterates the rows of one split.
+type RecordReader interface {
+	// Next returns the next row. ok is false at the end of the split.
+	Next() (r row.Row, ok bool, err error)
+	Close() error
+}
+
+// InputFormat produces splits and readers over a dataset.
+type InputFormat interface {
+	// Schema returns the row schema of the dataset.
+	Schema() (row.Schema, error)
+	// Splits divides the input. numSplits is the job's requested degree of
+	// parallelism; formats may return a different count (e.g. one split per
+	// DFS block, or whatever a stream coordinator dictates).
+	Splits(numSplits int) ([]InputSplit, error)
+	// Open returns a reader for the split. readerNode is the node the
+	// consuming worker was placed on; formats charge remote reads to the
+	// cost model through it.
+	Open(split InputSplit, readerNode *cluster.Node) (RecordReader, error)
+}
+
+// FileSplit is a byte range of a DFS file.
+type FileSplit struct {
+	Path   string
+	Offset int64
+	Len    int64
+	Hosts  []string
+}
+
+// Locations implements InputSplit.
+func (s *FileSplit) Locations() []string { return s.Hosts }
+
+// Length implements InputSplit.
+func (s *FileSplit) Length() int64 { return s.Len }
+
+// String implements InputSplit.
+func (s *FileSplit) String() string {
+	return fmt.Sprintf("%s[%d:+%d]", s.Path, s.Offset, s.Len)
+}
+
+// TextTableFormat reads a text-format table file stored on the DFS.
+type TextTableFormat struct {
+	FS          *dfs.FileSystem
+	Path        string
+	TableSchema row.Schema
+}
+
+// NewTextTableFormat returns a format over one DFS text table.
+func NewTextTableFormat(fs *dfs.FileSystem, path string, schema row.Schema) *TextTableFormat {
+	return &TextTableFormat{FS: fs, Path: path, TableSchema: schema}
+}
+
+// Schema implements InputFormat.
+func (f *TextTableFormat) Schema() (row.Schema, error) { return f.TableSchema, nil }
+
+// Splits implements InputFormat. With numSplits <= 0 it returns one split
+// per DFS block (inheriting the block's replica hosts for locality);
+// otherwise it divides the file into numSplits even byte ranges whose
+// locations are the hosts of the blocks they overlap.
+func (f *TextTableFormat) Splits(numSplits int) ([]InputSplit, error) {
+	info, err := f.FS.Stat(f.Path)
+	if err != nil {
+		return nil, err
+	}
+	if info.Size == 0 {
+		return nil, nil
+	}
+	if numSplits <= 0 {
+		out := make([]InputSplit, 0, len(info.Blocks))
+		for _, b := range info.Blocks {
+			out = append(out, &FileSplit{Path: f.Path, Offset: b.Offset, Len: b.Length, Hosts: b.Hosts})
+		}
+		return out, nil
+	}
+	if int64(numSplits) > info.Size {
+		numSplits = int(info.Size)
+	}
+	chunk := info.Size / int64(numSplits)
+	var out []InputSplit
+	for i := 0; i < numSplits; i++ {
+		off := int64(i) * chunk
+		length := chunk
+		if i == numSplits-1 {
+			length = info.Size - off
+		}
+		out = append(out, &FileSplit{
+			Path:   f.Path,
+			Offset: off,
+			Len:    length,
+			Hosts:  hostsOverlapping(info.Blocks, off, length),
+		})
+	}
+	return out, nil
+}
+
+func hostsOverlapping(blocks []dfs.BlockLocation, off, length int64) []string {
+	seen := make(map[string]bool)
+	var hosts []string
+	for _, b := range blocks {
+		if b.Offset < off+length && off < b.Offset+b.Length {
+			for _, h := range b.Hosts {
+				if !seen[h] {
+					seen[h] = true
+					hosts = append(hosts, h)
+				}
+			}
+		}
+	}
+	return hosts
+}
+
+// Open implements InputFormat.
+func (f *TextTableFormat) Open(split InputSplit, readerNode *cluster.Node) (RecordReader, error) {
+	fsplit, ok := split.(*FileSplit)
+	if !ok {
+		return nil, fmt.Errorf("hadoopfmt: TextTableFormat cannot open %T", split)
+	}
+	info, err := f.FS.Stat(fsplit.Path)
+	if err != nil {
+		return nil, err
+	}
+	// Read from the split start to EOF: the reader must be able to finish
+	// the final line even when it crosses the split boundary (the standard
+	// Hadoop TextInputFormat convention).
+	rd, err := f.FS.OpenRange(fsplit.Path, fsplit.Offset, info.Size-fsplit.Offset, readerNode)
+	if err != nil {
+		return nil, err
+	}
+	lr := &lineRecordReader{
+		r:      bufio.NewReaderSize(rd, 64<<10),
+		closer: rd,
+		schema: f.TableSchema,
+		limit:  fsplit.Len,
+	}
+	if fsplit.Offset > 0 {
+		// Skip the (partial) first line: it belongs to the previous split.
+		skipped, err := lr.r.ReadString('\n')
+		if err == io.EOF {
+			lr.done = true
+		} else if err != nil {
+			rd.Close()
+			return nil, err
+		}
+		lr.consumed += int64(len(skipped))
+	}
+	return lr, nil
+}
+
+// lineRecordReader yields one row per text line. A split owns every line
+// that *starts* strictly inside it (plus the line starting at offset 0 when
+// the split begins the file), so adjacent splits partition lines exactly.
+type lineRecordReader struct {
+	r        *bufio.Reader
+	closer   io.Closer
+	schema   row.Schema
+	limit    int64 // bytes of the split; lines starting beyond it belong to the next split
+	consumed int64
+	done     bool
+}
+
+// Next implements RecordReader.
+func (l *lineRecordReader) Next() (row.Row, bool, error) {
+	if l.done || l.consumed > l.limit {
+		return nil, false, nil
+	}
+	line, err := l.r.ReadString('\n')
+	if err == io.EOF {
+		l.done = true
+		if line == "" {
+			return nil, false, nil
+		}
+	} else if err != nil {
+		return nil, false, err
+	}
+	l.consumed += int64(len(line))
+	if n := len(line); n > 0 && line[n-1] == '\n' {
+		line = line[:n-1]
+	}
+	r, derr := row.DecodeLine(line, l.schema)
+	if derr != nil {
+		return nil, false, fmt.Errorf("hadoopfmt: %s: %w", l.schema, derr)
+	}
+	return r, true, nil
+}
+
+// Close implements RecordReader.
+func (l *lineRecordReader) Close() error {
+	if l.closer != nil {
+		return l.closer.Close()
+	}
+	return nil
+}
+
+// WriteTextTable writes rows to a DFS path in the text table format,
+// returning the number of bytes written. It is the common sink used by the
+// SQL engine's DFS export and the MapReduce output stage.
+func WriteTextTable(fs *dfs.FileSystem, path string, schema row.Schema, rows []row.Row, node *cluster.Node) (int64, error) {
+	w, err := fs.Create(path, node)
+	if err != nil {
+		return 0, err
+	}
+	var buf []byte
+	var total int64
+	for _, r := range rows {
+		if err := r.Conforms(schema); err != nil {
+			w.Abort()
+			return 0, err
+		}
+		buf = row.AppendLine(buf[:0], r)
+		if _, err := w.Write(buf); err != nil {
+			w.Abort()
+			return 0, err
+		}
+		total += int64(len(buf))
+	}
+	if err := w.Close(); err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+// ReadAll drains an InputFormat completely (all splits, sequentially) and
+// returns the rows. It is a convenience for tests and small inputs.
+func ReadAll(f InputFormat, node *cluster.Node) ([]row.Row, error) {
+	splits, err := f.Splits(0)
+	if err != nil {
+		return nil, err
+	}
+	var out []row.Row
+	for _, s := range splits {
+		rr, err := f.Open(s, node)
+		if err != nil {
+			return nil, err
+		}
+		for {
+			r, ok, err := rr.Next()
+			if err != nil {
+				rr.Close()
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			out = append(out, r)
+		}
+		if err := rr.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// SliceFormat adapts an in-memory row slice to InputFormat; used by tests
+// and by the MapReduce engine for small side inputs.
+type SliceFormat struct {
+	Rows      []row.Row
+	RowSchema row.Schema
+	// Hosts optionally pins every split's locality.
+	Hosts []string
+}
+
+// Schema implements InputFormat.
+func (s *SliceFormat) Schema() (row.Schema, error) { return s.RowSchema, nil }
+
+// Splits implements InputFormat, dividing the slice into numSplits runs.
+func (s *SliceFormat) Splits(numSplits int) ([]InputSplit, error) {
+	if numSplits <= 0 {
+		numSplits = 1
+	}
+	if numSplits > len(s.Rows) {
+		numSplits = len(s.Rows)
+	}
+	if numSplits == 0 {
+		return nil, nil
+	}
+	var out []InputSplit
+	per := (len(s.Rows) + numSplits - 1) / numSplits
+	for off := 0; off < len(s.Rows); off += per {
+		end := off + per
+		if end > len(s.Rows) {
+			end = len(s.Rows)
+		}
+		out = append(out, &sliceSplit{rows: s.Rows[off:end], hosts: s.Hosts, id: off})
+	}
+	return out, nil
+}
+
+// Open implements InputFormat.
+func (s *SliceFormat) Open(split InputSplit, _ *cluster.Node) (RecordReader, error) {
+	ss, ok := split.(*sliceSplit)
+	if !ok {
+		return nil, fmt.Errorf("hadoopfmt: SliceFormat cannot open %T", split)
+	}
+	return &sliceReader{rows: ss.rows}, nil
+}
+
+type sliceSplit struct {
+	rows  []row.Row
+	hosts []string
+	id    int
+}
+
+func (s *sliceSplit) Locations() []string { return s.hosts }
+func (s *sliceSplit) Length() int64       { return int64(len(s.rows)) }
+func (s *sliceSplit) String() string      { return fmt.Sprintf("slice@%d(%d rows)", s.id, len(s.rows)) }
+
+type sliceReader struct {
+	rows []row.Row
+	i    int
+}
+
+func (r *sliceReader) Next() (row.Row, bool, error) {
+	if r.i >= len(r.rows) {
+		return nil, false, nil
+	}
+	out := r.rows[r.i]
+	r.i++
+	return out, true, nil
+}
+
+func (r *sliceReader) Close() error { return nil }
+
+// RetryableError marks a split-read failure that the consuming system
+// should handle by re-executing the task: re-open the split with a fresh
+// reader and discard any partially accumulated rows. The parallel streaming
+// transfer uses it to signal the paper's §6 restart protocol (restart the
+// SQL worker and all of its ML workers) to the ML engine.
+type RetryableError struct {
+	Err error
+}
+
+// Error implements error.
+func (e *RetryableError) Error() string { return "retryable: " + e.Err.Error() }
+
+// Unwrap supports errors.Is/As.
+func (e *RetryableError) Unwrap() error { return e.Err }
+
+// IsRetryable reports whether err (or anything it wraps) is a
+// RetryableError.
+func IsRetryable(err error) bool {
+	var re *RetryableError
+	return errors.As(err, &re)
+}

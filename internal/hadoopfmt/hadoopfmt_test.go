@@ -1,0 +1,273 @@
+package hadoopfmt
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"sqlml/internal/cluster"
+	"sqlml/internal/dfs"
+	"sqlml/internal/row"
+)
+
+func tableSchema() row.Schema {
+	return row.MustSchema(
+		row.Column{Name: "id", Type: row.TypeInt},
+		row.Column{Name: "name", Type: row.TypeString},
+	)
+}
+
+func makeRows(n int, rng *rand.Rand) []row.Row {
+	names := []string{"alice", "bob", "carol", "with,comma", `with"quote`, "", "longer-name-to-vary-line-lengths"}
+	rows := make([]row.Row, n)
+	for i := range rows {
+		name := row.String_(names[rng.Intn(len(names))])
+		if rng.Intn(10) == 0 {
+			name = row.NullOf(row.TypeString)
+		}
+		rows[i] = row.Row{row.Int(int64(i)), name}
+	}
+	return rows
+}
+
+func writeTable(t testing.TB, fs *dfs.FileSystem, path string, rows []row.Row) {
+	t.Helper()
+	if _, err := WriteTextTable(fs, path, tableSchema(), rows, fs.Topology().Node(0)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func collect(t testing.TB, f InputFormat, splits []InputSplit, node *cluster.Node) []row.Row {
+	t.Helper()
+	var out []row.Row
+	for _, s := range splits {
+		rr, err := f.Open(s, node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			r, ok, err := rr.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			out = append(out, r)
+		}
+		rr.Close()
+	}
+	return out
+}
+
+func idsOf(rows []row.Row) []int64 {
+	ids := make([]int64, len(rows))
+	for i, r := range rows {
+		ids[i] = r[0].AsInt()
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func TestReadAllMatchesWritten(t *testing.T) {
+	topo := cluster.NewTopology(3)
+	fs := dfs.New(topo, dfs.Config{BlockSize: 64, Replication: 2})
+	rng := rand.New(rand.NewSource(1))
+	rows := makeRows(200, rng)
+	writeTable(t, fs, "/tbl", rows)
+	f := NewTextTableFormat(fs, "/tbl", tableSchema())
+	got, err := ReadAll(f, topo.Node(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("got %d rows, want %d", len(got), len(rows))
+	}
+	for i := range got {
+		if !got[i].Equal(rows[i]) {
+			t.Fatalf("row %d mismatch: %v vs %v", i, got[i], rows[i])
+		}
+	}
+}
+
+// TestSplitsPartitionLinesExactly is the critical Hadoop-semantics test:
+// for every requested split count, the union of rows over splits must equal
+// the table with no duplicates or losses, regardless of where byte
+// boundaries land relative to lines.
+func TestSplitsPartitionLinesExactly(t *testing.T) {
+	topo := cluster.NewTopology(3)
+	fs := dfs.New(topo, dfs.Config{BlockSize: 37, Replication: 1})
+	rng := rand.New(rand.NewSource(7))
+	rows := makeRows(150, rng)
+	writeTable(t, fs, "/part", rows)
+	f := NewTextTableFormat(fs, "/part", tableSchema())
+
+	for _, numSplits := range []int{1, 2, 3, 5, 8, 13, 50} {
+		splits, err := f.Splits(numSplits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := collect(t, f, splits, topo.Node(0))
+		ids := idsOf(got)
+		if len(ids) != len(rows) {
+			t.Fatalf("numSplits=%d: got %d rows, want %d", numSplits, len(ids), len(rows))
+		}
+		for i, id := range ids {
+			if id != int64(i) {
+				t.Fatalf("numSplits=%d: ids[%d]=%d (duplicate or lost row)", numSplits, i, id)
+			}
+		}
+	}
+}
+
+func TestBlockAlignedSplitsCarryLocality(t *testing.T) {
+	topo := cluster.NewTopology(4)
+	fs := dfs.New(topo, dfs.Config{BlockSize: 53, Replication: 2})
+	rng := rand.New(rand.NewSource(3))
+	writeTable(t, fs, "/loc", makeRows(100, rng))
+	f := NewTextTableFormat(fs, "/loc", tableSchema())
+	splits, err := f.Splits(0) // block-aligned
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) < 2 {
+		t.Fatalf("expected multiple block splits, got %d", len(splits))
+	}
+	for _, s := range splits {
+		if len(s.Locations()) != 2 {
+			t.Errorf("split %s has %d locations, want 2 (replication)", s, len(s.Locations()))
+		}
+	}
+	got := collect(t, f, splits, topo.Node(0))
+	if len(got) != 100 {
+		t.Errorf("block splits returned %d rows, want 100", len(got))
+	}
+}
+
+func TestEmptyTableHasNoSplits(t *testing.T) {
+	topo := cluster.NewTopology(1)
+	fs := dfs.New(topo, dfs.Config{})
+	writeTable(t, fs, "/empty", nil)
+	f := NewTextTableFormat(fs, "/empty", tableSchema())
+	splits, err := f.Splits(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) != 0 {
+		t.Errorf("empty table produced %d splits", len(splits))
+	}
+}
+
+func TestSplitsNeverExceedBytes(t *testing.T) {
+	topo := cluster.NewTopology(1)
+	fs := dfs.New(topo, dfs.Config{BlockSize: 1024})
+	writeTable(t, fs, "/tiny", makeRows(2, rand.New(rand.NewSource(1))))
+	f := NewTextTableFormat(fs, "/tiny", tableSchema())
+	splits, err := f.Splits(1000) // far more than bytes in the file
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, f, splits, topo.Node(0))
+	if len(got) != 2 {
+		t.Errorf("oversplit table returned %d rows, want 2", len(got))
+	}
+}
+
+func TestPartitionProperty(t *testing.T) {
+	topo := cluster.NewTopology(2)
+	i := 0
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fs := dfs.New(topo, dfs.Config{BlockSize: int64(16 + rng.Intn(100)), Replication: 1})
+		n := 1 + rng.Intn(80)
+		rows := makeRows(n, rng)
+		i++
+		path := fmt.Sprintf("/p/%d", i)
+		if _, err := WriteTextTable(fs, path, tableSchema(), rows, topo.Node(0)); err != nil {
+			return false
+		}
+		fm := NewTextTableFormat(fs, path, tableSchema())
+		numSplits := 1 + rng.Intn(12)
+		splits, err := fm.Splits(numSplits)
+		if err != nil {
+			return false
+		}
+		var got []row.Row
+		for _, s := range splits {
+			rr, err := fm.Open(s, topo.Node(rng.Intn(2)))
+			if err != nil {
+				return false
+			}
+			for {
+				r, ok, err := rr.Next()
+				if err != nil {
+					return false
+				}
+				if !ok {
+					break
+				}
+				got = append(got, r)
+			}
+			rr.Close()
+		}
+		ids := idsOf(got)
+		if len(ids) != n {
+			return false
+		}
+		for j, id := range ids {
+			if id != int64(j) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSliceFormat(t *testing.T) {
+	rows := makeRows(10, rand.New(rand.NewSource(2)))
+	sf := &SliceFormat{Rows: rows, RowSchema: tableSchema(), Hosts: []string{"10.0.0.1"}}
+	splits, err := sf.Splits(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) != 3 {
+		t.Fatalf("splits = %d", len(splits))
+	}
+	if splits[0].Locations()[0] != "10.0.0.1" {
+		t.Error("locality not propagated")
+	}
+	got := collect(t, sf, splits, nil)
+	if len(got) != 10 {
+		t.Errorf("slice format returned %d rows", len(got))
+	}
+	if _, err := (&SliceFormat{}).Splits(4); err != nil {
+		t.Errorf("empty slice format: %v", err)
+	}
+}
+
+func TestWriteTextTableRejectsNonConformingRows(t *testing.T) {
+	topo := cluster.NewTopology(1)
+	fs := dfs.New(topo, dfs.Config{})
+	bad := []row.Row{{row.String_("not-an-int"), row.String_("x")}}
+	if _, err := WriteTextTable(fs, "/bad", tableSchema(), bad, topo.Node(0)); err == nil {
+		t.Error("non-conforming row accepted")
+	}
+	if fs.Exists("/bad") {
+		t.Error("aborted write left a file behind")
+	}
+}
+
+func TestOpenRejectsForeignSplitType(t *testing.T) {
+	topo := cluster.NewTopology(1)
+	fs := dfs.New(topo, dfs.Config{})
+	writeTable(t, fs, "/x", makeRows(1, rand.New(rand.NewSource(1))))
+	f := NewTextTableFormat(fs, "/x", tableSchema())
+	if _, err := f.Open(&sliceSplit{}, nil); err == nil {
+		t.Error("foreign split type accepted")
+	}
+}

@@ -1,0 +1,480 @@
+// Package mapred implements a MapReduce engine over the simulated DFS:
+// locality-aware map task placement over InputSplits, a hash-partitioned
+// shuffle with network cost charging, sorted reduce groups, and text-table
+// output, one part file per reduce (or map) task.
+//
+// It stands in for the Hadoop MapReduce deployment of the paper's testbed:
+// the naive pipeline's external transformation tool (internal/jaql) runs on
+// it, and the "Mahout analog" naive Bayes trainer in internal/ml/mrnb shows
+// that the streaming transfer feeds MapReduce-based ML systems through the
+// same InputFormat seam.
+package mapred
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"sqlml/internal/cluster"
+	"sqlml/internal/dfs"
+	"sqlml/internal/hadoopfmt"
+	"sqlml/internal/row"
+)
+
+// Mapper transforms one input row into zero or more keyed rows.
+type Mapper interface {
+	Map(r row.Row, emit func(key string, value row.Row) error) error
+}
+
+// MapperFunc adapts a function to Mapper.
+type MapperFunc func(r row.Row, emit func(key string, value row.Row) error) error
+
+// Map implements Mapper.
+func (f MapperFunc) Map(r row.Row, emit func(key string, value row.Row) error) error {
+	return f(r, emit)
+}
+
+// Reducer folds all rows sharing a key into zero or more output rows.
+type Reducer interface {
+	Reduce(key string, values []row.Row, emit func(row.Row) error) error
+}
+
+// ReducerFunc adapts a function to Reducer.
+type ReducerFunc func(key string, values []row.Row, emit func(row.Row) error) error
+
+// Reduce implements Reducer.
+func (f ReducerFunc) Reduce(key string, values []row.Row, emit func(row.Row) error) error {
+	return f(key, values, emit)
+}
+
+// Job describes one MapReduce job.
+type Job struct {
+	Name   string
+	Input  hadoopfmt.InputFormat
+	Mapper Mapper
+	// Reducer may be nil for a map-only job (output written per map task).
+	Reducer     Reducer
+	NumReducers int
+	// Combiner, when set, pre-aggregates each map task's output per key
+	// before the shuffle (Hadoop's combiner contract: it must be
+	// associative and emit rows the Reducer accepts as values).
+	Combiner Reducer
+
+	// OutputPath is a DFS directory; part files are written beneath it.
+	OutputPath   string
+	OutputSchema row.Schema
+
+	// Cluster resources: the nodes running task slots, the DFS for output,
+	// and the cost model charged for shuffle traffic.
+	Topo      *cluster.Topology
+	FS        *dfs.FileSystem
+	Cost      *cluster.CostModel
+	TaskNodes []int
+	// SlotsPerNode bounds concurrent tasks per node (the paper's testbed
+	// ran 9 map slots per server). Defaults to 2.
+	SlotsPerNode int
+	// StartupDelay is the fixed per-job scheduling/startup overhead charged
+	// to the cost model (Hadoop jobs pay tens of seconds of JVM spin-up and
+	// JobTracker scheduling before any task runs).
+	StartupDelay time.Duration
+}
+
+// Stats reports job counters.
+type Stats struct {
+	MapTasks     int
+	ReduceTasks  int
+	InputRows    int64
+	MapOutputs   int64
+	OutputRows   int64
+	ShuffleBytes int64
+}
+
+// Run executes the job synchronously and returns its counters.
+func Run(job *Job) (*Stats, error) {
+	if err := validate(job); err != nil {
+		return nil, err
+	}
+	splits, err := job.Input.Splits(0)
+	if err != nil {
+		return nil, fmt.Errorf("mapred: %s: %w", job.Name, err)
+	}
+	stats := &Stats{MapTasks: len(splits)}
+
+	nodes := make([]*cluster.Node, len(job.TaskNodes))
+	for i, id := range job.TaskNodes {
+		nodes[i] = job.Topo.Node(id)
+	}
+	assignments := assign(splits, nodes)
+	job.Cost.ChargeDelay(nodes[0], job.StartupDelay)
+
+	numReducers := job.NumReducers
+	if job.Reducer == nil {
+		numReducers = 0
+	} else if numReducers <= 0 {
+		numReducers = len(nodes)
+	}
+	stats.ReduceTasks = numReducers
+
+	// Map phase. Each task partitions its output by key hash across the
+	// reducers (or keeps it whole for map-only jobs).
+	type mapOutput struct {
+		node    *cluster.Node
+		buckets [][]pair // len == numReducers (or 1 for map-only)
+	}
+	outputs := make([]mapOutput, len(splits))
+	slots := job.SlotsPerNode
+	if slots <= 0 {
+		slots = 2
+	}
+	sem := make(chan struct{}, slots*len(nodes))
+	var wg sync.WaitGroup
+	errs := make([]error, len(splits))
+	var inputRows, mapOutputs atomicCounter
+	for i := range splits {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			node := assignments[i]
+			nb := numReducers
+			if nb == 0 {
+				nb = 1
+			}
+			buckets := make([][]pair, nb)
+			rr, err := job.Input.Open(splits[i], node)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer rr.Close()
+			emit := func(key string, value row.Row) error {
+				mapOutputs.add(1)
+				b := 0
+				if numReducers > 0 {
+					b = int(hashString(key) % uint64(numReducers))
+				}
+				buckets[b] = append(buckets[b], pair{key: key, value: value})
+				return nil
+			}
+			taskBytes := 0
+			for {
+				r, ok, err := rr.Next()
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if !ok {
+					break
+				}
+				inputRows.add(1)
+				taskBytes += approxRowBytes(r)
+				if err := job.Mapper.Map(r, emit); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+			// A map task is one processing pass over its split.
+			job.Cost.ChargeProc(node, taskBytes)
+			if job.Combiner != nil && numReducers > 0 {
+				for b := range buckets {
+					combined, err := combine(job.Combiner, buckets[b])
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					buckets[b] = combined
+				}
+			}
+			outputs[i] = mapOutput{node: node, buckets: buckets}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("mapred: %s: map task: %w", job.Name, err)
+		}
+	}
+	stats.InputRows = inputRows.get()
+	stats.MapOutputs = mapOutputs.get()
+
+	if job.Reducer == nil {
+		// Map-only: write one part file per map task from its node.
+		var outputRows atomicCounter
+		err := forEach(len(splits), func(i int) error {
+			rows := make([]row.Row, 0, len(outputs[i].buckets[0]))
+			for _, p := range outputs[i].buckets[0] {
+				rows = append(rows, p.value)
+			}
+			outputRows.add(int64(len(rows)))
+			path := fmt.Sprintf("%s/part-m-%05d", job.OutputPath, i)
+			_, err := hadoopfmt.WriteTextTable(job.FS, path, job.OutputSchema, rows, outputs[i].node)
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("mapred: %s: %w", job.Name, err)
+		}
+		stats.OutputRows = outputRows.get()
+		return stats, nil
+	}
+
+	// Shuffle: reducer r (on nodes[r % len]) pulls bucket r of every map
+	// output; remote pulls are charged to the network.
+	reduceNodes := make([]*cluster.Node, numReducers)
+	for r := 0; r < numReducers; r++ {
+		reduceNodes[r] = nodes[r%len(nodes)]
+	}
+	shuffled := make([][]pair, numReducers)
+	var shuffleBytes int64
+	for r := 0; r < numReducers; r++ {
+		for _, mo := range outputs {
+			b := mo.buckets[r]
+			if len(b) == 0 {
+				continue
+			}
+			if mo.node != reduceNodes[r] {
+				bytes := 0
+				for _, p := range b {
+					bytes += len(p.key) + approxRowBytes(p.value)
+				}
+				job.Cost.ChargeNet(mo.node, reduceNodes[r], bytes)
+				shuffleBytes += int64(bytes)
+			}
+			shuffled[r] = append(shuffled[r], b...)
+		}
+	}
+	stats.ShuffleBytes = shuffleBytes
+
+	// Reduce phase: sort by key, group, reduce, write part files.
+	var outputRows atomicCounter
+	err = forEach(numReducers, func(r int) error {
+		ps := shuffled[r]
+		reduceBytes := 0
+		for _, p := range ps {
+			reduceBytes += len(p.key) + approxRowBytes(p.value)
+		}
+		// A reduce task is one processing pass over its shuffled input.
+		job.Cost.ChargeProc(reduceNodes[r], reduceBytes)
+		sort.SliceStable(ps, func(i, j int) bool { return ps[i].key < ps[j].key })
+		var rows []row.Row
+		emit := func(out row.Row) error {
+			rows = append(rows, out)
+			return nil
+		}
+		for i := 0; i < len(ps); {
+			j := i
+			for j < len(ps) && ps[j].key == ps[i].key {
+				j++
+			}
+			vals := make([]row.Row, 0, j-i)
+			for _, p := range ps[i:j] {
+				vals = append(vals, p.value)
+			}
+			if err := job.Reducer.Reduce(ps[i].key, vals, emit); err != nil {
+				return err
+			}
+			i = j
+		}
+		outputRows.add(int64(len(rows)))
+		path := fmt.Sprintf("%s/part-r-%05d", job.OutputPath, r)
+		_, err := hadoopfmt.WriteTextTable(job.FS, path, job.OutputSchema, rows, reduceNodes[r])
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mapred: %s: reduce: %w", job.Name, err)
+	}
+	stats.OutputRows = outputRows.get()
+	return stats, nil
+}
+
+func validate(job *Job) error {
+	switch {
+	case job == nil:
+		return fmt.Errorf("mapred: nil job")
+	case job.Input == nil:
+		return fmt.Errorf("mapred: %s: no input format", job.Name)
+	case job.Mapper == nil:
+		return fmt.Errorf("mapred: %s: no mapper", job.Name)
+	case job.FS == nil || job.Topo == nil:
+		return fmt.Errorf("mapred: %s: no cluster resources", job.Name)
+	case len(job.TaskNodes) == 0:
+		return fmt.Errorf("mapred: %s: no task nodes", job.Name)
+	case job.OutputPath == "":
+		return fmt.Errorf("mapred: %s: no output path", job.Name)
+	case job.OutputSchema.Len() == 0:
+		return fmt.Errorf("mapred: %s: no output schema", job.Name)
+	}
+	return nil
+}
+
+type pair struct {
+	key   string
+	value row.Row
+}
+
+// assign places each split on the least-loaded node among its locality
+// hosts, falling back to the least-loaded node overall.
+func assign(splits []hadoopfmt.InputSplit, nodes []*cluster.Node) []*cluster.Node {
+	loads := make([]int64, len(nodes))
+	out := make([]*cluster.Node, len(splits))
+	for i, sp := range splits {
+		best := -1
+		for ni, n := range nodes {
+			local := false
+			for _, loc := range sp.Locations() {
+				if n.Addr == loc {
+					local = true
+					break
+				}
+			}
+			if local && (best < 0 || loads[ni] < loads[best]) {
+				best = ni
+			}
+		}
+		if best < 0 {
+			best = 0
+			for ni := range nodes {
+				if loads[ni] < loads[best] {
+					best = ni
+				}
+			}
+		}
+		loads[best] += sp.Length()
+		out[i] = nodes[best]
+	}
+	return out
+}
+
+func hashString(s string) uint64 {
+	// FNV-1a inline to avoid allocation.
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func approxRowBytes(r row.Row) int {
+	n := 4
+	for _, v := range r {
+		if v.Kind == row.TypeString && !v.Null {
+			n += 5 + len(v.AsString())
+		} else {
+			n += 9
+		}
+	}
+	return n
+}
+
+func forEach(n int, f func(int) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = f(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type atomicCounter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (c *atomicCounter) add(d int64) {
+	c.mu.Lock()
+	c.n += d
+	c.mu.Unlock()
+}
+
+func (c *atomicCounter) get() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Output returns an InputFormat reading a finished job's output directory.
+func Output(job *Job) hadoopfmt.InputFormat {
+	return &dirFormat{fs: job.FS, dir: job.OutputPath, schema: job.OutputSchema}
+}
+
+// DirFormat returns an InputFormat over every part file under a DFS
+// directory, with block-aligned splits.
+func DirFormat(fs *dfs.FileSystem, dir string, schema row.Schema) hadoopfmt.InputFormat {
+	return &dirFormat{fs: fs, dir: dir, schema: schema}
+}
+
+type dirFormat struct {
+	fs     *dfs.FileSystem
+	dir    string
+	schema row.Schema
+}
+
+func (d *dirFormat) Schema() (row.Schema, error) { return d.schema, nil }
+
+func (d *dirFormat) Splits(numSplits int) ([]hadoopfmt.InputSplit, error) {
+	files := d.fs.List(d.dir)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("mapred: no part files under %q", d.dir)
+	}
+	var out []hadoopfmt.InputSplit
+	for _, f := range files {
+		fm := hadoopfmt.NewTextTableFormat(d.fs, f, d.schema)
+		splits, err := fm.Splits(0)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, splits...)
+	}
+	return out, nil
+}
+
+func (d *dirFormat) Open(split hadoopfmt.InputSplit, node *cluster.Node) (hadoopfmt.RecordReader, error) {
+	fsplit, ok := split.(*hadoopfmt.FileSplit)
+	if !ok {
+		return nil, fmt.Errorf("mapred: dirFormat cannot open %T", split)
+	}
+	fm := hadoopfmt.NewTextTableFormat(d.fs, fsplit.Path, d.schema)
+	return fm.Open(split, node)
+}
+
+// combine groups one bucket by key and runs the combiner per group,
+// producing the pre-aggregated bucket that enters the shuffle.
+func combine(c Reducer, bucket []pair) ([]pair, error) {
+	if len(bucket) == 0 {
+		return bucket, nil
+	}
+	sort.SliceStable(bucket, func(i, j int) bool { return bucket[i].key < bucket[j].key })
+	var out []pair
+	for i := 0; i < len(bucket); {
+		j := i
+		for j < len(bucket) && bucket[j].key == bucket[i].key {
+			j++
+		}
+		vals := make([]row.Row, 0, j-i)
+		for _, p := range bucket[i:j] {
+			vals = append(vals, p.value)
+		}
+		key := bucket[i].key
+		emit := func(r row.Row) error {
+			out = append(out, pair{key: key, value: r})
+			return nil
+		}
+		if err := c.Reduce(key, vals, emit); err != nil {
+			return nil, err
+		}
+		i = j
+	}
+	return out, nil
+}

@@ -1,0 +1,172 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// KMeansConfig configures Lloyd's algorithm.
+type KMeansConfig struct {
+	K          int
+	Iterations int
+	Tolerance  float64 // stop when no center moves more than this
+	Seed       int64
+}
+
+// DefaultKMeans returns sensible defaults.
+func DefaultKMeans(k int) KMeansConfig {
+	return KMeansConfig{K: k, Iterations: 50, Tolerance: 1e-6, Seed: 42}
+}
+
+// KMeansModel holds trained cluster centers.
+type KMeansModel struct {
+	Centers    [][]float64
+	Iterations int
+	// Cost is the final within-cluster sum of squared distances.
+	Cost float64
+}
+
+// Predict returns the index of the nearest center.
+func (m *KMeansModel) Predict(x []float64) int {
+	best, bestD := 0, math.Inf(1)
+	for i, c := range m.Centers {
+		d := sqDist(x, c)
+		if d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// TrainKMeans clusters the dataset's feature vectors (labels ignored) with
+// the distributed Lloyd iteration: parallel assignment and partial sums per
+// partition, merged center updates.
+func TrainKMeans(d *Dataset, cfg KMeansConfig) (*KMeansModel, error) {
+	n := d.NumRows()
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("ml: k must be positive")
+	}
+	if n < cfg.K {
+		return nil, fmt.Errorf("ml: %d points for k=%d", n, cfg.K)
+	}
+	dim := d.NumFeatures
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Seed centers with k distinct random points.
+	all := make([]int, 0, len(d.Parts)) // partition offsets
+	offset := 0
+	for _, p := range d.Parts {
+		all = append(all, offset)
+		offset += len(p)
+	}
+	pointAt := func(global int) LabeledPoint {
+		for i := len(all) - 1; i >= 0; i-- {
+			if global >= all[i] {
+				return d.Parts[i][global-all[i]]
+			}
+		}
+		panic("unreachable")
+	}
+	centers := make([][]float64, cfg.K)
+	seen := make(map[int]bool)
+	for i := 0; i < cfg.K; {
+		g := rng.Intn(n)
+		if seen[g] {
+			continue
+		}
+		seen[g] = true
+		centers[i] = append([]float64(nil), pointAt(g).Features...)
+		i++
+	}
+
+	type partial struct {
+		sums   [][]float64
+		counts []int64
+		cost   float64
+	}
+	iters := 0
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		iters = iter + 1
+		partials := make([]*partial, len(d.Parts))
+		forEachPart(len(d.Parts), func(i int) error {
+			p := &partial{sums: make([][]float64, cfg.K), counts: make([]int64, cfg.K)}
+			for k := range p.sums {
+				p.sums[k] = make([]float64, dim)
+			}
+			for _, pt := range d.Parts[i] {
+				best, bestD := 0, math.Inf(1)
+				for k, c := range centers {
+					dd := sqDist(pt.Features, c)
+					if dd < bestD {
+						best, bestD = k, dd
+					}
+				}
+				p.counts[best]++
+				p.cost += bestD
+				for j, x := range pt.Features {
+					p.sums[best][j] += x
+				}
+			}
+			partials[i] = p
+			return nil
+		})
+		sums := make([][]float64, cfg.K)
+		counts := make([]int64, cfg.K)
+		cost := 0.0
+		for k := range sums {
+			sums[k] = make([]float64, dim)
+		}
+		for _, p := range partials {
+			cost += p.cost
+			for k := range sums {
+				counts[k] += p.counts[k]
+				for j := range sums[k] {
+					sums[k][j] += p.sums[k][j]
+				}
+			}
+		}
+		maxMove := 0.0
+		for k := range centers {
+			if counts[k] == 0 {
+				continue // empty cluster keeps its center
+			}
+			move := 0.0
+			for j := range centers[k] {
+				next := sums[k][j] / float64(counts[k])
+				diff := next - centers[k][j]
+				move += diff * diff
+				centers[k][j] = next
+			}
+			if move > maxMove {
+				maxMove = move
+			}
+		}
+		if math.Sqrt(maxMove) <= cfg.Tolerance {
+			return &KMeansModel{Centers: centers, Iterations: iters, Cost: cost}, nil
+		}
+	}
+	// Final cost with the converged centers.
+	cost := 0.0
+	for _, part := range d.Parts {
+		for _, pt := range part {
+			bestD := math.Inf(1)
+			for _, c := range centers {
+				if dd := sqDist(pt.Features, c); dd < bestD {
+					bestD = dd
+				}
+			}
+			cost += bestD
+		}
+	}
+	return &KMeansModel{Centers: centers, Iterations: iters, Cost: cost}, nil
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,138 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+
+	"sqlml/internal/cluster"
+	"sqlml/internal/dfs"
+	"sqlml/internal/hadoopfmt"
+	"sqlml/internal/mapred"
+	"sqlml/internal/row"
+)
+
+// MREnv is the cluster environment a MapReduce-trained model runs on.
+type MREnv struct {
+	Topo      *cluster.Topology
+	FS        *dfs.FileSystem
+	Cost      *cluster.CostModel
+	TaskNodes []int
+}
+
+// TrainNaiveBayesMR trains multinomial naive Bayes as a MapReduce job —
+// the repository's Mahout analog. It consumes ANY InputFormat (a DFS table
+// or the parallel streaming transfer alike), which is exactly the paper's
+// genericity claim: an ML system whose only coupling to the SQL side is
+// the InputFormat seam.
+//
+// The job emits one record per (class) key from each mapper with partial
+// counts and feature sums; reducers merge them; the model is assembled
+// from the job output (materialised under workPath on the DFS).
+func TrainNaiveBayesMR(env *MREnv, input hadoopfmt.InputFormat, opts IngestOptions, lambda float64, workPath string) (*NaiveBayesModel, error) {
+	if env == nil || env.FS == nil || env.Topo == nil {
+		return nil, fmt.Errorf("ml: incomplete MapReduce environment")
+	}
+	if lambda <= 0 {
+		return nil, fmt.Errorf("ml: smoothing lambda must be positive")
+	}
+	schema, err := input.Schema()
+	if err != nil {
+		return nil, err
+	}
+	conv, err := newConverter(schema, opts)
+	if err != nil {
+		return nil, err
+	}
+	dim := conv.numFeatures
+
+	// Output schema: label, count, then one sum column per feature.
+	cols := []row.Column{
+		{Name: "label", Type: row.TypeFloat},
+		{Name: "count", Type: row.TypeInt},
+	}
+	for j := 0; j < dim; j++ {
+		cols = append(cols, row.Column{Name: "s" + strconv.Itoa(j), Type: row.TypeFloat})
+	}
+	outSchema, err := row.NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+
+	job := &mapred.Job{
+		Name:  "naive-bayes-train",
+		Input: input,
+		Mapper: mapred.MapperFunc(func(r row.Row, emit func(string, row.Row) error) error {
+			p, err := conv.convert(r)
+			if err != nil {
+				return err
+			}
+			out := make(row.Row, 0, dim+2)
+			out = append(out, row.Float(p.Label), row.Int(1))
+			for _, x := range p.Features {
+				if x < 0 {
+					return fmt.Errorf("ml: multinomial naive Bayes requires non-negative features, found %v", x)
+				}
+				out = append(out, row.Float(x))
+			}
+			return emit(strconv.FormatFloat(p.Label, 'g', -1, 64), out)
+		}),
+		Reducer: mapred.ReducerFunc(func(key string, values []row.Row, emit func(row.Row) error) error {
+			var count int64
+			sums := make([]float64, dim)
+			label := values[0][0]
+			for _, v := range values {
+				count += v[1].AsInt()
+				for j := 0; j < dim; j++ {
+					sums[j] += v[2+j].AsFloat()
+				}
+			}
+			out := make(row.Row, 0, dim+2)
+			out = append(out, label, row.Int(count))
+			for _, s := range sums {
+				out = append(out, row.Float(s))
+			}
+			return emit(out)
+		}),
+		NumReducers:  len(env.TaskNodes),
+		OutputPath:   workPath,
+		OutputSchema: outSchema,
+		Topo:         env.Topo,
+		FS:           env.FS,
+		Cost:         env.Cost,
+		TaskNodes:    env.TaskNodes,
+	}
+	if _, err := mapred.Run(job); err != nil {
+		return nil, err
+	}
+
+	stats, err := hadoopfmt.ReadAll(mapred.Output(job), env.Topo.Node(env.TaskNodes[0]))
+	if err != nil {
+		return nil, err
+	}
+	if len(stats) == 0 {
+		return nil, fmt.Errorf("ml: naive Bayes job produced no class statistics")
+	}
+	sort.Slice(stats, func(i, j int) bool { return stats[i][0].AsFloat() < stats[j][0].AsFloat() })
+	var total int64
+	for _, s := range stats {
+		total += s[1].AsInt()
+	}
+	model := &NaiveBayesModel{}
+	for _, s := range stats {
+		model.Labels = append(model.Labels, s[0].AsFloat())
+		model.Priors = append(model.Priors, math.Log(float64(s[1].AsInt())/float64(total)))
+		rowSum := 0.0
+		for j := 0; j < dim; j++ {
+			rowSum += s[2+j].AsFloat()
+		}
+		theta := make([]float64, dim)
+		denom := math.Log(rowSum + lambda*float64(dim))
+		for j := 0; j < dim; j++ {
+			theta[j] = math.Log(s[2+j].AsFloat()+lambda) - denom
+		}
+		model.Theta = append(model.Theta, theta)
+	}
+	return model, nil
+}

@@ -1,0 +1,157 @@
+package ml
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"sqlml/internal/cluster"
+	"sqlml/internal/dfs"
+)
+
+// Model persistence: trained models are stored on the DFS as one JSON
+// document, the way production pipelines hand models from the training
+// system to serving. The envelope carries a kind tag so loaders can
+// dispatch without out-of-band knowledge.
+
+type modelEnvelope struct {
+	Kind string          `json:"kind"`
+	Body json.RawMessage `json:"body"`
+}
+
+type linearBody struct {
+	Weights   []float64 `json:"weights"`
+	Intercept float64   `json:"intercept"`
+	Kind      int       `json:"kind"`
+	Threshold float64   `json:"threshold"`
+}
+
+type bayesBody struct {
+	Labels []float64   `json:"labels"`
+	Priors []float64   `json:"priors"`
+	Theta  [][]float64 `json:"theta"`
+}
+
+type treeBody struct {
+	Root   *treeNodeBody `json:"root"`
+	Depth  int           `json:"depth"`
+	Labels []float64     `json:"labels"`
+}
+
+type treeNodeBody struct {
+	Prediction float64       `json:"prediction"`
+	Feature    int           `json:"feature"`
+	Threshold  float64       `json:"threshold"`
+	Left       *treeNodeBody `json:"left,omitempty"`
+	Right      *treeNodeBody `json:"right,omitempty"`
+}
+
+// SaveModel writes a trained model (LinearModel, NaiveBayesModel, or
+// DecisionTreeModel) to a DFS path.
+func SaveModel(fs *dfs.FileSystem, path string, model any, node *cluster.Node) error {
+	env := modelEnvelope{}
+	var body any
+	switch m := model.(type) {
+	case *LinearModel:
+		env.Kind = "linear"
+		body = linearBody{Weights: m.Weights, Intercept: m.Intercept, Kind: int(m.kind), Threshold: m.Threshold}
+	case *NaiveBayesModel:
+		env.Kind = "naive-bayes"
+		body = bayesBody{Labels: m.Labels, Priors: m.Priors, Theta: m.Theta}
+	case *DecisionTreeModel:
+		env.Kind = "decision-tree"
+		body = treeBody{Root: encodeTree(m.Root), Depth: m.Depth, Labels: m.Labels}
+	default:
+		return fmt.Errorf("ml: cannot persist %T", model)
+	}
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	env.Body = raw
+	data, err := json.Marshal(env)
+	if err != nil {
+		return err
+	}
+	w, err := fs.Create(path, node)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(data); err != nil {
+		w.Abort()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		w.Abort()
+		return err
+	}
+	return w.Close()
+}
+
+// LoadModel reads a model back from the DFS; the concrete type depends on
+// the stored kind.
+func LoadModel(fs *dfs.FileSystem, path string, node *cluster.Node) (any, error) {
+	r, err := fs.Open(path, node)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var env modelEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("ml: corrupt model file %q: %w", path, err)
+	}
+	switch env.Kind {
+	case "linear":
+		var b linearBody
+		if err := json.Unmarshal(env.Body, &b); err != nil {
+			return nil, err
+		}
+		return &LinearModel{Weights: b.Weights, Intercept: b.Intercept, kind: linearKind(b.Kind), Threshold: b.Threshold}, nil
+	case "naive-bayes":
+		var b bayesBody
+		if err := json.Unmarshal(env.Body, &b); err != nil {
+			return nil, err
+		}
+		return &NaiveBayesModel{Labels: b.Labels, Priors: b.Priors, Theta: b.Theta}, nil
+	case "decision-tree":
+		var b treeBody
+		if err := json.Unmarshal(env.Body, &b); err != nil {
+			return nil, err
+		}
+		return &DecisionTreeModel{Root: decodeTree(b.Root), Depth: b.Depth, Labels: b.Labels}, nil
+	default:
+		return nil, fmt.Errorf("ml: unknown model kind %q in %q", env.Kind, path)
+	}
+}
+
+func encodeTree(n *TreeNode) *treeNodeBody {
+	if n == nil {
+		return nil
+	}
+	return &treeNodeBody{
+		Prediction: n.Prediction,
+		Feature:    n.Feature,
+		Threshold:  n.Threshold,
+		Left:       encodeTree(n.Left),
+		Right:      encodeTree(n.Right),
+	}
+}
+
+func decodeTree(b *treeNodeBody) *TreeNode {
+	if b == nil {
+		return nil
+	}
+	return &TreeNode{
+		Prediction: b.Prediction,
+		Feature:    b.Feature,
+		Threshold:  b.Threshold,
+		Left:       decodeTree(b.Left),
+		Right:      decodeTree(b.Right),
+	}
+}

@@ -1,0 +1,239 @@
+package rewriter
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sqlml/internal/row"
+	"sqlml/internal/transform"
+)
+
+// FullResultMatch is a successful §5.1 test: the new query can be answered
+// entirely from the cached fully-transformed table.
+type FullResultMatch struct {
+	// Projection lists the output names to select from the cached table,
+	// in the new query's order.
+	Projection []string
+	// ExtraPreds are the new query's additional conjuncts, expressed over
+	// the cached table's column names (categorical equality predicates are
+	// translated through the recode map — 'F' becomes its code).
+	ExtraPreds []string
+}
+
+// MatchFullResult applies the paper's §5.1 conditions deciding whether the
+// cached query's fully transformed result answers the new query:
+//
+//  1. same FROM tables, same join conditions, and same predicates;
+//  2. the new projection is a subset of the cached projection;
+//  3. additional conjunctive predicates touch only cached projected fields.
+//
+// cachedSpec and cachedMap describe the transformation applied to the
+// cached result, so extra predicates can be translated onto it; columns
+// that were expanded by dummy/effect/orthogonal coding no longer exist as
+// single columns, so predicates and projections on them are rejected.
+func MatchFullResult(cached, next *QueryInfo, cachedSpec transform.Spec, cachedMap *transform.RecodeMap) (*FullResultMatch, bool) {
+	if !SameJoinStructure(cached, next) {
+		return nil, false
+	}
+	// Condition 2: projected subset (by canonical source).
+	cachedProj := cached.ProjectedSources()
+	coded := make(map[string]bool)
+	for _, c := range cachedSpec.CodeCols {
+		coded[strings.ToLower(c)] = true
+	}
+	recoded := make(map[string]bool)
+	for _, c := range cachedSpec.RecodeCols {
+		recoded[strings.ToLower(c)] = true
+	}
+	scaled := make(map[string]bool)
+	for _, c := range cachedSpec.ScaleCols {
+		scaled[strings.ToLower(c)] = true
+	}
+	var projection []string
+	for _, p := range next.Projected {
+		name, ok := cachedProj[p.Source]
+		if !ok {
+			return nil, false
+		}
+		if coded[name] {
+			// The column was expanded into name_1..name_w on the cached
+			// table; project the whole expansion (the identical-query case
+			// of the paper: rerun different classifiers on the same data).
+			if cachedMap == nil {
+				return nil, false
+			}
+			w, err := transform.CodedWidth(cachedSpec.Coding, cachedMap.Cardinality(name))
+			if err != nil {
+				return nil, false
+			}
+			for i := 1; i <= w; i++ {
+				projection = append(projection, fmt.Sprintf("%s_%d", name, i))
+			}
+			continue
+		}
+		projection = append(projection, name)
+	}
+
+	// Condition 1 on predicates: every cached predicate must appear in the
+	// new query; condition 3: the extras must touch only projected fields.
+	cachedSet := make(map[string]bool, len(cached.PredAll))
+	for _, s := range cached.PredAll {
+		cachedSet[s] = true
+	}
+	nextSet := make(map[string]bool, len(next.PredAll))
+	for _, s := range next.PredAll {
+		nextSet[s] = true
+	}
+	for s := range cachedSet {
+		if !nextSet[s] {
+			return nil, false
+		}
+	}
+	var extras []string
+	for col, preds := range next.Predicates {
+		for _, p := range preds {
+			if cachedSet[p.Raw] {
+				continue
+			}
+			// Extra predicate: must be on a single cached projected field.
+			name, ok := cachedProj[col]
+			if !ok || !p.Simple {
+				return nil, false
+			}
+			if scaled[name] {
+				// The cached column holds scaled values; the predicate's
+				// literal is in original units and cannot be applied.
+				return nil, false
+			}
+			if coded[name] {
+				// The column was expanded; only dummy coding keeps
+				// equality predicates answerable (gender = 'F' becomes
+				// gender_<code of F> = 1).
+				rendered, ok := renderPredOnDummy(p, name, cachedSpec.Coding, cachedMap)
+				if !ok {
+					return nil, false
+				}
+				extras = append(extras, rendered)
+				continue
+			}
+			rendered, ok := renderPredOnCache(p, name, recoded[name], cachedMap)
+			if !ok {
+				return nil, false
+			}
+			extras = append(extras, rendered)
+		}
+	}
+	sort.Strings(extras)
+	return &FullResultMatch{Projection: projection, ExtraPreds: extras}, true
+}
+
+// renderPredOnCache expresses a simple predicate over the cached table's
+// columns. Predicates on recoded categorical columns compare string
+// literals; on the cached (transformed) table the column holds integer
+// codes, so equality/inequality literals are translated through the map.
+func renderPredOnCache(p Pred, name string, isRecoded bool, m *transform.RecodeMap) (string, bool) {
+	lit := p.Value.String()
+	if isRecoded {
+		lv, ok := litValue(p.Value)
+		if !ok || lv.Null || lv.Kind != row.TypeString {
+			return "", false
+		}
+		switch p.Op {
+		case "=", "<>":
+		default:
+			// Order comparisons on recode codes don't mirror string order.
+			return "", false
+		}
+		if m == nil {
+			return "", false
+		}
+		id, known := m.ID(name, lv.AsString())
+		if !known {
+			// The value never occurred in the cached data: col = v selects
+			// nothing, col <> v selects everything.
+			if p.Op == "=" {
+				return "1 = 0", true
+			}
+			return "1 = 1", true
+		}
+		lit = fmt.Sprintf("%d", id)
+	}
+	return fmt.Sprintf("%s %s %s", name, p.Op, lit), true
+}
+
+// renderPredOnDummy translates an equality/inequality predicate on a
+// dummy-coded column onto its binary expansion: `col = v` selects the rows
+// whose v-th indicator is set.
+func renderPredOnDummy(p Pred, name string, coding transform.Coding, m *transform.RecodeMap) (string, bool) {
+	if coding != transform.CodingDummy || m == nil {
+		return "", false
+	}
+	lv, ok := litValue(p.Value)
+	if !ok || lv.Null || lv.Kind != row.TypeString {
+		return "", false
+	}
+	if p.Op != "=" && p.Op != "<>" {
+		return "", false
+	}
+	id, known := m.ID(name, lv.AsString())
+	if !known {
+		if p.Op == "=" {
+			return "1 = 0", true
+		}
+		return "1 = 1", true
+	}
+	bit := 1
+	if p.Op == "<>" {
+		bit = 0
+	}
+	return fmt.Sprintf("%s_%d = %d", name, id, bit), true
+}
+
+// RewriteOnCache renders the §5.1 rewritten query over the cached table.
+func (m *FullResultMatch) RewriteOnCache(cachedTable string) string {
+	sql := "SELECT " + strings.Join(m.Projection, ", ") + " FROM " + cachedTable
+	if len(m.ExtraPreds) > 0 {
+		sql += " WHERE " + strings.Join(m.ExtraPreds, " AND ")
+	}
+	return sql
+}
+
+// MatchRecodeMap applies the paper's §5.2 conditions deciding whether the
+// cached recode maps can be reused for the new query:
+//
+//  1. same FROM tables and join conditions;
+//  2. the new query has predicates on (at least) the same fields, each the
+//     same as or logically stronger than the cached one;
+//  3. the projected categorical fields are a subset of the cached ones;
+//  4. additional predicates are conjunctive (guaranteed by Analyze, which
+//     only decomposes conjunctions).
+//
+// catCols lists the new query's projected categorical columns (by output
+// name) that will need recoding.
+func MatchRecodeMap(cached, next *QueryInfo, cachedMapCols []string, catCols []string) bool {
+	if !SameJoinStructure(cached, next) {
+		return false
+	}
+	// Condition 2: per-column implication.
+	for col, cachedPreds := range cached.Predicates {
+		nextPreds := next.Predicates[col]
+		if len(nextPreds) == 0 {
+			return false
+		}
+		if !ImpliesAll(nextPreds, cachedPreds) {
+			return false
+		}
+	}
+	// Condition 3: needed categorical columns must be in the cached map.
+	mapped := make(map[string]bool, len(cachedMapCols))
+	for _, c := range cachedMapCols {
+		mapped[strings.ToLower(c)] = true
+	}
+	for _, c := range catCols {
+		if !mapped[strings.ToLower(c)] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,209 @@
+package row
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// The binary row format is used on the parallel streaming transfer path
+// (paper §3): a compact, length-prefixed frame per row so that the SQL-side
+// sender UDFs and the ML-side SQLStreamInputFormat can exchange rows without
+// text re-parsing.
+//
+// Frame layout (all little-endian):
+//
+//	uint32  frame length (bytes after this header)
+//	per value:
+//	  uint8   tag: 0=NULL-int 1=NULL-float 2=NULL-string 3=NULL-bool
+//	               4=int 5=float 6=string 7=bool
+//	  payload int: varint-free int64 (8 bytes); float: IEEE754 bits;
+//	          string: uint32 length + bytes; bool: 1 byte
+//
+// Arity is carried by the schema header exchanged at stream open
+// (see WriteSchema / ReadSchema), not per frame.
+
+const (
+	tagNullBase = 0
+	tagIntV     = 4
+	tagFloatV   = 5
+	tagStringV  = 6
+	tagBoolV    = 7
+)
+
+// MaxFrameSize bounds a single encoded row to guard against corrupt
+// length prefixes on the wire.
+const MaxFrameSize = 64 << 20
+
+// AppendBinary appends the binary encoding of the row (including the frame
+// length prefix) to dst.
+func AppendBinary(dst []byte, r Row) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	for _, v := range r {
+		if v.Null {
+			dst = append(dst, byte(tagNullBase+int(v.Kind)))
+			continue
+		}
+		switch v.Kind {
+		case TypeInt:
+			dst = append(dst, tagIntV)
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(v.i))
+		case TypeFloat:
+			dst = append(dst, tagFloatV)
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.f))
+		case TypeString:
+			dst = append(dst, tagStringV)
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(v.s)))
+			dst = append(dst, v.s...)
+		case TypeBool:
+			dst = append(dst, tagBoolV)
+			if v.b {
+				dst = append(dst, 1)
+			} else {
+				dst = append(dst, 0)
+			}
+		}
+	}
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
+	return dst
+}
+
+// DecodeBinary decodes one frame body (without the length prefix) into a row.
+func DecodeBinary(body []byte) (Row, error) {
+	var out Row
+	i := 0
+	for i < len(body) {
+		tag := body[i]
+		i++
+		switch {
+		case tag < 4:
+			out = append(out, NullOf(Type(tag)))
+		case tag == tagIntV:
+			if i+8 > len(body) {
+				return nil, fmt.Errorf("row: truncated int payload")
+			}
+			out = append(out, Int(int64(binary.LittleEndian.Uint64(body[i:]))))
+			i += 8
+		case tag == tagFloatV:
+			if i+8 > len(body) {
+				return nil, fmt.Errorf("row: truncated float payload")
+			}
+			out = append(out, Float(math.Float64frombits(binary.LittleEndian.Uint64(body[i:]))))
+			i += 8
+		case tag == tagStringV:
+			if i+4 > len(body) {
+				return nil, fmt.Errorf("row: truncated string length")
+			}
+			n := int(binary.LittleEndian.Uint32(body[i:]))
+			i += 4
+			if i+n > len(body) {
+				return nil, fmt.Errorf("row: truncated string payload")
+			}
+			out = append(out, String_(string(body[i:i+n])))
+			i += n
+		case tag == tagBoolV:
+			if i >= len(body) {
+				return nil, fmt.Errorf("row: truncated bool payload")
+			}
+			out = append(out, Bool(body[i] != 0))
+			i++
+		default:
+			return nil, fmt.Errorf("row: unknown value tag %d", tag)
+		}
+	}
+	return out, nil
+}
+
+// Writer streams binary row frames onto an io.Writer.
+type Writer struct {
+	w   *bufio.Writer
+	buf []byte
+}
+
+// NewWriter returns a frame writer over w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Write encodes and buffers one row.
+func (w *Writer) Write(r Row) error {
+	w.buf = AppendBinary(w.buf[:0], r)
+	_, err := w.w.Write(w.buf)
+	return err
+}
+
+// Flush flushes buffered frames to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader decodes binary row frames from an io.Reader.
+type Reader struct {
+	r     *bufio.Reader
+	buf   []byte
+	nread int64
+}
+
+// Bytes returns the total frame bytes consumed so far (headers included);
+// the streaming transfer's flow control is driven by this counter.
+func (r *Reader) Bytes() int64 { return r.nread }
+
+// NewReader returns a frame reader over r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// Read decodes the next row. It returns io.EOF cleanly at end of stream.
+func (r *Reader) Read() (Row, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("row: truncated frame header: %w", err)
+		}
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("row: frame of %d bytes exceeds limit", n)
+	}
+	if cap(r.buf) < n {
+		r.buf = make([]byte, n)
+	}
+	body := r.buf[:n]
+	if _, err := io.ReadFull(r.r, body); err != nil {
+		return nil, fmt.Errorf("row: truncated frame body: %w", err)
+	}
+	r.nread += int64(4 + n)
+	return DecodeBinary(body)
+}
+
+// WriteSchema writes a schema header: it precedes row frames on a stream so
+// the receiving side can type its output without out-of-band agreement.
+func WriteSchema(w io.Writer, s Schema) error {
+	enc := []byte(s.String())
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(enc)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(enc)
+	return err
+}
+
+// ReadSchema reads a schema header written by WriteSchema.
+func ReadSchema(r io.Reader) (Schema, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Schema{}, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if n > MaxFrameSize {
+		return Schema{}, fmt.Errorf("row: schema header of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Schema{}, err
+	}
+	return ParseSchema(string(buf))
+}

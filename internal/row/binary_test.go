@@ -1,0 +1,183 @@
+package row
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := make(Row, rng.Intn(6))
+		for i := range r {
+			r[i] = genValue(rng)
+		}
+		enc := AppendBinary(nil, r)
+		back, err := DecodeBinary(enc[4:])
+		if err != nil {
+			return false
+		}
+		if len(back) != len(r) {
+			return false
+		}
+		for i := range r {
+			a, b := r[i], back[i]
+			if a.Kind == TypeFloat && !a.Null && math.IsNaN(a.AsFloat()) {
+				if b.Null || !math.IsNaN(b.AsFloat()) {
+					return false
+				}
+				continue
+			}
+			if !a.Equal(b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriterReaderStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	rows := []Row{
+		{Int(1), String_("a"), Float(1.5), Bool(true)},
+		{Int(2), NullOf(TypeString), Float(-2.5), Bool(false)},
+		{NullOf(TypeInt), String_(""), NullOf(TypeFloat), NullOf(TypeBool)},
+	}
+	for _, r := range rows {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rd := NewReader(&buf)
+	for i, want := range rows {
+		got, err := rd.Read()
+		if err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("row %d: got %v want %v", i, got, want)
+		}
+	}
+	if _, err := rd.Read(); err != io.EOF {
+		t.Errorf("expected io.EOF at stream end, got %v", err)
+	}
+}
+
+func TestReaderRejectsOversizedFrame(t *testing.T) {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(MaxFrameSize+1))
+	rd := NewReader(bytes.NewReader(hdr[:]))
+	if _, err := rd.Read(); err == nil {
+		t.Error("oversized frame accepted")
+	}
+}
+
+func TestReaderTruncatedBody(t *testing.T) {
+	enc := AppendBinary(nil, Row{String_("hello world")})
+	rd := NewReader(bytes.NewReader(enc[:len(enc)-3]))
+	if _, err := rd.Read(); err == nil {
+		t.Error("truncated body accepted")
+	}
+}
+
+func TestDecodeBinaryCorruptTags(t *testing.T) {
+	for _, body := range [][]byte{
+		{99},                     // unknown tag
+		{tagIntV, 1, 2},          // short int
+		{tagFloatV, 1},           // short float
+		{tagStringV, 5, 0, 0, 0}, // string length without payload
+		{tagStringV, 0, 0},       // short string length
+		{tagBoolV},               // missing bool payload
+	} {
+		if _, err := DecodeBinary(body); err == nil {
+			t.Errorf("DecodeBinary(%v) should fail", body)
+		}
+	}
+}
+
+func TestSchemaHeaderRoundTrip(t *testing.T) {
+	s := MustSchema(Column{"age", TypeInt}, Column{"gender", TypeString})
+	var buf bytes.Buffer
+	if err := WriteSchema(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSchema(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(s) {
+		t.Errorf("schema header round trip: got %v want %v", back, s)
+	}
+}
+
+func TestSchemaThenRowsOnOneStream(t *testing.T) {
+	s := MustSchema(Column{"id", TypeInt}, Column{"v", TypeFloat})
+	var buf bytes.Buffer
+	if err := WriteSchema(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(&buf)
+	for i := 0; i < 100; i++ {
+		if err := w.Write(Row{Int(int64(i)), Float(float64(i) / 2)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ReadSchema(&buf)
+	if err != nil || !got.Equal(s) {
+		t.Fatalf("schema: %v %v", got, err)
+	}
+	rd := NewReader(&buf)
+	n := 0
+	for {
+		r, err := rd.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r[0].AsInt() != int64(n) {
+			t.Fatalf("row %d out of order: %v", n, r)
+		}
+		n++
+	}
+	if n != 100 {
+		t.Errorf("read %d rows, want 100", n)
+	}
+}
+
+func BenchmarkAppendBinary(b *testing.B) {
+	r := Row{Int(12345), Float(98.6), String_("some-categorical-value"), Bool(true)}
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendBinary(buf[:0], r)
+	}
+}
+
+func BenchmarkDecodeBinary(b *testing.B) {
+	enc := AppendBinary(nil, Row{Int(12345), Float(98.6), String_("some-categorical-value"), Bool(true)})
+	body := enc[4:]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeBinary(body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package row
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one column of a schema.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered list of named, typed columns.
+//
+// Schemas are immutable by convention: operations return new schemas.
+type Schema struct {
+	Cols []Column
+}
+
+// NewSchema builds a schema from columns, validating name uniqueness.
+func NewSchema(cols ...Column) (Schema, error) {
+	seen := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		key := strings.ToLower(c.Name)
+		if c.Name == "" {
+			return Schema{}, fmt.Errorf("row: empty column name")
+		}
+		if seen[key] {
+			return Schema{}, fmt.Errorf("row: duplicate column %q", c.Name)
+		}
+		seen[key] = true
+	}
+	return Schema{Cols: cols}, nil
+}
+
+// MustSchema is NewSchema that panics on error; for tests and literals.
+func MustSchema(cols ...Column) Schema {
+	s, err := NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of columns.
+func (s Schema) Len() int { return len(s.Cols) }
+
+// ColIndex returns the index of the named column (case-insensitive),
+// or -1 when absent.
+func (s Schema) ColIndex(name string) int {
+	for i, c := range s.Cols {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Col returns the named column, reporting whether it exists.
+func (s Schema) Col(name string) (Column, bool) {
+	i := s.ColIndex(name)
+	if i < 0 {
+		return Column{}, false
+	}
+	return s.Cols[i], true
+}
+
+// Names returns the column names in order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Project returns a schema containing only the named columns, in the given
+// order. It errors on unknown names.
+func (s Schema) Project(names ...string) (Schema, error) {
+	cols := make([]Column, 0, len(names))
+	for _, n := range names {
+		c, ok := s.Col(n)
+		if !ok {
+			return Schema{}, fmt.Errorf("row: unknown column %q", n)
+		}
+		cols = append(cols, c)
+	}
+	return NewSchema(cols...)
+}
+
+// Concat appends another schema's columns, failing on duplicates.
+func (s Schema) Concat(o Schema) (Schema, error) {
+	return NewSchema(append(append([]Column{}, s.Cols...), o.Cols...)...)
+}
+
+// Equal reports whether two schemas have identical names and types.
+func (s Schema) Equal(o Schema) bool {
+	if len(s.Cols) != len(o.Cols) {
+		return false
+	}
+	for i := range s.Cols {
+		if !strings.EqualFold(s.Cols[i].Name, o.Cols[i].Name) || s.Cols[i].Type != o.Cols[i].Type {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the schema as "name TYPE, name TYPE, ...".
+func (s Schema) String() string {
+	parts := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		parts[i] = c.Name + " " + c.Type.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// ParseSchema parses the String form back into a schema.
+func ParseSchema(s string) (Schema, error) {
+	var cols []Column
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Fields(part)
+		if len(fields) != 2 {
+			return Schema{}, fmt.Errorf("row: bad column spec %q", part)
+		}
+		t, err := ParseType(fields[1])
+		if err != nil {
+			return Schema{}, err
+		}
+		cols = append(cols, Column{Name: fields[0], Type: t})
+	}
+	return NewSchema(cols...)
+}
+
+// Row is one tuple of values, positionally aligned with a Schema.
+type Row []Value
+
+// Clone returns a copy of the row safe to retain.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Equal reports whether two rows are value-wise equal.
+func (r Row) Equal(o Row) bool {
+	if len(r) != len(o) {
+		return false
+	}
+	for i := range r {
+		if !r[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Conforms checks that the row's arity and value kinds match the schema.
+func (r Row) Conforms(s Schema) error {
+	if len(r) != s.Len() {
+		return fmt.Errorf("row: arity %d does not match schema arity %d", len(r), s.Len())
+	}
+	for i, v := range r {
+		if !v.Null && v.Kind != s.Cols[i].Type {
+			return fmt.Errorf("row: column %q is %s, value is %s", s.Cols[i].Name, s.Cols[i].Type, v.Kind)
+		}
+	}
+	return nil
+}
+
+// String renders the row for debugging.
+func (r Row) String() string {
+	parts := make([]string, len(r))
+	for i, v := range r {
+		if v.Null {
+			parts[i] = "NULL"
+		} else if v.Kind == TypeString {
+			parts[i] = "'" + v.AsString() + "'"
+		} else {
+			parts[i] = v.String()
+		}
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

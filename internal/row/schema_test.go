@@ -1,0 +1,86 @@
+package row
+
+import "testing"
+
+func TestNewSchemaRejectsDuplicatesAndEmpty(t *testing.T) {
+	if _, err := NewSchema(Column{"a", TypeInt}, Column{"A", TypeFloat}); err == nil {
+		t.Error("case-insensitive duplicate accepted")
+	}
+	if _, err := NewSchema(Column{"", TypeInt}); err == nil {
+		t.Error("empty name accepted")
+	}
+}
+
+func TestColIndexCaseInsensitive(t *testing.T) {
+	s := MustSchema(Column{"Age", TypeInt}, Column{"gender", TypeString})
+	if s.ColIndex("age") != 0 || s.ColIndex("GENDER") != 1 {
+		t.Error("lookup should be case-insensitive")
+	}
+	if s.ColIndex("missing") != -1 {
+		t.Error("missing column should return -1")
+	}
+	c, ok := s.Col("AGE")
+	if !ok || c.Type != TypeInt {
+		t.Error("Col lookup failed")
+	}
+}
+
+func TestSchemaProject(t *testing.T) {
+	s := MustSchema(Column{"a", TypeInt}, Column{"b", TypeString}, Column{"c", TypeFloat})
+	p, err := s.Project("c", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 || p.Cols[0].Name != "c" || p.Cols[1].Name != "a" {
+		t.Errorf("Project order wrong: %v", p)
+	}
+	if _, err := s.Project("zzz"); err == nil {
+		t.Error("unknown column accepted")
+	}
+}
+
+func TestSchemaConcat(t *testing.T) {
+	a := MustSchema(Column{"x", TypeInt})
+	b := MustSchema(Column{"y", TypeFloat})
+	c, err := a.Concat(b)
+	if err != nil || c.Len() != 2 {
+		t.Fatalf("Concat: %v %v", c, err)
+	}
+	if _, err := a.Concat(a); err == nil {
+		t.Error("Concat with duplicate names accepted")
+	}
+}
+
+func TestSchemaStringParseRoundTrip(t *testing.T) {
+	s := MustSchema(
+		Column{"id", TypeInt}, Column{"amt", TypeFloat},
+		Column{"name", TypeString}, Column{"ok", TypeBool},
+	)
+	back, err := ParseSchema(s.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(s) {
+		t.Errorf("round trip: got %v want %v", back, s)
+	}
+}
+
+func TestParseSchemaErrors(t *testing.T) {
+	for _, in := range []string{"a", "a BLOB", "a BIGINT extra"} {
+		if _, err := ParseSchema(in); err == nil {
+			t.Errorf("ParseSchema(%q) should fail", in)
+		}
+	}
+}
+
+func TestSchemaEqual(t *testing.T) {
+	a := MustSchema(Column{"x", TypeInt})
+	b := MustSchema(Column{"X", TypeInt})
+	c := MustSchema(Column{"x", TypeFloat})
+	if !a.Equal(b) {
+		t.Error("names compare case-insensitively")
+	}
+	if a.Equal(c) {
+		t.Error("type mismatch should not be equal")
+	}
+}

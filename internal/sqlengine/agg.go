@@ -1,0 +1,388 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strings"
+
+	"sqlml/internal/row"
+)
+
+// walkExpr visits every node of an expression tree, pre-order.
+func walkExpr(e Expr, visit func(Expr)) {
+	if e == nil {
+		return
+	}
+	visit(e)
+	switch x := e.(type) {
+	case *BinOp:
+		walkExpr(x.L, visit)
+		walkExpr(x.R, visit)
+	case *NotExpr:
+		walkExpr(x.E, visit)
+	case *IsNullExpr:
+		walkExpr(x.E, visit)
+	case *InListExpr:
+		walkExpr(x.E, visit)
+		for _, le := range x.List {
+			walkExpr(le, visit)
+		}
+	case *FuncCall:
+		for _, a := range x.Args {
+			walkExpr(a, visit)
+		}
+	case *CaseExpr:
+		for _, w := range x.Whens {
+			walkExpr(w.Cond, visit)
+			walkExpr(w.Then, visit)
+		}
+		walkExpr(x.Else, visit)
+	}
+}
+
+// exprHasAggregate reports whether the expression contains an aggregate
+// function call anywhere.
+func exprHasAggregate(e Expr) bool {
+	found := false
+	walkExpr(e, func(sub Expr) {
+		if fc, ok := sub.(*FuncCall); ok && isAggregateName(fc.Name) {
+			found = true
+		}
+	})
+	return found
+}
+
+// aggKind enumerates the built-in aggregate functions.
+type aggKind int
+
+const (
+	aggCount aggKind = iota
+	aggSum
+	aggAvg
+	aggMin
+	aggMax
+)
+
+func aggKindOf(name string) (aggKind, bool) {
+	switch strings.ToLower(name) {
+	case "count":
+		return aggCount, true
+	case "sum":
+		return aggSum, true
+	case "avg":
+		return aggAvg, true
+	case "min":
+		return aggMin, true
+	case "max":
+		return aggMax, true
+	}
+	return 0, false
+}
+
+// aggState is one aggregate's running accumulation within one group.
+type aggState struct {
+	kind  aggKind
+	count int64
+	sumF  float64
+	sumI  int64
+	isInt bool
+	minV  row.Value
+	maxV  row.Value
+	any   bool
+}
+
+func (a *aggState) add(v row.Value, star bool) {
+	if a.kind == aggCount {
+		if star || !v.Null {
+			a.count++
+		}
+		return
+	}
+	if v.Null {
+		return
+	}
+	a.any = true
+	switch a.kind {
+	case aggSum, aggAvg:
+		a.count++
+		if a.isInt {
+			a.sumI += v.AsInt()
+		} else {
+			a.sumF += v.AsFloat()
+		}
+	case aggMin:
+		if a.minV.Null || v.Compare(a.minV) < 0 {
+			a.minV = v
+		}
+	case aggMax:
+		if a.maxV.Null || v.Compare(a.maxV) > 0 {
+			a.maxV = v
+		}
+	}
+}
+
+func (a *aggState) merge(o *aggState) {
+	switch a.kind {
+	case aggCount:
+		a.count += o.count
+	case aggSum, aggAvg:
+		a.count += o.count
+		a.sumI += o.sumI
+		a.sumF += o.sumF
+		a.any = a.any || o.any
+	case aggMin:
+		if o.any && (!a.any || o.minV.Compare(a.minV) < 0) {
+			a.minV = o.minV
+		}
+		a.any = a.any || o.any
+	case aggMax:
+		if o.any && (!a.any || o.maxV.Compare(a.maxV) > 0) {
+			a.maxV = o.maxV
+		}
+		a.any = a.any || o.any
+	}
+}
+
+func (a *aggState) finalize(t row.Type) row.Value {
+	switch a.kind {
+	case aggCount:
+		return row.Int(a.count)
+	case aggSum:
+		if !a.any {
+			return row.NullOf(t)
+		}
+		if a.isInt {
+			return row.Int(a.sumI)
+		}
+		return row.Float(a.sumF)
+	case aggAvg:
+		if a.count == 0 {
+			return row.NullOf(row.TypeFloat)
+		}
+		total := a.sumF
+		if a.isInt {
+			total = float64(a.sumI)
+		}
+		return row.Float(total / float64(a.count))
+	case aggMin:
+		if !a.any {
+			return row.NullOf(t)
+		}
+		return a.minV
+	default:
+		if !a.any {
+			return row.NullOf(t)
+		}
+		return a.maxV
+	}
+}
+
+// aggSpec is one aggregate column of the output.
+type aggSpec struct {
+	kind    aggKind
+	star    bool
+	argFn   evalFn
+	argType row.Type
+	outType row.Type
+}
+
+func (s *aggSpec) newState() *aggState {
+	st := &aggState{kind: s.kind, isInt: s.argType == row.TypeInt}
+	st.minV = row.NullOf(s.argType)
+	st.maxV = row.NullOf(s.argType)
+	return st
+}
+
+// outputCol describes one select item of an aggregate query: either a
+// group-by key (keyIdx >= 0) or an aggregate (aggIdx >= 0).
+type outputCol struct {
+	keyIdx int
+	aggIdx int
+	name   string
+	typ    row.Type
+}
+
+// execAggregate evaluates an aggregate query: partial aggregation per
+// partition in parallel, then a merge at the head node. The merged result
+// occupies partition 0.
+func (e *Engine) execAggregate(sel *SelectStmt, in *dataset) (row.Schema, [][]row.Row, error) {
+	// Compile group keys.
+	keyFns := make([]evalFn, len(sel.GroupBy))
+	keyStrs := make([]string, len(sel.GroupBy))
+	for i, g := range sel.GroupBy {
+		fn, _, err := compile(g, in.sc, e.registry)
+		if err != nil {
+			return row.Schema{}, nil, err
+		}
+		keyFns[i] = fn
+		keyStrs[i] = g.String()
+	}
+
+	// Classify select items.
+	var cols []outputCol
+	var specs []*aggSpec
+	for _, item := range sel.Items {
+		if item.Star {
+			return row.Schema{}, nil, fmt.Errorf("sql: * not allowed with GROUP BY / aggregates")
+		}
+		if fc, ok := item.Expr.(*FuncCall); ok && isAggregateName(fc.Name) {
+			kind, _ := aggKindOf(fc.Name)
+			spec := &aggSpec{kind: kind, star: fc.Star}
+			if !fc.Star {
+				if len(fc.Args) != 1 {
+					return row.Schema{}, nil, fmt.Errorf("sql: %s takes one argument", strings.ToUpper(fc.Name))
+				}
+				fn, t, err := compile(fc.Args[0], in.sc, e.registry)
+				if err != nil {
+					return row.Schema{}, nil, err
+				}
+				if (kind == aggSum || kind == aggAvg) && !numericType(t) {
+					return row.Schema{}, nil, fmt.Errorf("sql: %s requires a numeric argument", strings.ToUpper(fc.Name))
+				}
+				spec.argFn = fn
+				spec.argType = t
+			} else if kind != aggCount {
+				return row.Schema{}, nil, fmt.Errorf("sql: only COUNT may use *")
+			}
+			switch kind {
+			case aggCount:
+				spec.outType = row.TypeInt
+			case aggAvg:
+				spec.outType = row.TypeFloat
+			default:
+				spec.outType = spec.argType
+			}
+			specs = append(specs, spec)
+			cols = append(cols, outputCol{keyIdx: -1, aggIdx: len(specs) - 1, name: outputName(item), typ: spec.outType})
+			continue
+		}
+		// A non-aggregate item must match a GROUP BY expression.
+		matched := -1
+		for ki, ks := range keyStrs {
+			if item.Expr.String() == ks {
+				matched = ki
+				break
+			}
+		}
+		if matched < 0 {
+			return row.Schema{}, nil, fmt.Errorf("sql: %s is neither an aggregate nor in GROUP BY", item.Expr)
+		}
+		_, t, err := compile(item.Expr, in.sc, e.registry)
+		if err != nil {
+			return row.Schema{}, nil, err
+		}
+		cols = append(cols, outputCol{keyIdx: matched, aggIdx: -1, name: outputName(item), typ: t})
+	}
+
+	type group struct {
+		keys row.Row
+		aggs []*aggState
+	}
+	newGroup := func(keys row.Row) *group {
+		g := &group{keys: keys, aggs: make([]*aggState, len(specs))}
+		for i, s := range specs {
+			g.aggs[i] = s.newState()
+		}
+		return g
+	}
+
+	// Partial aggregation per partition.
+	partials := make([]map[string]*group, len(in.parts))
+	err := forEachPart(len(in.parts), func(i int) error {
+		m := make(map[string]*group)
+		for _, r := range in.parts[i] {
+			keys := make(row.Row, len(keyFns))
+			for ki, fn := range keyFns {
+				v, err := fn(r)
+				if err != nil {
+					return err
+				}
+				keys[ki] = v
+			}
+			k := encodeKey(keys)
+			g, ok := m[k]
+			if !ok {
+				g = newGroup(keys)
+				m[k] = g
+			}
+			for si, s := range specs {
+				var v row.Value
+				if !s.star {
+					var err error
+					v, err = s.argFn(r)
+					if err != nil {
+						return err
+					}
+				}
+				g.aggs[si].add(v, s.star)
+			}
+		}
+		partials[i] = m
+		return nil
+	})
+	if err != nil {
+		return row.Schema{}, nil, err
+	}
+
+	// Merge at the head node (charge moving the partial states, approximated
+	// by their key bytes plus a fixed accumulator size).
+	merged := make(map[string]*group)
+	var order []string
+	for i, m := range partials {
+		if e.workers[i] != e.head && len(m) > 0 {
+			bytes := 0
+			for _, g := range m {
+				bytes += rowBytes(g.keys) + 24*len(specs)
+			}
+			e.cost.ChargeNet(e.workers[i], e.head, bytes)
+		}
+		for k, g := range m {
+			mg, ok := merged[k]
+			if !ok {
+				merged[k] = g
+				order = append(order, k)
+				continue
+			}
+			for si := range specs {
+				mg.aggs[si].merge(g.aggs[si])
+			}
+		}
+	}
+
+	// A global aggregate (no GROUP BY) over zero rows yields one row.
+	if len(sel.GroupBy) == 0 && len(merged) == 0 {
+		g := newGroup(row.Row{})
+		merged[""] = g
+		order = append(order, "")
+	}
+
+	names := make([]string, len(cols))
+	types := make([]row.Type, len(cols))
+	for i, c := range cols {
+		names[i] = c.name
+		types[i] = c.typ
+	}
+	schema, err := makeOutputSchema(names, types)
+	if err != nil {
+		return row.Schema{}, nil, err
+	}
+
+	var out []row.Row
+	for _, k := range order {
+		g := merged[k]
+		r := make(row.Row, len(cols))
+		for i, c := range cols {
+			if c.keyIdx >= 0 {
+				r[i] = g.keys[c.keyIdx]
+			} else {
+				r[i] = g.aggs[c.aggIdx].finalize(specs[c.aggIdx].outType)
+			}
+		}
+		out = append(out, r)
+	}
+	parts := make([][]row.Row, len(in.parts))
+	if len(parts) == 0 {
+		parts = make([][]row.Row, e.NumWorkers())
+	}
+	parts[0] = out
+	return schema, parts, nil
+}

@@ -1,0 +1,101 @@
+package sqlengine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sqlml/internal/cluster"
+	"sqlml/internal/row"
+)
+
+// benchEngine loads a mid-size fact/dimension pair for operator benchmarks.
+func benchEngine(b *testing.B, facts, dims int) *Engine {
+	b.Helper()
+	topo := cluster.NewTopology(5)
+	e, err := New(topo, nil, Config{HeadNodeID: 0, WorkerNodeIDs: []int{1, 2, 3, 4}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	factRows := make([]row.Row, facts)
+	cats := []string{"red", "green", "blue", "black", "white"}
+	for i := range factRows {
+		factRows[i] = row.Row{
+			row.Int(int64(i)),
+			row.Int(int64(rng.Intn(dims))),
+			row.Float(rng.Float64() * 1000),
+			row.String_(cats[rng.Intn(len(cats))]),
+		}
+	}
+	dimRows := make([]row.Row, dims)
+	for i := range dimRows {
+		dimRows[i] = row.Row{row.Int(int64(i)), row.String_(fmt.Sprintf("dim-%d", i))}
+	}
+	if err := e.LoadTable("fact", row.MustSchema(
+		row.Column{Name: "id", Type: row.TypeInt},
+		row.Column{Name: "dimid", Type: row.TypeInt},
+		row.Column{Name: "v", Type: row.TypeFloat},
+		row.Column{Name: "cat", Type: row.TypeString},
+	), factRows); err != nil {
+		b.Fatal(err)
+	}
+	if err := e.LoadTable("dim", row.MustSchema(
+		row.Column{Name: "id", Type: row.TypeInt},
+		row.Column{Name: "name", Type: row.TypeString},
+	), dimRows); err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+func runQuery(b *testing.B, e *Engine, sql string) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Query(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineFilterScan(b *testing.B) {
+	e := benchEngine(b, 50_000, 100)
+	runQuery(b, e, "SELECT id FROM fact WHERE v > 500")
+}
+
+func BenchmarkEngineHashJoin(b *testing.B) {
+	e := benchEngine(b, 50_000, 100)
+	runQuery(b, e, "SELECT f.v, d.name FROM fact f, dim d WHERE f.dimid = d.id")
+}
+
+func BenchmarkEngineGroupBy(b *testing.B) {
+	e := benchEngine(b, 50_000, 100)
+	runQuery(b, e, "SELECT cat, COUNT(*), AVG(v) FROM fact GROUP BY cat")
+}
+
+func BenchmarkEngineDistinct(b *testing.B) {
+	e := benchEngine(b, 50_000, 100)
+	runQuery(b, e, "SELECT DISTINCT cat FROM fact")
+}
+
+func BenchmarkEngineOrderByLimit(b *testing.B) {
+	e := benchEngine(b, 50_000, 100)
+	runQuery(b, e, "SELECT id, v FROM fact ORDER BY v DESC LIMIT 10")
+}
+
+func BenchmarkEngineParse(b *testing.B) {
+	const sql = `
+		SELECT U.age, Mg.recodeVal AS gender, C.amount, Ma.recodeVal AS abandoned
+		FROM carts C, users U, m AS Mg, m AS Ma
+		WHERE C.userid = U.userid
+		  AND Mg.colName = 'gender' AND U.gender = Mg.colVal
+		  AND Ma.colName = 'abandoned' AND C.abandoned = Ma.colVal`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package sqlengine
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"sqlml/internal/row"
+)
+
+// extraBuiltins are additional scalar builtins beyond the string basics in
+// udf.go: NULL handling (COALESCE), math (ROUND, FLOOR, CEIL), string
+// manipulation (SUBSTR, CONCAT, TRIM), and ordering helpers
+// (LEAST, GREATEST) — the vocabulary preparation queries routinely need.
+func extraBuiltins() []*ScalarUDF {
+	numericIn := func(n int) func([]row.Type) (row.Type, error) {
+		return func(args []row.Type) (row.Type, error) {
+			if len(args) != n {
+				return 0, fmt.Errorf("expected %d arguments", n)
+			}
+			for _, t := range args {
+				if t != row.TypeInt && t != row.TypeFloat {
+					return 0, fmt.Errorf("expected numeric arguments")
+				}
+			}
+			return row.TypeFloat, nil
+		}
+	}
+	return []*ScalarUDF{
+		{
+			Name: "coalesce",
+			ReturnType: func(args []row.Type) (row.Type, error) {
+				if len(args) == 0 {
+					return 0, fmt.Errorf("COALESCE needs at least one argument")
+				}
+				t := args[0]
+				for _, a := range args[1:] {
+					if a != t {
+						if (a == row.TypeInt || a == row.TypeFloat) && (t == row.TypeInt || t == row.TypeFloat) {
+							t = row.TypeFloat
+							continue
+						}
+						return 0, fmt.Errorf("COALESCE arguments mix %s and %s", t, a)
+					}
+				}
+				return t, nil
+			},
+			Fn: func(args []row.Value) (row.Value, error) {
+				for _, v := range args {
+					if !v.Null {
+						return v, nil
+					}
+				}
+				return args[0], nil
+			},
+		},
+		{
+			Name:       "round",
+			ReturnType: numericIn(1),
+			Fn: func(args []row.Value) (row.Value, error) {
+				if args[0].Null {
+					return row.NullOf(row.TypeFloat), nil
+				}
+				return row.Float(math.Round(args[0].AsFloat())), nil
+			},
+		},
+		{
+			Name:       "floor",
+			ReturnType: numericIn(1),
+			Fn: func(args []row.Value) (row.Value, error) {
+				if args[0].Null {
+					return row.NullOf(row.TypeFloat), nil
+				}
+				return row.Float(math.Floor(args[0].AsFloat())), nil
+			},
+		},
+		{
+			Name:       "ceil",
+			ReturnType: numericIn(1),
+			Fn: func(args []row.Value) (row.Value, error) {
+				if args[0].Null {
+					return row.NullOf(row.TypeFloat), nil
+				}
+				return row.Float(math.Ceil(args[0].AsFloat())), nil
+			},
+		},
+		{
+			Name: "substr",
+			ReturnType: func(args []row.Type) (row.Type, error) {
+				if len(args) != 3 || args[0] != row.TypeString || args[1] != row.TypeInt || args[2] != row.TypeInt {
+					return 0, fmt.Errorf("usage: SUBSTR(str, start, length) with 1-based start")
+				}
+				return row.TypeString, nil
+			},
+			Fn: func(args []row.Value) (row.Value, error) {
+				if args[0].Null || args[1].Null || args[2].Null {
+					return row.NullOf(row.TypeString), nil
+				}
+				s := args[0].AsString()
+				start := int(args[1].AsInt()) - 1
+				length := int(args[2].AsInt())
+				if start < 0 {
+					start = 0
+				}
+				if start >= len(s) || length <= 0 {
+					return row.String_(""), nil
+				}
+				end := start + length
+				if end > len(s) {
+					end = len(s)
+				}
+				return row.String_(s[start:end]), nil
+			},
+		},
+		{
+			Name: "concat",
+			ReturnType: func(args []row.Type) (row.Type, error) {
+				if len(args) < 2 {
+					return 0, fmt.Errorf("CONCAT needs at least two arguments")
+				}
+				return row.TypeString, nil
+			},
+			Fn: func(args []row.Value) (row.Value, error) {
+				var b strings.Builder
+				for _, v := range args {
+					if v.Null {
+						return row.NullOf(row.TypeString), nil
+					}
+					b.WriteString(v.String())
+				}
+				return row.String_(b.String()), nil
+			},
+		},
+		{
+			Name: "trim",
+			ReturnType: func(args []row.Type) (row.Type, error) {
+				if len(args) != 1 || args[0] != row.TypeString {
+					return 0, fmt.Errorf("expected one VARCHAR argument")
+				}
+				return row.TypeString, nil
+			},
+			Fn: func(args []row.Value) (row.Value, error) {
+				if args[0].Null {
+					return row.NullOf(row.TypeString), nil
+				}
+				return row.String_(strings.TrimSpace(args[0].AsString())), nil
+			},
+		},
+		{
+			Name:       "least",
+			ReturnType: numericIn(2),
+			Fn: func(args []row.Value) (row.Value, error) {
+				if args[0].Null || args[1].Null {
+					return row.NullOf(row.TypeFloat), nil
+				}
+				return row.Float(math.Min(args[0].AsFloat(), args[1].AsFloat())), nil
+			},
+		},
+		{
+			Name:       "greatest",
+			ReturnType: numericIn(2),
+			Fn: func(args []row.Value) (row.Value, error) {
+				if args[0].Null || args[1].Null {
+					return row.NullOf(row.TypeFloat), nil
+				}
+				return row.Float(math.Max(args[0].AsFloat(), args[1].AsFloat())), nil
+			},
+		},
+		{
+			Name:       "sqrt",
+			ReturnType: numericIn(1),
+			Fn: func(args []row.Value) (row.Value, error) {
+				if args[0].Null {
+					return row.NullOf(row.TypeFloat), nil
+				}
+				f := args[0].AsFloat()
+				if f < 0 {
+					return row.Value{}, fmt.Errorf("SQRT of negative value %v", f)
+				}
+				return row.Float(math.Sqrt(f)), nil
+			},
+		},
+		{
+			Name:       "ln",
+			ReturnType: numericIn(1),
+			Fn: func(args []row.Value) (row.Value, error) {
+				if args[0].Null {
+					return row.NullOf(row.TypeFloat), nil
+				}
+				f := args[0].AsFloat()
+				if f <= 0 {
+					return row.Value{}, fmt.Errorf("LN of non-positive value %v", f)
+				}
+				return row.Float(math.Log(f)), nil
+			},
+		},
+	}
+}

@@ -1,0 +1,119 @@
+package sqlengine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"sqlml/internal/dfs"
+	"sqlml/internal/row"
+)
+
+// ExternalBacking marks a table whose data lives as a text file on the DFS
+// (the paper's "tables stored in text format on HDFS"). Scanning such a
+// table re-reads the file — and pays its I/O — on every query, exactly like
+// a SQL-on-Hadoop engine.
+type ExternalBacking struct {
+	FS   *dfs.FileSystem
+	Path string
+}
+
+// Table is a catalog entry. Managed tables hold their rows partitioned
+// across the engine's workers; external tables are scanned from the DFS.
+type Table struct {
+	Name     string
+	Schema   row.Schema
+	External *ExternalBacking
+
+	mu    sync.RWMutex
+	parts [][]row.Row
+}
+
+// NumRows returns the managed row count (0 for external tables; their
+// cardinality is only known after a scan).
+func (t *Table) NumRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	for _, p := range t.parts {
+		n += len(p)
+	}
+	return n
+}
+
+// partitions returns the managed partition slices. Callers treat them as
+// read-only.
+func (t *Table) partitions() [][]row.Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.parts
+}
+
+// Catalog is the engine's table namespace. Safe for concurrent use.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+func key(name string) string { return strings.ToLower(name) }
+
+// Get returns the named table.
+func (c *Catalog) Get(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[key(name)]
+	if !ok {
+		return nil, fmt.Errorf("sql: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// Exists reports whether a table is defined.
+func (c *Catalog) Exists(name string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.tables[key(name)]
+	return ok
+}
+
+// Put registers a table, failing if the name is taken.
+func (c *Catalog) Put(t *Table) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(t.Name)
+	if _, ok := c.tables[k]; ok {
+		return fmt.Errorf("sql: table %q already exists", t.Name)
+	}
+	c.tables[k] = t
+	return nil
+}
+
+// Drop removes a table.
+func (c *Catalog) Drop(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(name)
+	if _, ok := c.tables[k]; !ok {
+		return fmt.Errorf("sql: unknown table %q", name)
+	}
+	delete(c.tables, k)
+	return nil
+}
+
+// Names lists defined tables, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t.Name)
+	}
+	sort.Strings(out)
+	return out
+}

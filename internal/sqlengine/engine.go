@@ -1,0 +1,224 @@
+package sqlengine
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"sqlml/internal/cluster"
+	"sqlml/internal/dfs"
+	"sqlml/internal/row"
+)
+
+// Config selects which cluster nodes host SQL workers and which acts as the
+// head (coordinator) node. The paper's testbed dedicates one server as the
+// Big SQL head node and runs one multi-threaded worker on each of the rest.
+type Config struct {
+	WorkerNodeIDs []int
+	HeadNodeID    int
+}
+
+// Engine is the MPP SQL engine: a catalog of partitioned tables, a UDF
+// registry, and a distributed executor running one worker per configured
+// node.
+type Engine struct {
+	topo    *cluster.Topology
+	cost    *cluster.CostModel
+	workers []*cluster.Node
+	head    *cluster.Node
+
+	catalog  *Catalog
+	registry *Registry
+}
+
+// New creates an engine on the given topology. cost may be nil (no
+// simulated I/O charging).
+func New(topo *cluster.Topology, cost *cluster.CostModel, cfg Config) (*Engine, error) {
+	if len(cfg.WorkerNodeIDs) == 0 {
+		return nil, fmt.Errorf("sql: engine needs at least one worker node")
+	}
+	e := &Engine{
+		topo:     topo,
+		cost:     cost,
+		head:     topo.Node(cfg.HeadNodeID),
+		catalog:  NewCatalog(),
+		registry: NewRegistry(),
+	}
+	seen := make(map[int]bool)
+	for _, id := range cfg.WorkerNodeIDs {
+		if seen[id] {
+			return nil, fmt.Errorf("sql: duplicate worker node %d", id)
+		}
+		seen[id] = true
+		e.workers = append(e.workers, topo.Node(id))
+	}
+	return e, nil
+}
+
+// NumWorkers returns the number of SQL workers.
+func (e *Engine) NumWorkers() int { return len(e.workers) }
+
+// WorkerNode returns the node hosting worker i.
+func (e *Engine) WorkerNode(i int) *cluster.Node { return e.workers[i] }
+
+// HeadNode returns the engine's head node.
+func (e *Engine) HeadNode() *cluster.Node { return e.head }
+
+// Topology returns the engine's cluster.
+func (e *Engine) Topology() *cluster.Topology { return e.topo }
+
+// Cost returns the engine's cost model (possibly nil).
+func (e *Engine) Cost() *cluster.CostModel { return e.cost }
+
+// Catalog returns the table catalog.
+func (e *Engine) Catalog() *Catalog { return e.catalog }
+
+// Registry returns the UDF registry.
+func (e *Engine) Registry() *Registry { return e.registry }
+
+// CreateTable defines an empty managed table.
+func (e *Engine) CreateTable(name string, schema row.Schema) error {
+	t := &Table{Name: name, Schema: schema, parts: make([][]row.Row, e.NumWorkers())}
+	return e.catalog.Put(t)
+}
+
+// LoadTable defines a managed table and distributes rows round-robin
+// across workers.
+func (e *Engine) LoadTable(name string, schema row.Schema, rows []row.Row) error {
+	parts := make([][]row.Row, e.NumWorkers())
+	for i, r := range rows {
+		w := i % len(parts)
+		parts[w] = append(parts[w], r)
+	}
+	return e.LoadPartitionedTable(name, schema, parts)
+}
+
+// LoadPartitionedTable defines a managed table from pre-partitioned data
+// (len(parts) must equal NumWorkers). The partitions are adopted without
+// copying; callers must not mutate them afterwards.
+func (e *Engine) LoadPartitionedTable(name string, schema row.Schema, parts [][]row.Row) error {
+	if len(parts) != e.NumWorkers() {
+		return fmt.Errorf("sql: %d partitions for %d workers", len(parts), e.NumWorkers())
+	}
+	t := &Table{Name: name, Schema: schema, parts: parts}
+	return e.catalog.Put(t)
+}
+
+// RegisterExternalTable defines a table backed by a DFS text file (or a
+// directory of part files). Scans re-read the DFS every time.
+func (e *Engine) RegisterExternalTable(name string, fs *dfs.FileSystem, path string, schema row.Schema) error {
+	t := &Table{Name: name, Schema: schema, External: &ExternalBacking{FS: fs, Path: path}}
+	return e.catalog.Put(t)
+}
+
+// RegisterResult defines a managed table adopting a query result's
+// partitions (no copy). This is how pipelines chain query → table UDF →
+// query without leaving engine memory.
+func (e *Engine) RegisterResult(name string, res *Result) error {
+	return e.LoadPartitionedTable(name, res.Schema, res.Parts)
+}
+
+// DropTable removes a table from the catalog.
+func (e *Engine) DropTable(name string) error { return e.catalog.Drop(name) }
+
+// Result is a query result partitioned across the engine's workers:
+// Parts[i] lives on WorkerNode(i).
+type Result struct {
+	Schema row.Schema
+	Parts  [][]row.Row
+}
+
+// NumRows returns the total row count.
+func (r *Result) NumRows() int {
+	n := 0
+	for _, p := range r.Parts {
+		n += len(p)
+	}
+	return n
+}
+
+// Rows flattens the partitions in worker order, without charging transfer
+// costs; use Engine.Collect to model fetching results to the head node.
+func (r *Result) Rows() []row.Row {
+	out := make([]row.Row, 0, r.NumRows())
+	for _, p := range r.Parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Collect gathers a result to the head node, charging network transfer for
+// remote partitions, and returns the flattened rows.
+func (e *Engine) Collect(r *Result) []row.Row {
+	for i, p := range r.Parts {
+		if i < len(e.workers) && e.workers[i] != e.head {
+			e.cost.ChargeNet(e.workers[i], e.head, partBytes(p))
+		}
+	}
+	return r.Rows()
+}
+
+// rowBytes estimates the wire size of a row for cost charging.
+func rowBytes(r row.Row) int {
+	n := 4 // frame overhead
+	for _, v := range r {
+		switch v.Kind {
+		case row.TypeString:
+			if !v.Null {
+				n += 5 + len(v.AsString())
+			} else {
+				n += 1
+			}
+		case row.TypeBool:
+			n += 2
+		default:
+			n += 9
+		}
+	}
+	return n
+}
+
+func partBytes(p []row.Row) int {
+	n := 0
+	for _, r := range p {
+		n += rowBytes(r)
+	}
+	return n
+}
+
+// forEachPart runs f(i) for every partition index in parallel and returns
+// the first error.
+func forEachPart(n int, f func(i int) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = f(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// hashKey hashes a composite key built from the given values.
+func hashKey(vals []row.Value) uint64 {
+	h := fnv.New64a()
+	var buf []byte
+	for _, v := range vals {
+		buf = row.AppendBinary(buf[:0], row.Row{v})
+		h.Write(buf)
+	}
+	return h.Sum64()
+}
+
+// encodeKey produces a map key string from values (binary, collision-free).
+func encodeKey(vals row.Row) string {
+	return string(row.AppendBinary(nil, vals))
+}

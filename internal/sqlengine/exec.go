@@ -1,0 +1,1088 @@
+package sqlengine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sqlml/internal/dfs"
+	"sqlml/internal/hadoopfmt"
+	"sqlml/internal/row"
+)
+
+// Run parses and executes one statement. SELECT (and CREATE TABLE AS
+// SELECT) return a result; DDL and INSERT return nil.
+func (e *Engine) Run(sql string) (*Result, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch s := stmt.(type) {
+	case *SelectStmt:
+		return e.ExecSelect(s)
+	case *CreateTableStmt:
+		return nil, e.execCreate(s)
+	case *InsertStmt:
+		return nil, e.execInsert(s)
+	case *DropTableStmt:
+		return nil, e.catalog.Drop(s.Name)
+	case *ShowTablesStmt:
+		return e.showTables()
+	case *DescribeStmt:
+		return e.describe(s.Table)
+	default:
+		return nil, fmt.Errorf("sql: unsupported statement %T", stmt)
+	}
+}
+
+// Query executes a SELECT statement given as SQL text.
+func (e *Engine) Query(sql string) (*Result, error) {
+	sel, err := ParseSelect(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecSelect(sel)
+}
+
+// MustQuery is Query that panics on error; for tests and examples.
+func (e *Engine) MustQuery(sql string) *Result {
+	res, err := e.Query(sql)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+func (e *Engine) execCreate(s *CreateTableStmt) error {
+	if s.AsSelect != nil {
+		res, err := e.ExecSelect(s.AsSelect)
+		if err != nil {
+			return err
+		}
+		return e.LoadPartitionedTable(s.Name, res.Schema, res.Parts)
+	}
+	schema, err := row.NewSchema(s.Cols...)
+	if err != nil {
+		return err
+	}
+	return e.CreateTable(s.Name, schema)
+}
+
+func (e *Engine) execInsert(s *InsertStmt) error {
+	t, err := e.catalog.Get(s.Table)
+	if err != nil {
+		return err
+	}
+	if t.External != nil {
+		return fmt.Errorf("sql: cannot INSERT into external table %q", t.Name)
+	}
+	empty := newScope()
+	var rows []row.Row
+	for _, exprs := range s.Rows {
+		if len(exprs) != t.Schema.Len() {
+			return fmt.Errorf("sql: INSERT arity %d does not match table %q arity %d", len(exprs), t.Name, t.Schema.Len())
+		}
+		out := make(row.Row, len(exprs))
+		for i, ex := range exprs {
+			fn, _, err := compile(ex, empty, e.registry)
+			if err != nil {
+				return err
+			}
+			v, err := fn(nil)
+			if err != nil {
+				return err
+			}
+			cv, err := v.Coerce(t.Schema.Cols[i].Type)
+			if err != nil {
+				return fmt.Errorf("sql: column %q: %w", t.Schema.Cols[i].Name, err)
+			}
+			out[i] = cv
+		}
+		rows = append(rows, out)
+	}
+	t.appendRows(rows, e.NumWorkers())
+	return nil
+}
+
+// appendRows distributes new rows round-robin over partitions.
+func (t *Table) appendRows(rows []row.Row, numWorkers int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.parts) == 0 {
+		t.parts = make([][]row.Row, numWorkers)
+	}
+	base := 0
+	for _, p := range t.parts {
+		base += len(p)
+	}
+	for i, r := range rows {
+		w := (base + i) % len(t.parts)
+		t.parts[w] = append(t.parts[w], r)
+	}
+}
+
+// dataset is an intermediate distributed relation: parts[i] lives on
+// worker i, and sc resolves column references against its bindings.
+type dataset struct {
+	sc    *scope
+	parts [][]row.Row
+}
+
+func (d *dataset) numRows() int {
+	n := 0
+	for _, p := range d.parts {
+		n += len(p)
+	}
+	return n
+}
+
+// ExecSelect executes a parsed SELECT.
+func (e *Engine) ExecSelect(sel *SelectStmt) (*Result, error) {
+	if len(sel.From) == 0 {
+		return nil, fmt.Errorf("sql: SELECT requires a FROM clause")
+	}
+
+	// Evaluate FROM items into per-source datasets.
+	type source struct {
+		name   string
+		schema row.Schema
+		parts  [][]row.Row
+	}
+	srcs := make([]*source, len(sel.From))
+	seenNames := make(map[string]bool)
+	for i, item := range sel.From {
+		name := strings.ToLower(item.Name())
+		if seenNames[name] {
+			return nil, fmt.Errorf("sql: duplicate table binding %q", name)
+		}
+		seenNames[name] = true
+		var (
+			schema row.Schema
+			parts  [][]row.Row
+			err    error
+		)
+		if item.Func != nil {
+			schema, parts, err = e.execTableFunc(item.Func)
+		} else {
+			var t *Table
+			t, err = e.catalog.Get(item.Table)
+			if err == nil {
+				schema = t.Schema
+				parts, err = e.scanTable(t)
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		srcs[i] = &source{name: name, schema: schema, parts: parts}
+	}
+
+	// Classify WHERE conjuncts.
+	sourceOf := func(ex Expr) (map[int]bool, error) {
+		refs := make(map[int]bool)
+		var werr error
+		walkExpr(ex, func(sub Expr) {
+			cr, ok := sub.(*ColRef)
+			if !ok || werr != nil {
+				return
+			}
+			found := -1
+			for si, s := range srcs {
+				if cr.Qualifier != "" && strings.ToLower(cr.Qualifier) != s.name {
+					continue
+				}
+				if s.schema.ColIndex(cr.Name) >= 0 {
+					if found >= 0 {
+						werr = fmt.Errorf("sql: ambiguous column %q", cr.Name)
+						return
+					}
+					found = si
+				}
+			}
+			if found < 0 {
+				werr = fmt.Errorf("sql: unknown column %q", cr.String())
+				return
+			}
+			refs[found] = true
+		})
+		return refs, werr
+	}
+
+	type conjunct struct {
+		ex   Expr
+		refs map[int]bool
+		used bool
+	}
+	var conjs []*conjunct
+	for _, ex := range Conjuncts(sel.Where) {
+		refs, err := sourceOf(ex)
+		if err != nil {
+			return nil, err
+		}
+		conjs = append(conjs, &conjunct{ex: ex, refs: refs})
+	}
+
+	// Push single-source predicates down to their source.
+	for si, s := range srcs {
+		var push []Expr
+		for _, c := range conjs {
+			if c.used || len(c.refs) > 1 {
+				continue
+			}
+			if len(c.refs) == 0 || c.refs[si] {
+				// Constant predicates apply everywhere; attach to source 0.
+				if len(c.refs) == 0 && si != 0 {
+					continue
+				}
+				push = append(push, c.ex)
+				c.used = true
+			}
+		}
+		if len(push) == 0 {
+			continue
+		}
+		sc := newScope()
+		if err := sc.add(s.name, s.schema); err != nil {
+			return nil, err
+		}
+		pred, _, err := compilePredicate(AndAll(push), sc, e.registry)
+		if err != nil {
+			return nil, err
+		}
+		filtered, err := e.filterParts(s.parts, pred)
+		if err != nil {
+			return nil, err
+		}
+		s.parts = filtered
+	}
+
+	// Left-deep joins in FROM order.
+	cur := &dataset{sc: newScope(), parts: srcs[0].parts}
+	if err := cur.sc.add(srcs[0].name, srcs[0].schema); err != nil {
+		return nil, err
+	}
+	inCur := map[int]bool{0: true}
+	for next := 1; next < len(srcs); next++ {
+		s := srcs[next]
+		nextScope := newScope()
+		if err := nextScope.add(s.name, s.schema); err != nil {
+			return nil, err
+		}
+		// Find equi-join conjuncts linking cur to s.
+		var leftKeys, rightKeys []Expr
+		for _, c := range conjs {
+			if c.used || !c.refs[next] {
+				continue
+			}
+			covered := true
+			touchesCur := false
+			for r := range c.refs {
+				if r == next {
+					continue
+				}
+				if inCur[r] {
+					touchesCur = true
+				} else {
+					covered = false
+				}
+			}
+			if !covered || !touchesCur {
+				continue
+			}
+			b, ok := c.ex.(*BinOp)
+			if !ok || b.Op != "=" {
+				continue
+			}
+			lrefs, err := sourceOf(b.L)
+			if err != nil {
+				return nil, err
+			}
+			rrefs, err := sourceOf(b.R)
+			if err != nil {
+				return nil, err
+			}
+			switch {
+			case sideIn(lrefs, inCur) && onlySource(rrefs, next):
+				leftKeys = append(leftKeys, b.L)
+				rightKeys = append(rightKeys, b.R)
+				c.used = true
+			case onlySource(lrefs, next) && sideIn(rrefs, inCur):
+				leftKeys = append(leftKeys, b.R)
+				rightKeys = append(rightKeys, b.L)
+				c.used = true
+			}
+		}
+		joined, err := e.hashJoin(cur, &dataset{sc: nextScope, parts: s.parts}, leftKeys, rightKeys)
+		if err != nil {
+			return nil, err
+		}
+		cur = joined
+		inCur[next] = true
+	}
+
+	// Residual predicates after all joins.
+	var residual []Expr
+	for _, c := range conjs {
+		if !c.used {
+			residual = append(residual, c.ex)
+		}
+	}
+	if len(residual) > 0 {
+		pred, _, err := compilePredicate(AndAll(residual), cur.sc, e.registry)
+		if err != nil {
+			return nil, err
+		}
+		filtered, err := e.filterParts(cur.parts, pred)
+		if err != nil {
+			return nil, err
+		}
+		cur.parts = filtered
+	}
+
+	// Aggregation or plain projection.
+	hasAgg := len(sel.GroupBy) > 0
+	for _, item := range sel.Items {
+		if item.Expr != nil && exprHasAggregate(item.Expr) {
+			hasAgg = true
+		}
+	}
+
+	var (
+		outSchema row.Schema
+		outParts  [][]row.Row
+		err       error
+	)
+	if hasAgg {
+		outSchema, outParts, err = e.execAggregate(sel, cur)
+	} else {
+		outSchema, outParts, err = e.execProject(sel.Items, cur)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if sel.Having != nil {
+		if !hasAgg {
+			return nil, fmt.Errorf("sql: HAVING requires GROUP BY or aggregates")
+		}
+		// HAVING references the aggregate output columns by name.
+		hsc := newScope()
+		if err := hsc.add("", outSchema); err != nil {
+			return nil, err
+		}
+		pred, _, err := compilePredicate(sel.Having, hsc, e.registry)
+		if err != nil {
+			return nil, err
+		}
+		outParts, err = e.filterParts(outParts, pred)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if sel.Distinct {
+		outParts, err = e.distinct(outParts)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if len(sel.OrderBy) > 0 {
+		outParts, err = e.orderBy(sel.OrderBy, outSchema, outParts)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if sel.Limit >= 0 {
+		outParts = e.limit(outParts, sel.Limit)
+	}
+
+	return &Result{Schema: outSchema, Parts: outParts}, nil
+}
+
+func sideIn(refs map[int]bool, in map[int]bool) bool {
+	if len(refs) == 0 {
+		return false
+	}
+	for r := range refs {
+		if !in[r] {
+			return false
+		}
+	}
+	return true
+}
+
+func onlySource(refs map[int]bool, si int) bool {
+	return len(refs) == 1 && refs[si]
+}
+
+// compilePredicate compiles a boolean expression.
+func compilePredicate(ex Expr, sc *scope, reg *Registry) (evalFn, row.Type, error) {
+	fn, t, err := compile(ex, sc, reg)
+	if err != nil {
+		return nil, 0, err
+	}
+	if t != row.TypeBool {
+		return nil, 0, fmt.Errorf("sql: predicate must be BOOLEAN, got %s", t)
+	}
+	return fn, t, nil
+}
+
+// filterParts applies a predicate to every partition in parallel.
+func (e *Engine) filterParts(parts [][]row.Row, pred evalFn) ([][]row.Row, error) {
+	out := make([][]row.Row, len(parts))
+	err := forEachPart(len(parts), func(i int) error {
+		var kept []row.Row
+		for _, r := range parts[i] {
+			v, err := pred(r)
+			if err != nil {
+				return err
+			}
+			if !v.Null && v.AsBool() {
+				kept = append(kept, r)
+			}
+		}
+		out[i] = kept
+		return nil
+	})
+	return out, err
+}
+
+// scanTable produces the partitions of a table: managed tables are adopted
+// in place; external tables are re-read from the DFS with locality-aware
+// split assignment (each worker reads the blocks stored on its node when
+// possible).
+func (e *Engine) scanTable(t *Table) ([][]row.Row, error) {
+	if t.External == nil {
+		parts := t.partitions()
+		if len(parts) == 0 {
+			return make([][]row.Row, e.NumWorkers()), nil
+		}
+		return parts, nil
+	}
+	fs := t.External.FS
+	paths := []string{t.External.Path}
+	if !fs.Exists(t.External.Path) {
+		paths = fs.List(t.External.Path)
+		if len(paths) == 0 {
+			return nil, fmt.Errorf("sql: external table %q: no file or directory %q", t.Name, t.External.Path)
+		}
+	}
+	type assigned struct {
+		fm    *hadoopfmt.TextTableFormat
+		split hadoopfmt.InputSplit
+	}
+	loads := make([]int64, e.NumWorkers())
+	assignments := make([][]assigned, e.NumWorkers())
+	for _, p := range paths {
+		fm := hadoopfmt.NewTextTableFormat(fs, p, t.Schema)
+		splits, err := fm.Splits(0)
+		if err != nil {
+			return nil, err
+		}
+		for _, sp := range splits {
+			w := e.pickWorker(sp.Locations(), loads)
+			loads[w] += sp.Length()
+			assignments[w] = append(assignments[w], assigned{fm: fm, split: sp})
+		}
+	}
+	parts := make([][]row.Row, e.NumWorkers())
+	err := forEachPart(e.NumWorkers(), func(i int) error {
+		for _, a := range assignments[i] {
+			rr, err := a.fm.Open(a.split, e.workers[i])
+			if err != nil {
+				return err
+			}
+			for {
+				r, ok, err := rr.Next()
+				if err != nil {
+					rr.Close()
+					return err
+				}
+				if !ok {
+					break
+				}
+				parts[i] = append(parts[i], r)
+			}
+			if err := rr.Close(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return parts, err
+}
+
+// pickWorker chooses the least-loaded worker among those local to the
+// split, falling back to the least-loaded worker overall.
+func (e *Engine) pickWorker(locations []string, loads []int64) int {
+	best := -1
+	for i, w := range e.workers {
+		local := false
+		for _, loc := range locations {
+			if w.Addr == loc {
+				local = true
+				break
+			}
+		}
+		if local && (best < 0 || loads[i] < loads[best]) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	best = 0
+	for i := range e.workers {
+		if loads[i] < loads[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// execTableFunc runs TABLE(f(...)) from a FROM clause.
+func (e *Engine) execTableFunc(call *TableFuncCall) (row.Schema, [][]row.Row, error) {
+	udf, ok := e.registry.Table(call.Name)
+	if !ok {
+		return row.Schema{}, nil, fmt.Errorf("sql: unknown table function %q", call.Name)
+	}
+	var (
+		inSchema row.Schema
+		inParts  [][]row.Row
+		litArgs  []row.Value
+		hasTable bool
+	)
+	for _, a := range call.Args {
+		if a.Table != "" {
+			if hasTable {
+				return row.Schema{}, nil, fmt.Errorf("sql: table function %q takes at most one table argument", call.Name)
+			}
+			hasTable = true
+			t, err := e.catalog.Get(a.Table)
+			if err != nil {
+				return row.Schema{}, nil, err
+			}
+			inSchema = t.Schema
+			parts, err := e.scanTable(t)
+			if err != nil {
+				return row.Schema{}, nil, err
+			}
+			inParts = parts
+			continue
+		}
+		litArgs = append(litArgs, a.Lit.V)
+	}
+	outSchema, err := udf.OutSchema(inSchema, litArgs)
+	if err != nil {
+		return row.Schema{}, nil, fmt.Errorf("sql: %s: %w", udf.Name, err)
+	}
+	if inParts == nil {
+		inParts = make([][]row.Row, e.NumWorkers())
+	}
+
+	if udf.PerPartition {
+		outParts := make([][]row.Row, e.NumWorkers())
+		err := forEachPart(e.NumWorkers(), func(i int) error {
+			// A table UDF is one pass over its local partition.
+			e.cost.ChargeProc(e.workers[i], partBytes(inParts[i]))
+			ctx := &UDFContext{Engine: e, Node: e.workers[i], Partition: i, NumPartitions: e.NumWorkers(), InSchema: inSchema}
+			first := true
+			emit := func(r row.Row) error {
+				if first {
+					first = false
+					if err := r.Conforms(outSchema); err != nil {
+						return fmt.Errorf("sql: %s: %w", udf.Name, err)
+					}
+				}
+				outParts[i] = append(outParts[i], r)
+				return nil
+			}
+			if err := udf.Fn(ctx, &SliceIterator{Rows: inParts[i]}, litArgs, emit); err != nil {
+				return fmt.Errorf("sql: %s: %w", udf.Name, err)
+			}
+			return nil
+		})
+		if err != nil {
+			return row.Schema{}, nil, err
+		}
+		return outSchema, outParts, nil
+	}
+
+	// Global UDF: gather input to the head node, run once, scatter output.
+	var gathered []row.Row
+	for i, p := range inParts {
+		if e.workers[i] != e.head {
+			e.cost.ChargeNet(e.workers[i], e.head, partBytes(p))
+		}
+		gathered = append(gathered, p...)
+	}
+	e.cost.ChargeProc(e.head, partBytes(gathered))
+	ctx := &UDFContext{Engine: e, Node: e.head, Partition: 0, NumPartitions: 1, InSchema: inSchema}
+	var outRows []row.Row
+	first := true
+	emit := func(r row.Row) error {
+		if first {
+			first = false
+			if err := r.Conforms(outSchema); err != nil {
+				return fmt.Errorf("sql: %s: %w", udf.Name, err)
+			}
+		}
+		outRows = append(outRows, r)
+		return nil
+	}
+	if err := udf.Fn(ctx, &SliceIterator{Rows: gathered}, litArgs, emit); err != nil {
+		return row.Schema{}, nil, fmt.Errorf("sql: %s: %w", udf.Name, err)
+	}
+	outParts := make([][]row.Row, e.NumWorkers())
+	for i, r := range outRows {
+		w := i % e.NumWorkers()
+		outParts[w] = append(outParts[w], r)
+	}
+	for i, p := range outParts {
+		if e.workers[i] != e.head {
+			e.cost.ChargeNet(e.head, e.workers[i], partBytes(p))
+		}
+	}
+	return outSchema, outParts, nil
+}
+
+// hashJoin joins two datasets. With key expressions it is a broadcast hash
+// join (the smaller side is built and broadcast); with no keys it degrades
+// to a broadcast nested-loop (cartesian) join. Output binding order is
+// always left-then-right, matching FROM order.
+func (e *Engine) hashJoin(left, right *dataset, leftKeys, rightKeys []Expr) (*dataset, error) {
+	outScope := newScope()
+	for _, b := range left.sc.bindings {
+		if err := outScope.add(b.name, b.schema); err != nil {
+			return nil, err
+		}
+	}
+	for _, b := range right.sc.bindings {
+		if err := outScope.add(b.name, b.schema); err != nil {
+			return nil, err
+		}
+	}
+
+	buildLeft := left.numRows() < right.numRows()
+	build, probe := right, left
+	buildKeys, probeKeys := rightKeys, leftKeys
+	if buildLeft {
+		build, probe = left, right
+		buildKeys, probeKeys = leftKeys, rightKeys
+	}
+
+	buildKeyFns, err := compileKeys(buildKeys, build.sc, e.registry)
+	if err != nil {
+		return nil, err
+	}
+	probeKeyFns, err := compileKeys(probeKeys, probe.sc, e.registry)
+	if err != nil {
+		return nil, err
+	}
+
+	// Broadcast: every probe worker receives the full build side. Charge
+	// the network once per (build partition, remote probe worker) pair.
+	for bi, bp := range build.parts {
+		bytes := partBytes(bp)
+		for pi := range probe.parts {
+			if e.workers[bi] != e.workers[pi] {
+				e.cost.ChargeNet(e.workers[bi], e.workers[pi], bytes)
+			}
+		}
+	}
+
+	// Build the hash table (shared read-only across probe workers).
+	table := make(map[string][]row.Row)
+	var buildAll []row.Row
+	for _, bp := range build.parts {
+		for _, r := range bp {
+			if len(buildKeyFns) == 0 {
+				buildAll = append(buildAll, r)
+				continue
+			}
+			key, nullKey, err := evalKey(buildKeyFns, r)
+			if err != nil {
+				return nil, err
+			}
+			if nullKey {
+				continue
+			}
+			table[key] = append(table[key], r)
+		}
+	}
+
+	concat := func(probeRow, buildRow row.Row) row.Row {
+		out := make(row.Row, 0, len(probeRow)+len(buildRow))
+		if buildLeft {
+			out = append(out, buildRow...)
+			return append(out, probeRow...)
+		}
+		out = append(out, probeRow...)
+		return append(out, buildRow...)
+	}
+
+	outParts := make([][]row.Row, len(probe.parts))
+	err = forEachPart(len(probe.parts), func(i int) error {
+		// Probing is one pass over the local probe partition.
+		if i < len(e.workers) {
+			e.cost.ChargeProc(e.workers[i], partBytes(probe.parts[i]))
+		}
+		var out []row.Row
+		for _, r := range probe.parts[i] {
+			if len(probeKeyFns) == 0 {
+				for _, br := range buildAll {
+					out = append(out, concat(r, br))
+				}
+				continue
+			}
+			key, nullKey, err := evalKey(probeKeyFns, r)
+			if err != nil {
+				return err
+			}
+			if nullKey {
+				continue
+			}
+			for _, br := range table[key] {
+				out = append(out, concat(r, br))
+			}
+		}
+		outParts[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &dataset{sc: outScope, parts: outParts}, nil
+}
+
+func compileKeys(keys []Expr, sc *scope, reg *Registry) ([]evalFn, error) {
+	fns := make([]evalFn, len(keys))
+	for i, k := range keys {
+		fn, _, err := compile(k, sc, reg)
+		if err != nil {
+			return nil, err
+		}
+		fns[i] = fn
+	}
+	return fns, nil
+}
+
+func evalKey(fns []evalFn, r row.Row) (string, bool, error) {
+	vals := make(row.Row, len(fns))
+	for i, fn := range fns {
+		v, err := fn(r)
+		if err != nil {
+			return "", false, err
+		}
+		if v.Null {
+			return "", true, nil
+		}
+		// Normalize numerics so BIGINT 2 joins DOUBLE 2.0.
+		if v.Kind == row.TypeInt {
+			v = row.Float(v.AsFloat())
+		}
+		vals[i] = v
+	}
+	return encodeKey(vals), false, nil
+}
+
+// execProject evaluates the select list over every partition in parallel.
+func (e *Engine) execProject(items []SelectItem, in *dataset) (row.Schema, [][]row.Row, error) {
+	fns, schema, err := compileSelectList(items, in.sc, e.registry)
+	if err != nil {
+		return row.Schema{}, nil, err
+	}
+	outParts := make([][]row.Row, len(in.parts))
+	err = forEachPart(len(in.parts), func(i int) error {
+		out := make([]row.Row, 0, len(in.parts[i]))
+		for _, r := range in.parts[i] {
+			or := make(row.Row, len(fns))
+			for j, fn := range fns {
+				v, err := fn(r)
+				if err != nil {
+					return err
+				}
+				or[j] = v
+			}
+			out = append(out, or)
+		}
+		outParts[i] = out
+		return nil
+	})
+	if err != nil {
+		return row.Schema{}, nil, err
+	}
+	return schema, outParts, nil
+}
+
+// compileSelectList expands stars and compiles each output column.
+func compileSelectList(items []SelectItem, sc *scope, reg *Registry) ([]evalFn, row.Schema, error) {
+	var fns []evalFn
+	var names []string
+	var types []row.Type
+	for _, item := range items {
+		if item.Star {
+			q := strings.ToLower(item.StarQualifier)
+			matched := false
+			for _, b := range sc.bindings {
+				if q != "" && b.name != q {
+					continue
+				}
+				matched = true
+				for ci, col := range b.schema.Cols {
+					idx := b.offset + ci
+					fns = append(fns, func(r row.Row) (row.Value, error) { return r[idx], nil })
+					names = append(names, col.Name)
+					types = append(types, col.Type)
+				}
+			}
+			if !matched {
+				return nil, row.Schema{}, fmt.Errorf("sql: unknown binding %q in star expansion", item.StarQualifier)
+			}
+			continue
+		}
+		fn, t, err := compile(item.Expr, sc, reg)
+		if err != nil {
+			return nil, row.Schema{}, err
+		}
+		fns = append(fns, fn)
+		names = append(names, outputName(item))
+		types = append(types, t)
+	}
+	schema, err := makeOutputSchema(names, types)
+	if err != nil {
+		return nil, row.Schema{}, err
+	}
+	return fns, schema, nil
+}
+
+func outputName(item SelectItem) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	switch x := item.Expr.(type) {
+	case *ColRef:
+		return x.Name
+	case *FuncCall:
+		return strings.ToLower(x.Name)
+	default:
+		return "expr"
+	}
+}
+
+// makeOutputSchema builds a schema, de-duplicating column names by
+// suffixing _2, _3, ...
+func makeOutputSchema(names []string, types []row.Type) (row.Schema, error) {
+	seen := make(map[string]int)
+	cols := make([]row.Column, len(names))
+	for i, n := range names {
+		base := strings.ToLower(n)
+		seen[base]++
+		if seen[base] > 1 {
+			n = fmt.Sprintf("%s_%d", n, seen[base])
+		}
+		cols[i] = row.Column{Name: n, Type: types[i]}
+	}
+	return row.NewSchema(cols...)
+}
+
+// distinct de-duplicates rows: local pass, hash repartition so equal rows
+// colocate, then a second local pass.
+func (e *Engine) distinct(parts [][]row.Row) ([][]row.Row, error) {
+	local := make([][]row.Row, len(parts))
+	err := forEachPart(len(parts), func(i int) error {
+		seen := make(map[string]bool, len(parts[i]))
+		var out []row.Row
+		for _, r := range parts[i] {
+			k := encodeKey(r)
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, r)
+			}
+		}
+		local[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	shuffled := e.repartitionByKey(local, func(r row.Row) uint64 { return hashKey(r) })
+	final := make([][]row.Row, len(shuffled))
+	err = forEachPart(len(shuffled), func(i int) error {
+		seen := make(map[string]bool, len(shuffled[i]))
+		var out []row.Row
+		for _, r := range shuffled[i] {
+			k := encodeKey(r)
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, r)
+			}
+		}
+		final[i] = out
+		return nil
+	})
+	return final, err
+}
+
+// repartitionByKey moves rows so that equal hashes colocate, charging
+// network for cross-worker movement.
+func (e *Engine) repartitionByKey(parts [][]row.Row, h func(row.Row) uint64) [][]row.Row {
+	n := len(parts)
+	buckets := make([][][]row.Row, n) // [src][dst]rows
+	forEachPart(n, func(i int) error {
+		b := make([][]row.Row, n)
+		for _, r := range parts[i] {
+			d := int(h(r) % uint64(n))
+			b[d] = append(b[d], r)
+		}
+		buckets[i] = b
+		return nil
+	})
+	out := make([][]row.Row, n)
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			rows := buckets[src][dst]
+			if len(rows) == 0 {
+				continue
+			}
+			if e.workers[src] != e.workers[dst] {
+				e.cost.ChargeNet(e.workers[src], e.workers[dst], partBytes(rows))
+			}
+			out[dst] = append(out[dst], rows...)
+		}
+	}
+	return out
+}
+
+// orderBy gathers all rows to the head node and sorts them; the sorted
+// result occupies partition 0.
+func (e *Engine) orderBy(items []OrderItem, schema row.Schema, parts [][]row.Row) ([][]row.Row, error) {
+	sc := newScope()
+	if err := sc.add("", schema); err != nil {
+		return nil, err
+	}
+	type key struct {
+		fn   evalFn
+		desc bool
+	}
+	keys := make([]key, len(items))
+	for i, it := range items {
+		fn, _, err := compile(it.Expr, sc, e.registry)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = key{fn: fn, desc: it.Desc}
+	}
+	var all []row.Row
+	for i, p := range parts {
+		if i < len(e.workers) && e.workers[i] != e.head {
+			e.cost.ChargeNet(e.workers[i], e.head, partBytes(p))
+		}
+		all = append(all, p...)
+	}
+	var sortErr error
+	sort.SliceStable(all, func(a, b int) bool {
+		for _, k := range keys {
+			va, err := k.fn(all[a])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			vb, err := k.fn(all[b])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			c := va.Compare(vb)
+			if c == 0 {
+				continue
+			}
+			if k.desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	if sortErr != nil {
+		return nil, sortErr
+	}
+	out := make([][]row.Row, len(parts))
+	out[0] = all
+	return out, nil
+}
+
+// limit truncates the result to n rows (taken in partition order).
+func (e *Engine) limit(parts [][]row.Row, n int) [][]row.Row {
+	out := make([][]row.Row, len(parts))
+	remaining := n
+	for i, p := range parts {
+		if remaining <= 0 {
+			break
+		}
+		take := len(p)
+		if take > remaining {
+			take = remaining
+		}
+		out[i] = p[:take]
+		remaining -= take
+	}
+	return out
+}
+
+// ExportToDFS writes a result to the DFS as a directory of text part
+// files, one per partition, written in parallel by each worker — the
+// materialization step of the paper's naive pipeline.
+func (e *Engine) ExportToDFS(res *Result, fs *dfs.FileSystem, dir string) error {
+	return forEachPart(len(res.Parts), func(i int) error {
+		node := e.workers[i%len(e.workers)]
+		// Encoding and writing the partition is one pass over it.
+		e.cost.ChargeProc(node, partBytes(res.Parts[i]))
+		path := fmt.Sprintf("%s/part-%05d", dir, i)
+		_, err := hadoopfmt.WriteTextTable(fs, path, res.Schema, res.Parts[i], node)
+		return err
+	})
+}
+
+// showTables answers SHOW TABLES with one row per catalog table.
+func (e *Engine) showTables() (*Result, error) {
+	schema := row.MustSchema(
+		row.Column{Name: "name", Type: row.TypeString},
+		row.Column{Name: "rows", Type: row.TypeInt},
+		row.Column{Name: "storage", Type: row.TypeString},
+	)
+	parts := make([][]row.Row, e.NumWorkers())
+	for _, name := range e.catalog.Names() {
+		t, err := e.catalog.Get(name)
+		if err != nil {
+			continue
+		}
+		storage := "managed"
+		if t.External != nil {
+			storage = "external:" + t.External.Path
+		}
+		parts[0] = append(parts[0], row.Row{
+			row.String_(t.Name), row.Int(int64(t.NumRows())), row.String_(storage),
+		})
+	}
+	return &Result{Schema: schema, Parts: parts}, nil
+}
+
+// describe answers DESCRIBE <table> with one row per column.
+func (e *Engine) describe(name string) (*Result, error) {
+	t, err := e.catalog.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	schema := row.MustSchema(
+		row.Column{Name: "column", Type: row.TypeString},
+		row.Column{Name: "type", Type: row.TypeString},
+	)
+	parts := make([][]row.Row, e.NumWorkers())
+	for _, c := range t.Schema.Cols {
+		parts[0] = append(parts[0], row.Row{row.String_(c.Name), row.String_(c.Type.String())})
+	}
+	return &Result{Schema: schema, Parts: parts}, nil
+}

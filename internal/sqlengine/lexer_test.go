@@ -1,0 +1,97 @@
+package sqlengine
+
+import "testing"
+
+func lexKinds(t *testing.T, src string) []token {
+	t.Helper()
+	toks, err := lex(src)
+	if err != nil {
+		t.Fatalf("lex(%q): %v", src, err)
+	}
+	return toks
+}
+
+func TestLexBasics(t *testing.T) {
+	toks := lexKinds(t, "SELECT a1, 'it''s', 3.14 FROM t")
+	want := []struct {
+		kind tokKind
+		text string
+	}{
+		{tokKeyword, "SELECT"},
+		{tokIdent, "a1"},
+		{tokSymbol, ","},
+		{tokString, "it's"},
+		{tokSymbol, ","},
+		{tokNumber, "3.14"},
+		{tokKeyword, "FROM"},
+		{tokIdent, "t"},
+		{tokEOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("token count = %d, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].kind != w.kind || toks[i].text != w.text {
+			t.Errorf("token %d = (%d, %q), want (%d, %q)", i, toks[i].kind, toks[i].text, w.kind, w.text)
+		}
+	}
+}
+
+func TestLexKeywordsCaseInsensitive(t *testing.T) {
+	toks := lexKinds(t, "select Select SELECT sElEcT")
+	for i := 0; i < 4; i++ {
+		if toks[i].kind != tokKeyword || toks[i].text != "SELECT" {
+			t.Errorf("token %d = %+v", i, toks[i])
+		}
+	}
+}
+
+func TestLexTwoCharOperators(t *testing.T) {
+	toks := lexKinds(t, "<= >= <> != < >")
+	want := []string{"<=", ">=", "<>", "!=", "<", ">"}
+	for i, w := range want {
+		if toks[i].kind != tokSymbol || toks[i].text != w {
+			t.Errorf("token %d = %+v, want %q", i, toks[i], w)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks := lexKinds(t, "SELECT -- whole line ignored\n a")
+	if len(toks) != 3 || toks[1].text != "a" {
+		t.Errorf("comment handling: %v", toks)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{
+		"'unterminated",
+		"a @ b",
+		"a # b",
+	} {
+		if _, err := lex(src); err == nil {
+			t.Errorf("lex(%q) should fail", src)
+		}
+	}
+}
+
+func TestLexIdentifiersWithUnderscoresAndDigits(t *testing.T) {
+	toks := lexKinds(t, "_tmp col_2 x9")
+	for i, want := range []string{"_tmp", "col_2", "x9"} {
+		if toks[i].kind != tokIdent || toks[i].text != want {
+			t.Errorf("token %d = %+v", i, toks[i])
+		}
+	}
+}
+
+func TestLexNumbersEdgeCases(t *testing.T) {
+	toks := lexKinds(t, "0 007 1.5 .5")
+	if toks[0].text != "0" || toks[1].text != "007" || toks[2].text != "1.5" || toks[3].text != ".5" {
+		t.Errorf("numbers: %v", toks[:4])
+	}
+	// A lone dot is a symbol (qualified-name separator), not a number.
+	toks = lexKinds(t, "a.b")
+	if toks[1].kind != tokSymbol || toks[1].text != "." {
+		t.Errorf("qualified dot: %+v", toks[1])
+	}
+}

@@ -1,0 +1,757 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"sqlml/internal/row"
+)
+
+// Parse parses one SQL statement (a trailing semicolon is allowed).
+func Parse(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokSymbol, ";")
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("trailing input starting at %q", p.cur().text)
+	}
+	return stmt, nil
+}
+
+// ParseSelect parses a statement and requires it to be a SELECT.
+func ParseSelect(src string) (*SelectStmt, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sql: expected a SELECT statement")
+	}
+	return sel, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+	src  string
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	want := text
+	if want == "" {
+		want = fmt.Sprintf("token kind %d", kind)
+	}
+	return token{}, p.errf("expected %s, found %q", want, p.cur().text)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: at byte %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	switch {
+	case p.at(tokKeyword, "SELECT"):
+		return p.parseSelect()
+	case p.at(tokKeyword, "CREATE"):
+		return p.parseCreate()
+	case p.at(tokKeyword, "INSERT"):
+		return p.parseInsert()
+	case p.at(tokKeyword, "DROP"):
+		return p.parseDrop()
+	case p.at(tokKeyword, "SHOW"):
+		p.next()
+		if _, err := p.expect(tokKeyword, "TABLES"); err != nil {
+			return nil, err
+		}
+		return &ShowTablesStmt{}, nil
+	case p.at(tokKeyword, "DESCRIBE"):
+		p.next()
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		return &DescribeStmt{Table: name.text}, nil
+	default:
+		return nil, p.errf("expected a statement, found %q", p.cur().text)
+	}
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &SelectStmt{Limit: -1}
+	sel.Distinct = p.accept(tokKeyword, "DISTINCT")
+
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	var joinConds []Expr
+	first, err := p.parseFromItem()
+	if err != nil {
+		return nil, err
+	}
+	sel.From = append(sel.From, first)
+	for {
+		if p.accept(tokSymbol, ",") {
+			item, err := p.parseFromItem()
+			if err != nil {
+				return nil, err
+			}
+			sel.From = append(sel.From, item)
+			continue
+		}
+		// Explicit [INNER] JOIN ... ON desugars to a comma join with the ON
+		// condition conjoined into WHERE; the planner extracts equi-join
+		// conditions from the conjunct list either way.
+		if p.at(tokKeyword, "JOIN") || p.at(tokKeyword, "INNER") {
+			p.accept(tokKeyword, "INNER")
+			if _, err := p.expect(tokKeyword, "JOIN"); err != nil {
+				return nil, err
+			}
+			item, err := p.parseFromItem()
+			if err != nil {
+				return nil, err
+			}
+			sel.From = append(sel.From, item)
+			if _, err := p.expect(tokKeyword, "ON"); err != nil {
+				return nil, err
+			}
+			cond, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			joinConds = append(joinConds, cond)
+			continue
+		}
+		break
+	}
+
+	if p.accept(tokKeyword, "WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = w
+	}
+	if len(joinConds) > 0 {
+		sel.Where = AndAll(append(joinConds, Conjuncts(sel.Where)...))
+	}
+
+	if p.accept(tokKeyword, "GROUP") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+
+	if p.accept(tokKeyword, "HAVING") {
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = h
+	}
+
+	if p.accept(tokKeyword, "ORDER") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.accept(tokKeyword, "DESC") {
+				item.Desc = true
+			} else {
+				p.accept(tokKeyword, "ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+
+	if p.accept(tokKeyword, "LIMIT") {
+		t, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, p.errf("bad LIMIT %q", t.text)
+		}
+		sel.Limit = n
+	}
+	return sel, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.accept(tokSymbol, "*") {
+		return SelectItem{Star: true}, nil
+	}
+	// alias.* form
+	if p.at(tokIdent, "") && p.i+2 < len(p.toks) &&
+		p.toks[p.i+1].kind == tokSymbol && p.toks[p.i+1].text == "." &&
+		p.toks[p.i+2].kind == tokSymbol && p.toks[p.i+2].text == "*" {
+		q := p.next().text
+		p.next()
+		p.next()
+		return SelectItem{Star: true, StarQualifier: q}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.accept(tokKeyword, "AS") {
+		t, err := p.expect(tokIdent, "")
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = t.text
+	} else if p.at(tokIdent, "") {
+		item.Alias = p.next().text
+	}
+	return item, nil
+}
+
+func (p *parser) parseFromItem() (FromItem, error) {
+	var item FromItem
+	if p.accept(tokKeyword, "TABLE") {
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return item, err
+		}
+		fn, err := p.parseTableFunc()
+		if err != nil {
+			return item, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return item, err
+		}
+		item.Func = fn
+	} else {
+		t, err := p.expect(tokIdent, "")
+		if err != nil {
+			return item, err
+		}
+		item.Table = t.text
+	}
+	if p.accept(tokKeyword, "AS") {
+		t, err := p.expect(tokIdent, "")
+		if err != nil {
+			return item, err
+		}
+		item.Alias = t.text
+	} else if p.at(tokIdent, "") {
+		item.Alias = p.next().text
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableFunc() (*TableFuncCall, error) {
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	fn := &TableFuncCall{Name: name.text}
+	if !p.at(tokSymbol, ")") {
+		for {
+			arg, err := p.parseTableFuncArg()
+			if err != nil {
+				return nil, err
+			}
+			fn.Args = append(fn.Args, arg)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return fn, nil
+}
+
+func (p *parser) parseTableFuncArg() (TableFuncArg, error) {
+	if p.at(tokIdent, "") {
+		return TableFuncArg{Table: p.next().text}, nil
+	}
+	e, err := p.parsePrimary()
+	if err != nil {
+		return TableFuncArg{}, err
+	}
+	lit, ok := e.(*Lit)
+	if !ok {
+		return TableFuncArg{}, p.errf("table function arguments must be table names or literals")
+	}
+	return TableFuncArg{Lit: lit}, nil
+}
+
+// Expression grammar, loosest to tightest binding:
+//
+//	expr    := and (OR and)*
+//	and     := not (AND not)*
+//	not     := NOT not | pred
+//	pred    := add (cmp add | IS [NOT] NULL | [NOT] IN (...) | BETWEEN a AND b)?
+//	add     := mul (('+'|'-') mul)*
+//	mul     := unary (('*'|'/') unary)*
+//	unary   := '-' unary | primary
+//	primary := literal | colref | func(args) | '(' expr ')'
+func (p *parser) parseExpr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinOp{Op: "OR", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinOp{Op: "AND", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.accept(tokKeyword, "NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{E: e}, nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *parser) parsePredicate() (Expr, error) {
+	left, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tokKeyword, "IS") {
+		neg := p.accept(tokKeyword, "NOT")
+		if _, err := p.expect(tokKeyword, "NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{E: left, Negate: neg}, nil
+	}
+	neg := false
+	if p.at(tokKeyword, "NOT") && p.i+1 < len(p.toks) &&
+		(p.toks[p.i+1].text == "IN" || p.toks[p.i+1].text == "BETWEEN") {
+		p.next()
+		neg = true
+	}
+	if p.accept(tokKeyword, "IN") {
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		var list []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return &InListExpr{E: left, List: list, Negate: neg}, nil
+	}
+	if p.accept(tokKeyword, "BETWEEN") {
+		lo, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		rangeExpr := &BinOp{Op: "AND",
+			L: &BinOp{Op: ">=", L: left, R: lo},
+			R: &BinOp{Op: "<=", L: left, R: hi},
+		}
+		if neg {
+			return &NotExpr{E: rangeExpr}, nil
+		}
+		return rangeExpr, nil
+	}
+	for _, op := range []string{"=", "<>", "!=", "<=", ">=", "<", ">"} {
+		if p.accept(tokSymbol, op) {
+			right, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			if op == "!=" {
+				op = "<>"
+			}
+			return &BinOp{Op: op, L: left, R: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	left, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokSymbol, "+"):
+			right, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinOp{Op: "+", L: left, R: right}
+		case p.accept(tokSymbol, "-"):
+			right, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinOp{Op: "-", L: left, R: right}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokSymbol, "*"):
+			right, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinOp{Op: "*", L: left, R: right}
+		case p.accept(tokSymbol, "/"):
+			right, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinOp{Op: "/", L: left, R: right}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(tokSymbol, "-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := e.(*Lit); ok && lit.V.Numeric() && !lit.V.Null {
+			if lit.V.Kind == row.TypeInt {
+				return &Lit{V: row.Int(-lit.V.AsInt())}, nil
+			}
+			return &Lit{V: row.Float(-lit.V.AsFloat())}, nil
+		}
+		return &BinOp{Op: "-", L: &Lit{V: row.Int(0)}, R: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.text)
+			}
+			return &Lit{V: row.Float(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return &Lit{V: row.Int(n)}, nil
+	case tokString:
+		p.next()
+		return &Lit{V: row.String_(t.text)}, nil
+	case tokKeyword:
+		switch t.text {
+		case "CASE":
+			return p.parseCase()
+		case "NULL":
+			p.next()
+			return &Lit{V: row.NullOf(row.TypeString)}, nil
+		case "TRUE":
+			p.next()
+			return &Lit{V: row.Bool(true)}, nil
+		case "FALSE":
+			p.next()
+			return &Lit{V: row.Bool(false)}, nil
+		}
+	case tokSymbol:
+		if t.text == "(" {
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	case tokIdent:
+		p.next()
+		// function call
+		if p.at(tokSymbol, "(") {
+			p.next()
+			fc := &FuncCall{Name: t.text}
+			if p.accept(tokSymbol, "*") {
+				fc.Star = true
+			} else if !p.at(tokSymbol, ")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					fc.Args = append(fc.Args, a)
+					if !p.accept(tokSymbol, ",") {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return fc, nil
+		}
+		// qualified column
+		if p.accept(tokSymbol, ".") {
+			c, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			return &ColRef{Qualifier: t.text, Name: c.text}, nil
+		}
+		return &ColRef{Name: t.text}, nil
+	}
+	return nil, p.errf("unexpected token %q in expression", t.text)
+}
+
+func (p *parser) parseCreate() (Statement, error) {
+	if _, err := p.expect(tokKeyword, "CREATE"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	stmt := &CreateTableStmt{Name: name.text}
+	if p.accept(tokKeyword, "AS") {
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		stmt.AsSelect = sel
+		return stmt, nil
+	}
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	for {
+		cname, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		ctype, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		t, err := row.ParseType(ctype.text)
+		if err != nil {
+			return nil, p.errf("%v", err)
+		}
+		stmt.Cols = append(stmt.Cols, row.Column{Name: cname.text, Type: t})
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseInsert() (Statement, error) {
+	if _, err := p.expect(tokKeyword, "INSERT"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "VALUES"); err != nil {
+		return nil, err
+	}
+	stmt := &InsertStmt{Table: name.text}
+	for {
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		var vals []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, e)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		stmt.Rows = append(stmt.Rows, vals)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseDrop() (Statement, error) {
+	if _, err := p.expect(tokKeyword, "DROP"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	return &DropTableStmt{Name: name.text}, nil
+}
+
+// parseCase parses a searched CASE expression.
+func (p *parser) parseCase() (Expr, error) {
+	if _, err := p.expect(tokKeyword, "CASE"); err != nil {
+		return nil, err
+	}
+	out := &CaseExpr{}
+	for p.accept(tokKeyword, "WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		out.Whens = append(out.Whens, CaseWhen{Cond: cond, Then: then})
+	}
+	if len(out.Whens) == 0 {
+		return nil, p.errf("CASE requires at least one WHEN arm")
+	}
+	if p.accept(tokKeyword, "ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		out.Else = e
+	}
+	if _, err := p.expect(tokKeyword, "END"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,265 @@
+package sqlengine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"sqlml/internal/cluster"
+	"sqlml/internal/row"
+)
+
+// randomTables loads two small random tables into a fresh engine and
+// returns the raw rows for oracle computations in plain Go.
+func randomTables(t testing.TB, rng *rand.Rand) (*Engine, []row.Row, []row.Row) {
+	t.Helper()
+	topo := cluster.NewTopology(1 + 1 + rng.Intn(4))
+	workers := make([]int, topo.Len()-1)
+	for i := range workers {
+		workers[i] = i + 1
+	}
+	e, err := New(topo, nil, Config{HeadNodeID: 0, WorkerNodeIDs: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cats := []string{"a", "b", "c", "d"}
+	var left []row.Row
+	for i := 0; i < rng.Intn(60); i++ {
+		left = append(left, row.Row{
+			row.Int(int64(rng.Intn(10))),
+			row.Int(int64(rng.Intn(100))),
+			row.String_(cats[rng.Intn(len(cats))]),
+		})
+	}
+	var right []row.Row
+	for i := 0; i < rng.Intn(30); i++ {
+		right = append(right, row.Row{
+			row.Int(int64(rng.Intn(10))),
+			row.Float(rng.Float64() * 100),
+		})
+	}
+	lschema := row.MustSchema(
+		row.Column{Name: "k", Type: row.TypeInt},
+		row.Column{Name: "v", Type: row.TypeInt},
+		row.Column{Name: "cat", Type: row.TypeString},
+	)
+	rschema := row.MustSchema(
+		row.Column{Name: "k", Type: row.TypeInt},
+		row.Column{Name: "w", Type: row.TypeFloat},
+	)
+	if err := e.LoadTable("l", lschema, left); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.LoadTable("r", rschema, right); err != nil {
+		t.Fatal(err)
+	}
+	return e, left, right
+}
+
+// TestPropertyCountMatchesRows: COUNT(*) equals the row count of the same
+// filtered SELECT, for random data and a random threshold.
+func TestPropertyCountMatchesRows(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e, _, _ := randomTables(t, rng)
+		thr := rng.Intn(100)
+		all, err := e.Query(fmt.Sprintf("SELECT v FROM l WHERE v < %d", thr))
+		if err != nil {
+			return false
+		}
+		cnt, err := e.Query(fmt.Sprintf("SELECT COUNT(*) FROM l WHERE v < %d", thr))
+		if err != nil {
+			return false
+		}
+		return cnt.Rows()[0][0].AsInt() == int64(all.NumRows())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyJoinMatchesNestedLoopOracle: the distributed broadcast hash
+// join returns exactly the pairs a nested loop over the raw rows produces.
+func TestPropertyJoinMatchesNestedLoopOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e, left, right := randomTables(t, rng)
+		res, err := e.Query("SELECT l.v, r.w FROM l, r WHERE l.k = r.k")
+		if err != nil {
+			return false
+		}
+		var oracle []string
+		for _, lr := range left {
+			for _, rr := range right {
+				if lr[0].Equal(rr[0]) {
+					oracle = append(oracle, fmt.Sprintf("%v|%v", lr[1], rr[1]))
+				}
+			}
+		}
+		var got []string
+		for _, r := range res.Rows() {
+			got = append(got, fmt.Sprintf("%v|%v", r[0], r[1]))
+		}
+		sort.Strings(oracle)
+		sort.Strings(got)
+		if len(oracle) != len(got) {
+			return false
+		}
+		for i := range got {
+			if got[i] != oracle[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyDistinctIdempotent: DISTINCT of DISTINCT equals DISTINCT, and
+// its cardinality matches a map-based oracle.
+func TestPropertyDistinctIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e, left, _ := randomTables(t, rng)
+		res, err := e.Query("SELECT DISTINCT cat FROM l")
+		if err != nil {
+			return false
+		}
+		oracle := map[string]bool{}
+		for _, r := range left {
+			oracle[r[2].AsString()] = true
+		}
+		if res.NumRows() != len(oracle) {
+			return false
+		}
+		if err := e.RegisterResult("d1", res); err != nil {
+			return false
+		}
+		res2, err := e.Query("SELECT DISTINCT cat FROM d1")
+		if err != nil {
+			return false
+		}
+		return res2.NumRows() == res.NumRows()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyGroupByMatchesOracle: GROUP BY sums equal a plain-Go
+// aggregation of the raw rows.
+func TestPropertyGroupByMatchesOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e, left, _ := randomTables(t, rng)
+		res, err := e.Query("SELECT cat, SUM(v), COUNT(*) FROM l GROUP BY cat")
+		if err != nil {
+			return false
+		}
+		sums := map[string]int64{}
+		counts := map[string]int64{}
+		for _, r := range left {
+			sums[r[2].AsString()] += r[1].AsInt()
+			counts[r[2].AsString()]++
+		}
+		if res.NumRows() != len(sums) {
+			return false
+		}
+		for _, r := range res.Rows() {
+			cat := r[0].AsString()
+			if r[1].AsInt() != sums[cat] || r[2].AsInt() != counts[cat] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyOrderBySorted: ORDER BY output is sorted and LIMIT truncates.
+func TestPropertyOrderBySorted(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e, left, _ := randomTables(t, rng)
+		limit := rng.Intn(20)
+		res, err := e.Query(fmt.Sprintf("SELECT v FROM l ORDER BY v DESC LIMIT %d", limit))
+		if err != nil {
+			return false
+		}
+		rows := res.Rows()
+		want := limit
+		if len(left) < want {
+			want = len(left)
+		}
+		if len(rows) != want {
+			return false
+		}
+		for i := 1; i < len(rows); i++ {
+			if rows[i-1][0].AsInt() < rows[i][0].AsInt() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyPartitionCountInvariance: the same query over the same rows
+// returns identical multisets regardless of the worker count the engine
+// was configured with.
+func TestPropertyPartitionCountInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		_, left, right := randomTables(t, rng)
+		fingerprint := func(workers int) (string, bool) {
+			topo := cluster.NewTopology(workers + 1)
+			ids := make([]int, workers)
+			for i := range ids {
+				ids[i] = i + 1
+			}
+			e, err := New(topo, nil, Config{HeadNodeID: 0, WorkerNodeIDs: ids})
+			if err != nil {
+				return "", false
+			}
+			lschema := row.MustSchema(
+				row.Column{Name: "k", Type: row.TypeInt},
+				row.Column{Name: "v", Type: row.TypeInt},
+				row.Column{Name: "cat", Type: row.TypeString},
+			)
+			rschema := row.MustSchema(
+				row.Column{Name: "k", Type: row.TypeInt},
+				row.Column{Name: "w", Type: row.TypeFloat},
+			)
+			if err := e.LoadTable("l", lschema, left); err != nil {
+				return "", false
+			}
+			if err := e.LoadTable("r", rschema, right); err != nil {
+				return "", false
+			}
+			res, err := e.Query("SELECT l.cat, r.w FROM l, r WHERE l.k = r.k AND l.v > 20")
+			if err != nil {
+				return "", false
+			}
+			var keys []string
+			for _, r := range res.Rows() {
+				keys = append(keys, r.String())
+			}
+			sort.Strings(keys)
+			return fmt.Sprint(keys), true
+		}
+		a, ok1 := fingerprint(1)
+		b, ok2 := fingerprint(4)
+		return ok1 && ok2 && a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

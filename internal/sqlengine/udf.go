@@ -1,0 +1,227 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"sqlml/internal/cluster"
+	"sqlml/internal/row"
+)
+
+// Iterator is the pull-based row stream flowing through table UDFs.
+type Iterator interface {
+	// Next returns the next row; ok is false at the end of the stream.
+	Next() (r row.Row, ok bool, err error)
+}
+
+// SliceIterator iterates an in-memory row slice.
+type SliceIterator struct {
+	Rows []row.Row
+	i    int
+}
+
+// Next implements Iterator.
+func (s *SliceIterator) Next() (row.Row, bool, error) {
+	if s.i >= len(s.Rows) {
+		return nil, false, nil
+	}
+	r := s.Rows[s.i]
+	s.i++
+	return r, true, nil
+}
+
+// Drain reads an iterator to completion.
+func Drain(it Iterator) ([]row.Row, error) {
+	var out []row.Row
+	for {
+		r, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, r)
+	}
+}
+
+// UDFContext carries execution-site information into a UDF invocation: the
+// worker's node (for cost charging and streaming), its partition index, and
+// the total number of SQL workers — the paper's UDFs need all three (e.g.
+// the stream sender registers "its own worker id, IP address, and the total
+// number of active SQL workers" with the coordinator).
+type UDFContext struct {
+	Engine        *Engine
+	Node          *cluster.Node
+	Partition     int
+	NumPartitions int
+	// InSchema is the schema of the rows arriving on the input iterator
+	// (the zero schema for table functions invoked without a table).
+	InSchema row.Schema
+}
+
+// TableUDF is a table-valued user-defined function, the extensibility
+// mechanism the whole paper builds on.
+//
+// PerPartition functions run once per SQL worker over that worker's local
+// partition (the paper's "parallel table UDF"); otherwise the input is
+// gathered and the function runs once at the head node (used for steps
+// that need a global view, such as assigning consecutive recode IDs).
+type TableUDF struct {
+	Name         string
+	PerPartition bool
+	// OutSchema derives the output schema from the input schema and the
+	// literal arguments. Called at plan time.
+	OutSchema func(in row.Schema, args []row.Value) (row.Schema, error)
+	// Fn consumes the input iterator and emits output rows.
+	Fn func(ctx *UDFContext, in Iterator, args []row.Value, emit func(row.Row) error) error
+}
+
+// ScalarUDF is a scalar user-defined function usable in any expression.
+type ScalarUDF struct {
+	Name string
+	// ReturnType derives the result type from argument types at plan time.
+	ReturnType func(args []row.Type) (row.Type, error)
+	Fn         func(args []row.Value) (row.Value, error)
+}
+
+// Registry holds the UDFs known to an engine. Safe for concurrent use.
+type Registry struct {
+	mu      sync.RWMutex
+	scalars map[string]*ScalarUDF
+	tables  map[string]*TableUDF
+}
+
+// NewRegistry returns a registry preloaded with the built-in scalar
+// functions (UPPER, LOWER, LENGTH, ABS).
+func NewRegistry() *Registry {
+	r := &Registry{
+		scalars: make(map[string]*ScalarUDF),
+		tables:  make(map[string]*TableUDF),
+	}
+	for _, udf := range builtinScalars() {
+		r.scalars[key(udf.Name)] = udf
+	}
+	for _, udf := range extraBuiltins() {
+		r.scalars[key(udf.Name)] = udf
+	}
+	return r
+}
+
+// RegisterScalar adds a scalar UDF, failing on duplicate names.
+func (r *Registry) RegisterScalar(u *ScalarUDF) error {
+	if u == nil || u.Name == "" || u.Fn == nil || u.ReturnType == nil {
+		return fmt.Errorf("sql: incomplete scalar UDF")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := key(u.Name)
+	if _, ok := r.scalars[k]; ok {
+		return fmt.Errorf("sql: scalar UDF %q already registered", u.Name)
+	}
+	r.scalars[k] = u
+	return nil
+}
+
+// RegisterTable adds a table UDF, failing on duplicate names.
+func (r *Registry) RegisterTable(u *TableUDF) error {
+	if u == nil || u.Name == "" || u.Fn == nil || u.OutSchema == nil {
+		return fmt.Errorf("sql: incomplete table UDF")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := key(u.Name)
+	if _, ok := r.tables[k]; ok {
+		return fmt.Errorf("sql: table UDF %q already registered", u.Name)
+	}
+	r.tables[k] = u
+	return nil
+}
+
+// Scalar looks up a scalar UDF by name.
+func (r *Registry) Scalar(name string) (*ScalarUDF, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	u, ok := r.scalars[key(name)]
+	return u, ok
+}
+
+// Table looks up a table UDF by name.
+func (r *Registry) Table(name string) (*TableUDF, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	u, ok := r.tables[key(name)]
+	return u, ok
+}
+
+func builtinScalars() []*ScalarUDF {
+	stringIn := func(args []row.Type) (row.Type, error) {
+		if len(args) != 1 || args[0] != row.TypeString {
+			return 0, fmt.Errorf("expected one VARCHAR argument")
+		}
+		return row.TypeString, nil
+	}
+	return []*ScalarUDF{
+		{
+			Name:       "upper",
+			ReturnType: stringIn,
+			Fn: func(args []row.Value) (row.Value, error) {
+				if args[0].Null {
+					return row.NullOf(row.TypeString), nil
+				}
+				return row.String_(strings.ToUpper(args[0].AsString())), nil
+			},
+		},
+		{
+			Name:       "lower",
+			ReturnType: stringIn,
+			Fn: func(args []row.Value) (row.Value, error) {
+				if args[0].Null {
+					return row.NullOf(row.TypeString), nil
+				}
+				return row.String_(strings.ToLower(args[0].AsString())), nil
+			},
+		},
+		{
+			Name: "length",
+			ReturnType: func(args []row.Type) (row.Type, error) {
+				if len(args) != 1 || args[0] != row.TypeString {
+					return 0, fmt.Errorf("expected one VARCHAR argument")
+				}
+				return row.TypeInt, nil
+			},
+			Fn: func(args []row.Value) (row.Value, error) {
+				if args[0].Null {
+					return row.NullOf(row.TypeInt), nil
+				}
+				return row.Int(int64(len(args[0].AsString()))), nil
+			},
+		},
+		{
+			Name: "abs",
+			ReturnType: func(args []row.Type) (row.Type, error) {
+				if len(args) != 1 || (args[0] != row.TypeInt && args[0] != row.TypeFloat) {
+					return 0, fmt.Errorf("expected one numeric argument")
+				}
+				return args[0], nil
+			},
+			Fn: func(args []row.Value) (row.Value, error) {
+				v := args[0]
+				if v.Null {
+					return v, nil
+				}
+				if v.Kind == row.TypeInt {
+					if n := v.AsInt(); n < 0 {
+						return row.Int(-n), nil
+					}
+					return v, nil
+				}
+				if f := v.AsFloat(); f < 0 {
+					return row.Float(-f), nil
+				}
+				return v, nil
+			},
+		},
+	}
+}

@@ -1,0 +1,365 @@
+// Package stream implements the paper's parallel streaming data transfer
+// (§3): a long-standing coordinator service that matchmakes N SQL workers
+// with M = N·k ML workers, a SQL-side sender table UDF, and an ML-side
+// SQLStreamInputFormat, so rows flow from SQL workers to ML workers over
+// TCP sockets without touching the file system.
+//
+// The information and data flow follows Figure 2 of the paper:
+//
+//	(1) each SQL worker registers with the coordinator (worker id, address,
+//	    total worker count, plus the command/arguments of the ML job)
+//	(2) when all have registered, the coordinator launches the ML job
+//	(3) the ML job's InputFormat asks the coordinator for its InputSplits:
+//	    m = n·k splits, grouped k per SQL worker, each carrying the SQL
+//	    worker's address as its (locality) location
+//	(4) spawned ML workers register back with the coordinator
+//	(5) the coordinator matches each SQL worker with its ML workers
+//	(6) and sends the match information to both sides
+//	(7) SQL workers establish TCP connections to their ML workers
+//	(8) and stream rows round-robin through per-target send buffers
+//
+// Failure handling implements the §6 discussion: when a transfer between a
+// SQL worker and one of its ML workers breaks, the SQL worker re-registers
+// (restart) and all ML workers of that group re-register after their reads
+// fail — the coordinator re-matches and the transfer is resent from
+// scratch, with the ML side discarding partial rows via task re-execution
+// (hadoopfmt.RetryableError).
+package stream
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+)
+
+// JobSpec is what a launcher receives when all SQL workers of a job have
+// registered (Figure 2, step 2).
+type JobSpec struct {
+	Job        string
+	Command    string
+	Args       []string
+	NumWorkers int
+	SplitsPer  int // k
+	Schema     string
+}
+
+// Launcher starts the ML job. It is invoked exactly once per job, on its
+// own goroutine, when registration completes.
+type Launcher func(spec JobSpec)
+
+// SplitInfo describes one stream split handed to the ML job (step 3).
+type SplitInfo struct {
+	ID        int      `json:"id"`
+	SQLWorker int      `json:"sqlWorker"`
+	Locations []string `json:"locations"`
+}
+
+// Target is one matched ML worker endpoint for a SQL worker (steps 5-6).
+type Target struct {
+	Split  int    `json:"split"`
+	Listen string `json:"listen"` // real TCP address the ML reader accepts on
+	Addr   string `json:"addr"`   // simulated node address, for cost charging
+}
+
+// message is the coordinator wire protocol (JSON lines).
+type message struct {
+	Type string `json:"type"`
+
+	// register_sql
+	Job        string   `json:"job,omitempty"`
+	Worker     int      `json:"worker,omitempty"`
+	NumWorkers int      `json:"numWorkers,omitempty"`
+	Addr       string   `json:"addr,omitempty"`
+	Schema     string   `json:"schema,omitempty"`
+	Command    string   `json:"command,omitempty"`
+	Args       []string `json:"args,omitempty"`
+	K          int      `json:"k,omitempty"`
+
+	// register_ml
+	Split  int    `json:"split,omitempty"`
+	Listen string `json:"listen,omitempty"`
+
+	// splits / matches replies
+	Splits  []SplitInfo `json:"splits,omitempty"`
+	Targets []Target    `json:"targets,omitempty"`
+	Error   string      `json:"error,omitempty"`
+}
+
+// jobState tracks one transfer session.
+type jobState struct {
+	spec     JobSpec
+	launched bool
+
+	// sqlWaiters[w] is the connection a registered SQL worker w is parked
+	// on, awaiting its matches message.
+	sqlWaiters map[int]*json.Encoder
+	sqlAddrs   map[int]string
+
+	// mlRegs[split] is the latest ML registration for the split
+	// (last-writer-wins: stale listeners fail the sender's dial and
+	// trigger another restart round).
+	mlRegs map[int]Target
+
+	// dispatched[w] reports whether worker w's current wait got matches.
+	dispatched map[int]bool
+}
+
+// Coordinator is the long-standing matchmaking service.
+type Coordinator struct {
+	launcher Launcher
+
+	mu   sync.Mutex
+	jobs map[string]*jobState
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed bool
+
+	// Logf, when set, receives protocol trace lines (tests, CLI verbose).
+	Logf func(format string, args ...any)
+}
+
+// NewCoordinator returns an unstarted coordinator. launcher may be nil when
+// ML jobs are started externally (e.g. by the benchmark harness itself).
+func NewCoordinator(launcher Launcher) *Coordinator {
+	return &Coordinator{launcher: launcher, jobs: make(map[string]*jobState)}
+}
+
+// Start begins listening on addr ("127.0.0.1:0" for an ephemeral port) and
+// returns the bound address.
+func (c *Coordinator) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("stream: coordinator listen: %w", err)
+	}
+	c.ln = ln
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Stop shuts the coordinator down and waits for its connections to finish
+// their current message.
+func (c *Coordinator) Stop() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	if c.ln != nil {
+		c.ln.Close()
+	}
+	c.wg.Wait()
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+func (c *Coordinator) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.handle(conn)
+		}()
+	}
+}
+
+// handle serves one connection: a single request message, with the
+// register_sql case parking the connection until matches are dispatched.
+func (c *Coordinator) handle(conn net.Conn) {
+	defer conn.Close()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	var msg message
+	if err := dec.Decode(&msg); err != nil {
+		return
+	}
+	switch msg.Type {
+	case "register_sql":
+		c.handleRegisterSQL(&msg, enc, dec)
+	case "get_splits":
+		c.handleGetSplits(&msg, enc)
+	case "register_ml":
+		c.handleRegisterML(&msg, enc)
+	default:
+		enc.Encode(message{Type: "error", Error: "unknown message " + msg.Type})
+	}
+}
+
+func (c *Coordinator) job(name string) *jobState {
+	js, ok := c.jobs[name]
+	if !ok {
+		js = &jobState{
+			sqlWaiters: make(map[int]*json.Encoder),
+			sqlAddrs:   make(map[int]string),
+			mlRegs:     make(map[int]Target),
+			dispatched: make(map[int]bool),
+		}
+		c.jobs[name] = js
+	}
+	return js
+}
+
+// handleRegisterSQL implements steps 1-2 and the restart path: the worker
+// parks on this connection until its matches arrive. The decoder keeps the
+// connection's read side alive so a dropped sender is eventually collected.
+func (c *Coordinator) handleRegisterSQL(msg *message, enc *json.Encoder, dec *json.Decoder) {
+	c.mu.Lock()
+	js := c.job(msg.Job)
+	isRestart := js.launched
+	js.spec = JobSpec{
+		Job:        msg.Job,
+		Command:    msg.Command,
+		Args:       msg.Args,
+		NumWorkers: msg.NumWorkers,
+		SplitsPer:  max(1, msg.K),
+		Schema:     msg.Schema,
+	}
+	js.sqlWaiters[msg.Worker] = enc
+	js.sqlAddrs[msg.Worker] = msg.Addr
+	js.dispatched[msg.Worker] = false
+	if isRestart {
+		// §6 restart: the worker re-parks for a fresh matches message. ML
+		// registrations are kept — failed readers re-register on their own
+		// (last-writer-wins replaces their stale listeners), while splits
+		// that already completed keep their entries so the sender can skip
+		// them and resume at per-split granularity.
+		c.logf("restart: sql worker %d of job %s re-registered", msg.Worker, msg.Job)
+	}
+	allIn := len(js.sqlWaiters) >= js.spec.NumWorkers
+	launch := allIn && !js.launched
+	if launch {
+		js.launched = true
+	}
+	spec := js.spec
+	c.mu.Unlock()
+
+	if launch && c.launcher != nil {
+		c.logf("launching ML job %s (%s)", spec.Job, spec.Command)
+		go c.launcher(spec)
+	}
+	c.tryDispatch(msg.Job, msg.Worker)
+
+	// Park until the connection drops (the sender closes it after it has
+	// received its matches and finished, or on its own failure path).
+	var discard message
+	for dec.Decode(&discard) == nil {
+	}
+}
+
+// handleGetSplits implements step 3: it answers once all SQL workers have
+// registered, so the split list and schema are complete.
+func (c *Coordinator) handleGetSplits(msg *message, enc *json.Encoder) {
+	js, ok := c.waitForRegistration(msg.Job)
+	if !ok {
+		enc.Encode(message{Type: "error", Error: "job " + msg.Job + " never registered"})
+		return
+	}
+	c.mu.Lock()
+	n := js.spec.NumWorkers
+	k := js.spec.SplitsPer
+	splits := make([]SplitInfo, 0, n*k)
+	for w := 0; w < n; w++ {
+		for i := 0; i < k; i++ {
+			splits = append(splits, SplitInfo{
+				ID:        w*k + i,
+				SQLWorker: w,
+				Locations: []string{js.sqlAddrs[w]},
+			})
+		}
+	}
+	schema := js.spec.Schema
+	c.mu.Unlock()
+	enc.Encode(message{Type: "splits", Schema: schema, Splits: splits})
+}
+
+// waitForRegistration polls for the job's full SQL registration. The
+// blocking is bounded: callers are ML-side and only appear after step 2,
+// so in practice this returns immediately; the retry loop guards the
+// coordinator-restart scenario.
+func (c *Coordinator) waitForRegistration(job string) (*jobState, bool) {
+	for attempt := 0; attempt < 2000; attempt++ {
+		c.mu.Lock()
+		js, ok := c.jobs[job]
+		ready := ok && len(js.sqlWaiters) >= js.spec.NumWorkers && js.spec.NumWorkers > 0
+		closed := c.closed
+		c.mu.Unlock()
+		if ready {
+			return js, true
+		}
+		if closed {
+			return nil, false
+		}
+		sleepMillis(5)
+	}
+	return nil, false
+}
+
+// handleRegisterML implements step 4; completing a group triggers steps
+// 5-6 for that group's SQL worker.
+func (c *Coordinator) handleRegisterML(msg *message, enc *json.Encoder) {
+	js, ok := c.waitForRegistration(msg.Job)
+	if !ok {
+		enc.Encode(message{Type: "error", Error: "job " + msg.Job + " never registered"})
+		return
+	}
+	c.mu.Lock()
+	js.mlRegs[msg.Split] = Target{Split: msg.Split, Listen: msg.Listen, Addr: msg.Addr}
+	k := js.spec.SplitsPer
+	worker := msg.Split / k
+	// A fresh ML registration re-arms dispatch for its group (restart).
+	js.dispatched[worker] = false
+	c.mu.Unlock()
+	enc.Encode(message{Type: "ok"})
+	c.tryDispatch(msg.Job, worker)
+}
+
+// tryDispatch sends the matches message (step 6) to a SQL worker when its
+// entire group of ML workers is registered and the worker is parked.
+func (c *Coordinator) tryDispatch(job string, worker int) {
+	c.mu.Lock()
+	js, ok := c.jobs[job]
+	if !ok {
+		c.mu.Unlock()
+		return
+	}
+	k := js.spec.SplitsPer
+	enc := js.sqlWaiters[worker]
+	if enc == nil || js.dispatched[worker] {
+		c.mu.Unlock()
+		return
+	}
+	targets := make([]Target, 0, k)
+	for s := worker * k; s < (worker+1)*k; s++ {
+		t, ok := js.mlRegs[s]
+		if !ok {
+			c.mu.Unlock()
+			return
+		}
+		targets = append(targets, t)
+	}
+	js.dispatched[worker] = true
+	c.mu.Unlock()
+
+	if err := enc.Encode(message{Type: "matches", Targets: targets}); err != nil {
+		log.Printf("stream: coordinator: dispatch to sql worker %d failed: %v", worker, err)
+	}
+	c.logf("matched sql worker %d of job %s with %d ml workers", worker, job, len(targets))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

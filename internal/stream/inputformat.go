@@ -1,0 +1,285 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"sqlml/internal/cluster"
+	"sqlml/internal/hadoopfmt"
+	"sqlml/internal/row"
+)
+
+// InputFormat is the SQLStreamInputFormat of the paper: a Hadoop-style
+// InputFormat whose getInputSplits contacts the coordinator (step 3) and
+// whose record readers are TCP servers the SQL workers connect to (step 7).
+// Any ML system that ingests via InputFormats can consume the stream by
+// swapping this in — no engine changes.
+type InputFormat struct {
+	CoordAddr string
+	Job       string
+	// ReceiveBufferSize is the per-reader receive buffer (the paper's
+	// experiments use 4 KB).
+	ReceiveBufferSize int
+	// AcceptTimeout bounds how long a reader waits for its SQL worker.
+	AcceptTimeout time.Duration
+	// ConsumeDelay, when positive, sleeps per row — the slow-consumer knob
+	// for the spill ablation.
+	ConsumeDelay time.Duration
+	// Inject, when set, is consulted per received row; returning true makes
+	// the reader fail abruptly (no ACK), simulating an ML worker crash for
+	// the §6 restart tests.
+	Inject func(split, rowsRead int) bool
+
+	mu      sync.Mutex
+	fetched bool
+	schema  row.Schema
+	splits  []SplitInfo
+}
+
+// Split is one stream split as seen by the ML engine.
+type Split struct {
+	Info      SplitInfo
+	coordAddr string
+	job       string
+}
+
+// Locations implements hadoopfmt.InputSplit: the SQL worker's address, so
+// schedulers colocate the ML worker with its data producer.
+func (s *Split) Locations() []string { return s.Info.Locations }
+
+// Length implements hadoopfmt.InputSplit. Stream sizes are unknown ahead
+// of transfer.
+func (s *Split) Length() int64 { return 0 }
+
+// String implements hadoopfmt.InputSplit.
+func (s *Split) String() string {
+	return fmt.Sprintf("stream:%s/split-%d(sql-worker-%d)", s.job, s.Info.ID, s.Info.SQLWorker)
+}
+
+// fetch retrieves (once) the split list and schema from the coordinator.
+func (f *InputFormat) fetch() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fetched {
+		return nil
+	}
+	conn, err := net.DialTimeout("tcp", f.CoordAddr, 10*time.Second)
+	if err != nil {
+		return fmt.Errorf("stream: dial coordinator: %w", err)
+	}
+	defer conn.Close()
+	if err := json.NewEncoder(conn).Encode(message{Type: "get_splits", Job: f.Job}); err != nil {
+		return err
+	}
+	var reply message
+	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&reply); err != nil {
+		return fmt.Errorf("stream: get_splits: %w", err)
+	}
+	if reply.Type != "splits" {
+		return fmt.Errorf("stream: get_splits failed: %s", reply.Error)
+	}
+	schema, err := row.ParseSchema(reply.Schema)
+	if err != nil {
+		return err
+	}
+	f.schema = schema
+	f.splits = reply.Splits
+	f.fetched = true
+	return nil
+}
+
+// Schema implements hadoopfmt.InputFormat.
+func (f *InputFormat) Schema() (row.Schema, error) {
+	if err := f.fetch(); err != nil {
+		return row.Schema{}, err
+	}
+	return f.schema, nil
+}
+
+// Splits implements hadoopfmt.InputFormat. The coordinator dictates the
+// split count (m = n·k); the numSplits hint is ignored, exactly as the
+// paper's customized getInputSplits does.
+func (f *InputFormat) Splits(int) ([]hadoopfmt.InputSplit, error) {
+	if err := f.fetch(); err != nil {
+		return nil, err
+	}
+	out := make([]hadoopfmt.InputSplit, len(f.splits))
+	for i, si := range f.splits {
+		out[i] = &Split{Info: si, coordAddr: f.CoordAddr, job: f.Job}
+	}
+	return out, nil
+}
+
+// Open implements hadoopfmt.InputFormat: it starts a TCP listener for the
+// split, registers it with the coordinator (step 4), and returns a reader
+// that accepts the SQL worker's connection lazily.
+func (f *InputFormat) Open(split hadoopfmt.InputSplit, node *cluster.Node) (hadoopfmt.RecordReader, error) {
+	ssplit, ok := split.(*Split)
+	if !ok {
+		return nil, fmt.Errorf("stream: cannot open %T", split)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	addr := ""
+	if node != nil {
+		addr = node.Addr
+	}
+	if err := f.registerML(ssplit.Info.ID, ln.Addr().String(), addr); err != nil {
+		ln.Close()
+		return nil, err
+	}
+	timeout := f.AcceptTimeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	bufSize := f.ReceiveBufferSize
+	if bufSize <= 0 {
+		bufSize = 4 << 10
+	}
+	return &streamReader{
+		format:  f,
+		split:   ssplit.Info.ID,
+		ln:      ln,
+		timeout: timeout,
+		bufSize: bufSize,
+	}, nil
+}
+
+func (f *InputFormat) registerML(split int, listen, nodeAddr string) error {
+	conn, err := net.DialTimeout("tcp", f.CoordAddr, 10*time.Second)
+	if err != nil {
+		return fmt.Errorf("stream: dial coordinator: %w", err)
+	}
+	defer conn.Close()
+	if err := json.NewEncoder(conn).Encode(message{
+		Type: "register_ml", Job: f.Job, Split: split, Listen: listen, Addr: nodeAddr,
+	}); err != nil {
+		return err
+	}
+	var reply message
+	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&reply); err != nil {
+		return fmt.Errorf("stream: register_ml: %w", err)
+	}
+	if reply.Type != "ok" {
+		return fmt.Errorf("stream: register_ml failed: %s", reply.Error)
+	}
+	return nil
+}
+
+// streamReader is the receiving end of one split's transfer. A mid-stream
+// failure surfaces as hadoopfmt.RetryableError: the consuming task discards
+// its partial rows and re-opens the split (a fresh listener + registration),
+// which is the ML half of the §6 restart protocol.
+type streamReader struct {
+	format  *InputFormat
+	split   int
+	ln      net.Listener
+	timeout time.Duration
+	bufSize int
+
+	conn     net.Conn
+	rd       *row.Reader
+	rowsRead int
+	credited int64
+	done     bool
+	failed   bool
+}
+
+// Next implements hadoopfmt.RecordReader.
+func (r *streamReader) Next() (row.Row, bool, error) {
+	if r.done || r.failed {
+		return nil, false, nil
+	}
+	if r.conn == nil {
+		if err := r.connect(); err != nil {
+			return nil, false, r.fail(err)
+		}
+	}
+	rw, err := r.rd.Read()
+	if err == io.EOF {
+		// Clean end of stream: acknowledge delivery.
+		r.done = true
+		r.conn.SetWriteDeadline(time.Now().Add(r.timeout))
+		if _, werr := r.conn.Write([]byte{ackByte}); werr != nil {
+			return nil, false, r.fail(fmt.Errorf("stream: ack write: %w", werr))
+		}
+		r.Close()
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, r.fail(fmt.Errorf("stream: split %d read: %w", r.split, err))
+	}
+	r.rowsRead++
+	if r.format.ConsumeDelay > 0 {
+		time.Sleep(r.format.ConsumeDelay)
+	}
+	// Flow control: grant the sender one credit per consumed receive
+	// buffer. Credits flow only after the row has been consumed (including
+	// the injected delay), which is what makes a slow ML worker
+	// backpressure — and eventually spill — the SQL-side sender.
+	// Each credit accounts exactly bufSize bytes (the remainder carries
+	// over); acknowledging "everything so far" instead would leak phantom
+	// in-flight bytes on the sender until its window jammed shut.
+	for consumed := r.rd.Bytes(); consumed-r.credited >= int64(r.bufSize); {
+		r.credited += int64(r.bufSize)
+		r.conn.SetWriteDeadline(time.Now().Add(r.timeout))
+		if _, err := r.conn.Write([]byte{creditByte}); err != nil {
+			return nil, false, r.fail(fmt.Errorf("stream: credit write: %w", err))
+		}
+	}
+	if inject := r.format.Inject; inject != nil && inject(r.split, r.rowsRead) {
+		return nil, false, r.fail(fmt.Errorf("stream: split %d: injected ML worker failure", r.split))
+	}
+	return rw, true, nil
+}
+
+func (r *streamReader) connect() error {
+	type result struct {
+		conn net.Conn
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		conn, err := r.ln.Accept()
+		ch <- result{conn, err}
+	}()
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			return res.err
+		}
+		r.conn = res.conn
+	case <-time.After(r.timeout):
+		r.ln.Close()
+		return fmt.Errorf("stream: split %d: no connection within %v", r.split, r.timeout)
+	}
+	br := bufio.NewReaderSize(r.conn, r.bufSize)
+	if _, err := row.ReadSchema(br); err != nil {
+		return fmt.Errorf("stream: split %d schema: %w", r.split, err)
+	}
+	r.rd = row.NewReader(br)
+	return nil
+}
+
+// fail closes everything abruptly (no ACK) and wraps the error as
+// retryable so the task layer re-executes the split.
+func (r *streamReader) fail(err error) error {
+	r.failed = true
+	r.Close()
+	return &hadoopfmt.RetryableError{Err: err}
+}
+
+// Close implements hadoopfmt.RecordReader.
+func (r *streamReader) Close() error {
+	if r.conn != nil {
+		r.conn.Close()
+	}
+	return r.ln.Close()
+}

@@ -1,0 +1,235 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+
+	"sqlml/internal/cluster"
+	"sqlml/internal/hadoopfmt"
+	"sqlml/internal/row"
+)
+
+// MessageLog is the §8 future-work extension: a Kafka-like persistent
+// message log between the SQL and ML systems. Producers append encoded
+// rows to topic partitions; consumers read by offset, so a crashed ML
+// worker can replay its partition from its last committed offset —
+// at-least-once delivery without restarting the SQL side. The log also
+// absorbs a slow consumer: producers never block on consumption.
+type MessageLog struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	topics map[string]*topic
+}
+
+type topic struct {
+	schema     row.Schema
+	partitions [][][]byte // partition → ordered frames
+	sealed     []bool     // producer finished the partition
+	committed  []int64    // consumer-committed offsets
+}
+
+// NewMessageLog returns an empty log.
+func NewMessageLog() *MessageLog {
+	l := &MessageLog{topics: make(map[string]*topic)}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// CreateTopic defines a topic with the given partition count and row
+// schema.
+func (l *MessageLog) CreateTopic(name string, partitions int, schema row.Schema) error {
+	if partitions < 1 {
+		return fmt.Errorf("stream: topic needs at least one partition")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.topics[name]; ok {
+		return fmt.Errorf("stream: topic %q exists", name)
+	}
+	l.topics[name] = &topic{
+		schema:     schema,
+		partitions: make([][][]byte, partitions),
+		sealed:     make([]bool, partitions),
+		committed:  make([]int64, partitions),
+	}
+	return nil
+}
+
+func (l *MessageLog) topic(name string) (*topic, error) {
+	t, ok := l.topics[name]
+	if !ok {
+		return nil, fmt.Errorf("stream: unknown topic %q", name)
+	}
+	return t, nil
+}
+
+// Append adds one row to a topic partition.
+func (l *MessageLog) Append(name string, partition int, r row.Row) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	t, err := l.topic(name)
+	if err != nil {
+		return err
+	}
+	if partition < 0 || partition >= len(t.partitions) {
+		return fmt.Errorf("stream: partition %d out of range", partition)
+	}
+	if t.sealed[partition] {
+		return fmt.Errorf("stream: partition %d is sealed", partition)
+	}
+	t.partitions[partition] = append(t.partitions[partition], row.AppendBinary(nil, r))
+	l.cond.Broadcast()
+	return nil
+}
+
+// Seal marks a partition complete; readers drain and finish.
+func (l *MessageLog) Seal(name string, partition int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	t, err := l.topic(name)
+	if err != nil {
+		return err
+	}
+	t.sealed[partition] = true
+	l.cond.Broadcast()
+	return nil
+}
+
+// Commit records a consumer's progress through a partition; a replay after
+// failure resumes from the committed offset.
+func (l *MessageLog) Commit(name string, partition int, offset int64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	t, err := l.topic(name)
+	if err != nil {
+		return err
+	}
+	if offset > t.committed[partition] {
+		t.committed[partition] = offset
+	}
+	return nil
+}
+
+// Committed returns a partition's committed offset.
+func (l *MessageLog) Committed(name string, partition int) (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	t, err := l.topic(name)
+	if err != nil {
+		return 0, err
+	}
+	return t.committed[partition], nil
+}
+
+// read blocks until a frame at offset exists, the partition seals, or the
+// partition disappears; ok=false means end of partition.
+func (l *MessageLog) read(name string, partition int, offset int64) ([]byte, bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		t, err := l.topic(name)
+		if err != nil {
+			return nil, false, err
+		}
+		p := t.partitions[partition]
+		if offset < int64(len(p)) {
+			return p[offset], true, nil
+		}
+		if t.sealed[partition] {
+			return nil, false, nil
+		}
+		l.cond.Wait()
+	}
+}
+
+// LogFormat is an InputFormat reading a message-log topic: one split per
+// partition. It gives the ML side the same seam as the direct stream,
+// demonstrating that the transfer medium is swappable.
+type LogFormat struct {
+	Log   *MessageLog
+	Topic string
+	// StartFromCommitted resumes each partition from its committed offset
+	// (the at-least-once replay path).
+	StartFromCommitted bool
+}
+
+// Schema implements hadoopfmt.InputFormat.
+func (f *LogFormat) Schema() (row.Schema, error) {
+	f.Log.mu.Lock()
+	defer f.Log.mu.Unlock()
+	t, err := f.Log.topic(f.Topic)
+	if err != nil {
+		return row.Schema{}, err
+	}
+	return t.schema, nil
+}
+
+// Splits implements hadoopfmt.InputFormat: one split per log partition.
+func (f *LogFormat) Splits(int) ([]hadoopfmt.InputSplit, error) {
+	f.Log.mu.Lock()
+	defer f.Log.mu.Unlock()
+	t, err := f.Log.topic(f.Topic)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]hadoopfmt.InputSplit, len(t.partitions))
+	for i := range t.partitions {
+		out[i] = &logSplit{topic: f.Topic, partition: i}
+	}
+	return out, nil
+}
+
+// Open implements hadoopfmt.InputFormat.
+func (f *LogFormat) Open(split hadoopfmt.InputSplit, _ *cluster.Node) (hadoopfmt.RecordReader, error) {
+	ls, ok := split.(*logSplit)
+	if !ok {
+		return nil, fmt.Errorf("stream: LogFormat cannot open %T", split)
+	}
+	offset := int64(0)
+	if f.StartFromCommitted {
+		var err error
+		offset, err = f.Log.Committed(f.Topic, ls.partition)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &logReader{log: f.Log, topic: f.Topic, partition: ls.partition, offset: offset}, nil
+}
+
+type logSplit struct {
+	topic     string
+	partition int
+}
+
+func (s *logSplit) Locations() []string { return nil }
+func (s *logSplit) Length() int64       { return 0 }
+func (s *logSplit) String() string {
+	return fmt.Sprintf("log:%s/partition-%d", s.topic, s.partition)
+}
+
+type logReader struct {
+	log       *MessageLog
+	topic     string
+	partition int
+	offset    int64
+}
+
+// Next implements hadoopfmt.RecordReader, committing progress as it goes.
+func (r *logReader) Next() (row.Row, bool, error) {
+	frame, ok, err := r.log.read(r.topic, r.partition, r.offset)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out, err := row.DecodeBinary(frame[4:])
+	if err != nil {
+		return nil, false, err
+	}
+	r.offset++
+	if err := r.log.Commit(r.topic, r.partition, r.offset); err != nil {
+		return nil, false, err
+	}
+	return out, true, nil
+}
+
+// Close implements hadoopfmt.RecordReader.
+func (r *logReader) Close() error { return nil }

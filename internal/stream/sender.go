@@ -1,0 +1,605 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"sqlml/internal/cluster"
+	"sqlml/internal/row"
+	"sqlml/internal/sqlengine"
+)
+
+// SenderConfig tunes the SQL-side streaming sender.
+type SenderConfig struct {
+	// BufferSize is the per-target send buffer in bytes (the paper's
+	// experiments use 4 KB).
+	BufferSize int
+	// QueueFrames bounds the in-flight frame queue per target; when it is
+	// full (a slow consumer), frames spill to a local disk file to keep
+	// the producer running — the paper's producer/consumer synchronization.
+	QueueFrames int
+	// SpillWait is how long a full queue may block the producer before it
+	// spills to disk; a fast consumer frees buffer space well within it.
+	SpillWait time.Duration
+	// SpillDir is where spill files go (defaults to the OS temp dir).
+	SpillDir string
+	// MaxRestarts bounds §6 restart attempts.
+	MaxRestarts int
+	// DialTimeout bounds connection establishment to ML workers.
+	DialTimeout time.Duration
+}
+
+// DefaultSenderConfig mirrors the paper's settings.
+func DefaultSenderConfig() SenderConfig {
+	return SenderConfig{
+		BufferSize:  4 << 10,
+		QueueFrames: 1024,
+		SpillWait:   5 * time.Millisecond,
+		MaxRestarts: 5,
+		DialTimeout: 10 * time.Second,
+	}
+}
+
+// SenderStats summarises one worker's transfer, and is the output row of
+// the sender UDF.
+type SenderStats struct {
+	Worker       int
+	RowsSent     int64
+	BytesSent    int64
+	SpilledBytes int64
+	Restarts     int
+}
+
+// statsSchema is the sender UDF's output schema.
+func statsSchema() row.Schema {
+	return row.MustSchema(
+		row.Column{Name: "worker", Type: row.TypeInt},
+		row.Column{Name: "rows_sent", Type: row.TypeInt},
+		row.Column{Name: "bytes_sent", Type: row.TypeInt},
+		row.Column{Name: "spilled_bytes", Type: row.TypeInt},
+		row.Column{Name: "restarts", Type: row.TypeInt},
+	)
+}
+
+// RegisterSenderUDF installs the parallel table UDF "stream_send" into the
+// engine. Invoked as
+//
+//	SELECT * FROM TABLE(stream_send(T, 'coord-addr', 'job', 'command', k))
+//
+// each SQL worker registers with the coordinator, waits for its matched ML
+// workers, and streams its local partition to them round-robin. The UDF
+// emits one summary row per worker.
+func RegisterSenderUDF(e *sqlengine.Engine, cfg SenderConfig) error {
+	return e.Registry().RegisterTable(&sqlengine.TableUDF{
+		Name:         "stream_send",
+		PerPartition: true,
+		OutSchema: func(in row.Schema, args []row.Value) (row.Schema, error) {
+			if len(args) < 3 || len(args) > 4 {
+				return row.Schema{}, fmt.Errorf("usage: stream_send(T, 'coord', 'job', 'command'[, k])")
+			}
+			if in.Len() == 0 {
+				return row.Schema{}, fmt.Errorf("stream_send requires a table argument")
+			}
+			return statsSchema(), nil
+		},
+		Fn: func(ctx *sqlengine.UDFContext, in sqlengine.Iterator, args []row.Value, emit func(row.Row) error) error {
+			coordAddr := args[0].AsString()
+			job := args[1].AsString()
+			command := args[2].AsString()
+			k := 1
+			if len(args) == 4 {
+				k = int(args[3].AsInt())
+			}
+			rows, err := sqlengine.Drain(in)
+			if err != nil {
+				return err
+			}
+			stats, err := Send(SendRequest{
+				CoordAddr:  coordAddr,
+				Job:        job,
+				Command:    command,
+				Worker:     ctx.Partition,
+				NumWorkers: ctx.NumPartitions,
+				K:          k,
+				Node:       ctx.Node,
+				Cost:       ctx.Engine.Cost(),
+				Topo:       ctx.Engine.Topology(),
+				Schema:     ctx.InSchema,
+				Rows:       rows,
+				Config:     cfg,
+			})
+			if err != nil {
+				return err
+			}
+			return emit(row.Row{
+				row.Int(int64(stats.Worker)),
+				row.Int(stats.RowsSent),
+				row.Int(stats.BytesSent),
+				row.Int(stats.SpilledBytes),
+				row.Int(int64(stats.Restarts)),
+			})
+		},
+	})
+}
+
+// SendRequest carries everything one SQL worker needs to stream its
+// partition.
+type SendRequest struct {
+	CoordAddr  string
+	Job        string
+	Command    string
+	Args       []string
+	Worker     int
+	NumWorkers int
+	K          int
+	Node       *cluster.Node
+	Topo       *cluster.Topology
+	Cost       *cluster.CostModel
+	Schema     row.Schema
+	Rows       []row.Row
+	Config     SenderConfig
+}
+
+// Send runs the full sender protocol for one SQL worker: register (step 1),
+// await matches (step 6), connect (step 7), stream round-robin (step 8).
+//
+// Failure handling refines §6's restart into per-split resume: rows are
+// assigned to split slots deterministically (row i → slot i mod k), each
+// slot's delivery is confirmed by an end-of-stream ACK, and a retry attempt
+// resends only the unconfirmed slots — failed ML tasks re-register fresh
+// listeners, completed ones are never re-run, and every row is delivered
+// exactly once.
+func Send(req SendRequest) (*SenderStats, error) {
+	cfg := req.Config
+	if cfg.BufferSize <= 0 {
+		cfg.BufferSize = DefaultSenderConfig().BufferSize
+	}
+	if cfg.QueueFrames <= 0 {
+		cfg.QueueFrames = DefaultSenderConfig().QueueFrames
+	}
+	if cfg.SpillWait <= 0 {
+		cfg.SpillWait = DefaultSenderConfig().SpillWait
+	}
+	if cfg.MaxRestarts <= 0 {
+		cfg.MaxRestarts = DefaultSenderConfig().MaxRestarts
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = DefaultSenderConfig().DialTimeout
+	}
+	stats := &SenderStats{Worker: req.Worker}
+	completed := make(map[int]bool)
+	var lastErr error
+	for attempt := 0; attempt <= cfg.MaxRestarts; attempt++ {
+		if attempt > 0 {
+			stats.Restarts++
+			// Give failed ML tasks a moment to re-execute and re-register.
+			sleepMillis(20 * attempt)
+		}
+		done, err := sendOnce(req, cfg, stats, completed)
+		if done {
+			return stats, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("stream: worker %d: transfer failed after %d restarts: %w", req.Worker, cfg.MaxRestarts, lastErr)
+}
+
+// sendOnce performs one attempt: it (re-)registers, awaits matches, and
+// streams the slots not yet confirmed. It reports done when every slot has
+// been delivered and acknowledged.
+func sendOnce(req SendRequest, cfg SenderConfig, stats *SenderStats, completed map[int]bool) (done bool, err error) {
+	coord, err := net.DialTimeout("tcp", req.CoordAddr, cfg.DialTimeout)
+	if err != nil {
+		return false, fmt.Errorf("stream: dial coordinator: %w", err)
+	}
+	defer coord.Close()
+	enc := json.NewEncoder(coord)
+	dec := json.NewDecoder(bufio.NewReader(coord))
+	if err := enc.Encode(message{
+		Type:       "register_sql",
+		Job:        req.Job,
+		Worker:     req.Worker,
+		NumWorkers: req.NumWorkers,
+		Addr:       nodeAddr(req.Node),
+		Schema:     req.Schema.String(),
+		Command:    req.Command,
+		Args:       req.Args,
+		K:          req.K,
+	}); err != nil {
+		return false, fmt.Errorf("stream: register: %w", err)
+	}
+	coord.SetReadDeadline(time.Now().Add(cfg.DialTimeout))
+	var reply message
+	if err := dec.Decode(&reply); err != nil {
+		return false, fmt.Errorf("stream: awaiting matches: %w", err)
+	}
+	if reply.Type != "matches" {
+		return false, fmt.Errorf("stream: unexpected coordinator reply %q: %s", reply.Type, reply.Error)
+	}
+	targets := reply.Targets
+	if len(targets) == 0 {
+		return false, fmt.Errorf("stream: empty match set")
+	}
+
+	// Slot j of this worker is split worker*k + j; rows are assigned
+	// round-robin by slot so the mapping is stable across attempts.
+	k := len(targets)
+	bySplit := make(map[int]Target, k)
+	for _, t := range targets {
+		bySplit[t.Split] = t
+	}
+
+	// Step 7: connect to the ML workers of the still-incomplete slots.
+	chans := make([]*targetChannel, k)
+	var dialErr error
+	for j := 0; j < k; j++ {
+		split := req.Worker*k + j
+		if completed[split] {
+			continue
+		}
+		t, ok := bySplit[split]
+		if !ok {
+			dialErr = fmt.Errorf("stream: coordinator match set missing split %d", split)
+			break
+		}
+		tc, err := dialTarget(req, cfg, t)
+		if err != nil {
+			dialErr = err
+			break
+		}
+		chans[j] = tc
+	}
+	if dialErr != nil {
+		closeAll(chans)
+		return false, dialErr
+	}
+
+	// Step 8: round-robin the partition across the slots, sending only the
+	// incomplete ones.
+	var buf []byte
+	for i, r := range req.Rows {
+		tc := chans[i%k]
+		if tc == nil || tc.aborted {
+			continue
+		}
+		buf = row.AppendBinary(buf[:0], r)
+		if err := tc.enqueue(buf); err != nil {
+			// Keep streaming the healthy slots; this one retries next
+			// attempt.
+			tc.abort()
+		}
+	}
+	// Await per-slot completion; the ACK handshake makes delivery failures
+	// deterministic even when the OS buffered the final bytes.
+	var firstErr error
+	for j, tc := range chans {
+		if tc == nil {
+			continue
+		}
+		split := req.Worker*k + j
+		if err := tc.finish(); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		completed[split] = true
+		stats.RowsSent += tc.rows
+		stats.BytesSent += tc.bytes
+		stats.SpilledBytes += tc.spilledBytes
+	}
+	if firstErr != nil {
+		return false, firstErr
+	}
+	return true, nil
+}
+
+func nodeAddr(n *cluster.Node) string {
+	if n == nil {
+		return ""
+	}
+	return n.Addr
+}
+
+func closeAll(chans []*targetChannel) {
+	for _, tc := range chans {
+		if tc != nil {
+			tc.abort()
+		}
+	}
+}
+
+// targetChannel is the per-ML-worker send path: a bounded frame queue
+// drained by a writer goroutine into a buffered socket, with overflow
+// spilling to a local disk file.
+type targetChannel struct {
+	conn   net.Conn
+	w      *bufio.Writer
+	queue  chan []byte
+	done   chan error
+	cfg    SenderConfig
+	target Target
+
+	// cost charging endpoints (simulated addresses).
+	cost     *cluster.CostModel
+	fromNode *cluster.Node
+	toNode   *cluster.Node
+
+	// credits carries receiver flow-control grants (bytes per credit);
+	// acks delivers the final end-of-stream acknowledgement (or the
+	// connection error that prevented it).
+	credits chan int
+	acks    chan error
+
+	spill        *os.File
+	spillTimer   *time.Timer
+	spilledBytes int64
+	rows         int64
+	bytes        int64
+	aborted      bool
+}
+
+func dialTarget(req SendRequest, cfg SenderConfig, t Target) (*targetChannel, error) {
+	conn, err := net.DialTimeout("tcp", t.Listen, cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("stream: dial ml worker %s: %w", t.Listen, err)
+	}
+	tc := &targetChannel{
+		conn:    conn,
+		w:       bufio.NewWriterSize(conn, cfg.BufferSize),
+		queue:   make(chan []byte, cfg.QueueFrames),
+		done:    make(chan error, 1),
+		credits: make(chan int, 1024),
+		acks:    make(chan error, 1),
+		cfg:     cfg,
+		target:  t,
+		cost:    req.Cost,
+	}
+	tc.fromNode = req.Node
+	if req.Topo != nil {
+		tc.toNode = req.Topo.ByAddr(t.Addr)
+	}
+	if err := row.WriteSchema(tc.w, req.Schema); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	go tc.creditLoop()
+	go tc.writeLoop()
+	return tc, nil
+}
+
+// creditLoop reads flow-control bytes from the receiver: one credit byte
+// per consumed receive buffer, and the final delivery ACK. It closes the
+// credit channel when the connection drops, unblocking a stalled writer.
+func (tc *targetChannel) creditLoop() {
+	defer close(tc.credits)
+	buf := make([]byte, 256)
+	for {
+		n, err := tc.conn.Read(buf)
+		for i := 0; i < n; i++ {
+			switch buf[i] {
+			case creditByte:
+				select {
+				case tc.credits <- tc.cfg.BufferSize:
+				default: // writer far behind on credits; drop is safe
+				}
+			case ackByte:
+				tc.acks <- nil
+				return
+			}
+		}
+		if err != nil {
+			tc.acks <- fmt.Errorf("stream: no ack from %s: %w", tc.target.Listen, err)
+			return
+		}
+	}
+}
+
+// enqueue hands one encoded frame to the writer. When the queue is full it
+// blocks up to SpillWait for the consumer to catch up, then spills to disk
+// (the paper's producer/consumer synchronization for slow ML workers).
+func (tc *targetChannel) enqueue(frame []byte) error {
+	f := make([]byte, len(frame))
+	copy(f, frame)
+	select {
+	case tc.queue <- f:
+		tc.rows++
+		tc.bytes += int64(len(f))
+		return nil
+	default:
+	}
+	// Queue full: give the consumer SpillWait to drain before spilling.
+	if tc.spillTimer == nil {
+		tc.spillTimer = time.NewTimer(tc.cfg.SpillWait)
+	} else {
+		tc.spillTimer.Reset(tc.cfg.SpillWait)
+	}
+	select {
+	case tc.queue <- f:
+		if !tc.spillTimer.Stop() {
+			<-tc.spillTimer.C
+		}
+		tc.rows++
+		tc.bytes += int64(len(f))
+		return nil
+	case <-tc.spillTimer.C:
+	}
+	// Queue full: spill. The writer drains the spill file after the
+	// in-memory queue closes, preserving at-least-once delivery.
+	if tc.spill == nil {
+		sp, err := os.CreateTemp(tc.cfg.SpillDir, "sqlml-spill-*")
+		if err != nil {
+			return fmt.Errorf("stream: create spill file: %w", err)
+		}
+		tc.spill = sp
+	}
+	if _, err := tc.spill.Write(f); err != nil {
+		return fmt.Errorf("stream: spill write: %w", err)
+	}
+	tc.spilledBytes += int64(len(f))
+	tc.rows++
+	tc.bytes += int64(len(f))
+	if tc.cost != nil && tc.fromNode != nil {
+		tc.cost.ChargeDiskWrite(tc.fromNode, len(f))
+	}
+	return nil
+}
+
+// writeLoop drains the queue into the socket under credit-based flow
+// control — the writer keeps at most one send buffer plus one receive
+// buffer of unconsumed bytes in flight, so a slow consumer backpressures
+// the writer (and, through the bounded queue, the producer, whose overflow
+// spills to disk). Network cost is charged per flushed buffer.
+func (tc *targetChannel) writeLoop() {
+	var pending int
+	charge := func() {
+		if pending > 0 && tc.cost != nil && tc.fromNode != nil && tc.toNode != nil {
+			tc.cost.ChargeNet(tc.fromNode, tc.toNode, pending)
+		}
+		pending = 0
+	}
+	window := 2 * tc.cfg.BufferSize
+	inflight := 0
+	writeChunk := func(chunk []byte) error {
+		// Flow control: wait for credits while a full window is in flight.
+		// Everything buffered locally must be flushed first — the reader
+		// can only grant credits for bytes it can actually see.
+		if inflight > 0 && inflight+len(chunk) > window {
+			if err := tc.w.Flush(); err != nil {
+				return err
+			}
+			charge()
+		}
+		for inflight > 0 && inflight+len(chunk) > window {
+			credit, ok := <-tc.credits
+			if !ok {
+				return fmt.Errorf("stream: receiver %s gone", tc.target.Listen)
+			}
+			inflight -= credit
+			if inflight < 0 {
+				inflight = 0
+			}
+		}
+		inflight += len(chunk)
+		_, err := tc.w.Write(chunk)
+		return err
+	}
+	for frame := range tc.queue {
+		if err := writeChunk(frame); err != nil {
+			tc.done <- err
+			drain(tc.queue)
+			return
+		}
+		pending += len(frame)
+		if pending >= tc.cfg.BufferSize {
+			if err := tc.w.Flush(); err != nil {
+				tc.done <- err
+				drain(tc.queue)
+				return
+			}
+			charge()
+		}
+	}
+	// Replay the spill file, if any.
+	if tc.spill != nil {
+		if _, err := tc.spill.Seek(0, 0); err != nil {
+			tc.done <- err
+			return
+		}
+		r := bufio.NewReader(tc.spill)
+		buf := make([]byte, tc.cfg.BufferSize)
+		for {
+			n, err := r.Read(buf)
+			if n > 0 {
+				if tc.cost != nil && tc.fromNode != nil {
+					tc.cost.ChargeDiskRead(tc.fromNode, n)
+				}
+				if werr := writeChunk(buf[:n]); werr != nil {
+					tc.done <- werr
+					return
+				}
+				pending += n
+				if pending >= tc.cfg.BufferSize {
+					if werr := tc.w.Flush(); werr != nil {
+						tc.done <- werr
+						return
+					}
+					charge()
+				}
+			}
+			if err != nil {
+				break
+			}
+		}
+	}
+	if err := tc.w.Flush(); err != nil {
+		tc.done <- err
+		return
+	}
+	charge()
+	// Half-close the write side so the reader observes a clean end of
+	// stream while the connection stays readable for credits and the ACK.
+	if cw, ok := tc.conn.(interface{ CloseWrite() error }); ok {
+		if err := cw.CloseWrite(); err != nil {
+			tc.done <- err
+			return
+		}
+	}
+	// The creditLoop delivers the reader's final acknowledgement.
+	select {
+	case err := <-tc.acks:
+		tc.done <- err
+	case <-time.After(tc.cfg.DialTimeout):
+		tc.done <- fmt.Errorf("stream: ack timeout from %s", tc.target.Listen)
+	}
+}
+
+func drain(ch chan []byte) {
+	for range ch {
+	}
+}
+
+// finish closes the queue and waits for the writer's outcome.
+func (tc *targetChannel) finish() error {
+	if tc.aborted {
+		return fmt.Errorf("stream: channel aborted")
+	}
+	close(tc.queue)
+	err := <-tc.done
+	tc.cleanup()
+	return err
+}
+
+// abort tears the channel down without waiting for delivery.
+func (tc *targetChannel) abort() {
+	if tc.aborted {
+		return
+	}
+	tc.aborted = true
+	tc.conn.Close()
+	close(tc.queue)
+	<-tc.done
+	tc.cleanup()
+}
+
+func (tc *targetChannel) cleanup() {
+	tc.conn.Close()
+	if tc.spill != nil {
+		name := tc.spill.Name()
+		tc.spill.Close()
+		os.Remove(name)
+	}
+}
+
+// ackByte is the end-of-stream acknowledgement the ML reader returns;
+// creditByte is its flow-control grant (one per consumed receive buffer).
+const (
+	ackByte    = 0x06
+	creditByte = 0x07
+)
+
+func sleepMillis(n int) { time.Sleep(time.Duration(n) * time.Millisecond) }

@@ -1,0 +1,626 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sqlml/internal/cluster"
+	"sqlml/internal/hadoopfmt"
+	"sqlml/internal/ml"
+	"sqlml/internal/row"
+	"sqlml/internal/sqlengine"
+	"sqlml/internal/transform"
+)
+
+func streamSchema() row.Schema {
+	return row.MustSchema(
+		row.Column{Name: "id", Type: row.TypeInt},
+		row.Column{Name: "x", Type: row.TypeFloat},
+		row.Column{Name: "label", Type: row.TypeInt},
+	)
+}
+
+func genRows(worker, count int) []row.Row {
+	rows := make([]row.Row, count)
+	for i := range rows {
+		id := int64(worker*1_000_000 + i)
+		rows[i] = row.Row{row.Int(id), row.Float(float64(i) / 2), row.Int(int64(i % 2))}
+	}
+	return rows
+}
+
+// transferEnv wires a coordinator, n senders, and an ML-side ingestion.
+type transferEnv struct {
+	topo      *cluster.Topology
+	coord     *Coordinator
+	coordAddr string
+	launched  chan JobSpec
+}
+
+func newTransferEnv(t *testing.T) *transferEnv {
+	t.Helper()
+	env := &transferEnv{
+		topo:     cluster.NewTopology(5),
+		launched: make(chan JobSpec, 8),
+	}
+	env.coord = NewCoordinator(func(spec JobSpec) { env.launched <- spec })
+	addr, err := env.coord.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(env.coord.Stop)
+	env.coordAddr = addr
+	return env
+}
+
+// runTransfer streams rowsPerWorker rows from n senders and ingests them
+// through fmt (already configured with the coordinator address).
+func (env *transferEnv) runTransfer(t *testing.T, job string, n, k, rowsPerWorker int, f *InputFormat, cfg SenderConfig) (*ml.Dataset, []*SenderStats) {
+	t.Helper()
+
+	type ingestResult struct {
+		d   *ml.Dataset
+		err error
+	}
+	ingestCh := make(chan ingestResult, 1)
+	go func() {
+		spec := <-env.launched
+		if spec.Command != "svm" {
+			ingestCh <- ingestResult{err: fmt.Errorf("unexpected command %q", spec.Command)}
+			return
+		}
+		d, err := ml.Ingest(f, ml.IngestOptions{
+			LabelCol: "label",
+			Nodes:    env.topo.Nodes(),
+		})
+		ingestCh <- ingestResult{d: d, err: err}
+	}()
+
+	stats := make([]*SenderStats, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			stats[w], errs[w] = Send(SendRequest{
+				CoordAddr:  env.coordAddr,
+				Job:        job,
+				Command:    "svm",
+				Worker:     w,
+				NumWorkers: n,
+				K:          k,
+				Node:       env.topo.Node(w + 1),
+				Topo:       env.topo,
+				Schema:     streamSchema(),
+				Rows:       genRows(w, rowsPerWorker),
+				Config:     cfg,
+			})
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("sender %d: %v", w, err)
+		}
+	}
+	res := <-ingestCh
+	if res.err != nil {
+		t.Fatalf("ingest: %v", res.err)
+	}
+	return res.d, stats
+}
+
+// checkExactlyOnce verifies every expected id arrived exactly once (the id
+// rides in feature position 0).
+func checkExactlyOnce(t *testing.T, d *ml.Dataset, n, rowsPerWorker int) {
+	t.Helper()
+	seen := make(map[int64]int)
+	for _, p := range d.All() {
+		seen[int64(p.Features[0])]++
+	}
+	if len(seen) != n*rowsPerWorker {
+		t.Fatalf("distinct rows = %d, want %d", len(seen), n*rowsPerWorker)
+	}
+	for w := 0; w < n; w++ {
+		for i := 0; i < rowsPerWorker; i++ {
+			id := int64(w*1_000_000 + i)
+			if seen[id] != 1 {
+				t.Fatalf("row %d delivered %d times", id, seen[id])
+			}
+		}
+	}
+}
+
+func TestTransferEndToEnd(t *testing.T) {
+	env := newTransferEnv(t)
+	f := &InputFormat{CoordAddr: env.coordAddr, Job: "j1"}
+	d, stats := env.runTransfer(t, "j1", 4, 1, 200, f, DefaultSenderConfig())
+	checkExactlyOnce(t, d, 4, 200)
+	if len(d.Parts) != 4 {
+		t.Errorf("partitions = %d, want 4 (one per split)", len(d.Parts))
+	}
+	var totalSent int64
+	for _, s := range stats {
+		totalSent += s.RowsSent
+		if s.Restarts != 0 {
+			t.Errorf("unexpected restarts: %+v", s)
+		}
+	}
+	if totalSent != 800 {
+		t.Errorf("rows sent = %d", totalSent)
+	}
+}
+
+func TestTransferSplitFactorK(t *testing.T) {
+	env := newTransferEnv(t)
+	f := &InputFormat{CoordAddr: env.coordAddr, Job: "jk"}
+	d, _ := env.runTransfer(t, "jk", 2, 3, 99, f, DefaultSenderConfig())
+	checkExactlyOnce(t, d, 2, 99)
+	if len(d.Parts) != 6 {
+		t.Errorf("partitions = %d, want 6 (m = n*k = 2*3)", len(d.Parts))
+	}
+}
+
+func TestSplitsCarrySQLWorkerLocality(t *testing.T) {
+	env := newTransferEnv(t)
+	f := &InputFormat{CoordAddr: env.coordAddr, Job: "jloc"}
+	go func() {
+		<-env.launched
+		splits, err := f.Splits(0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i, sp := range splits {
+			want := env.topo.Node(i/2 + 1).Addr
+			locs := sp.Locations()
+			if len(locs) != 1 || locs[0] != want {
+				t.Errorf("split %d locations = %v, want [%s]", i, locs, want)
+			}
+			// Consume to unblock the senders.
+			rr, err := f.Open(sp, env.topo.Node(i/2+1))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			go func() {
+				for {
+					_, ok, err := rr.Next()
+					if err != nil || !ok {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if _, err := Send(SendRequest{
+				CoordAddr: env.coordAddr, Job: "jloc", Command: "svm",
+				Worker: w, NumWorkers: 2, K: 2,
+				Node: env.topo.Node(w + 1), Topo: env.topo,
+				Schema: streamSchema(), Rows: genRows(w, 10),
+				Config: DefaultSenderConfig(),
+			}); err != nil {
+				t.Errorf("sender %d: %v", w, err)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestSchemaPropagatedThroughCoordinator(t *testing.T) {
+	env := newTransferEnv(t)
+	f := &InputFormat{CoordAddr: env.coordAddr, Job: "jschema"}
+	d, _ := env.runTransfer(t, "jschema", 1, 1, 10, f, DefaultSenderConfig())
+	if d.NumFeatures != 2 {
+		t.Errorf("features = %d (schema did not arrive)", d.NumFeatures)
+	}
+	s, err := f.Schema()
+	if err != nil || !s.Equal(streamSchema()) {
+		t.Errorf("schema = %v, %v", s, err)
+	}
+}
+
+func TestSlowConsumerSpillsToDisk(t *testing.T) {
+	env := newTransferEnv(t)
+	f := &InputFormat{
+		CoordAddr:    env.coordAddr,
+		Job:          "jspill",
+		ConsumeDelay: 50 * time.Microsecond,
+	}
+	cfg := DefaultSenderConfig()
+	cfg.QueueFrames = 2                   // tiny in-flight window
+	cfg.SpillWait = 20 * time.Microsecond // far below the consumer's pace
+	cfg.SpillDir = t.TempDir()
+	// Enough volume to saturate the kernel socket buffers, so backpressure
+	// reaches the sender's queue and the spill path engages.
+	d, stats := env.runTransfer(t, "jspill", 2, 1, 1500, f, cfg)
+	checkExactlyOnce(t, d, 2, 1500)
+	var spilled int64
+	for _, s := range stats {
+		spilled += s.SpilledBytes
+	}
+	if spilled == 0 {
+		t.Error("slow consumer did not trigger spilling")
+	}
+}
+
+func TestMLWorkerFailureRestartsExactlyOnce(t *testing.T) {
+	env := newTransferEnv(t)
+	var once sync.Once
+	fail := false
+	f := &InputFormat{
+		CoordAddr: env.coordAddr,
+		Job:       "jfail",
+		Inject: func(split, rowsRead int) bool {
+			if split == 1 && rowsRead == 50 {
+				failed := false
+				once.Do(func() { failed = true })
+				if failed {
+					fail = true
+					return true
+				}
+			}
+			return false
+		},
+		AcceptTimeout: 5 * time.Second,
+	}
+	cfg := DefaultSenderConfig()
+	cfg.MaxRestarts = 8
+	d, stats := env.runTransfer(t, "jfail", 2, 2, 300, f, cfg)
+	if !fail {
+		t.Fatal("injection never fired")
+	}
+	checkExactlyOnce(t, d, 2, 300)
+	restarts := 0
+	for _, s := range stats {
+		restarts += s.Restarts
+	}
+	if restarts == 0 {
+		t.Error("no sender restarts recorded despite injected failure")
+	}
+}
+
+func TestSenderFailsWithoutMLJob(t *testing.T) {
+	env := newTransferEnv(t)
+	cfg := DefaultSenderConfig()
+	cfg.DialTimeout = 300 * time.Millisecond
+	cfg.MaxRestarts = 1
+	_, err := Send(SendRequest{
+		CoordAddr: env.coordAddr, Job: "jnoml", Command: "svm",
+		Worker: 0, NumWorkers: 1, K: 1,
+		Node: env.topo.Node(1), Topo: env.topo,
+		Schema: streamSchema(), Rows: genRows(0, 5),
+		Config: cfg,
+	})
+	if err == nil {
+		t.Error("send without ML workers should time out")
+	}
+}
+
+// TestEngineUDFStreamsQueryResult is the full In-SQL integration: the
+// stream_send table UDF pushes a query result from the SQL engine into the
+// ML engine, never touching the DFS.
+func TestEngineUDFStreamsQueryResult(t *testing.T) {
+	topo := cluster.NewTopology(5)
+	eng, err := sqlengine.New(topo, nil, sqlengine.Config{HeadNodeID: 0, WorkerNodeIDs: []int{1, 2, 3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := transform.RegisterUDFs(eng); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterSenderUDF(eng, DefaultSenderConfig()); err != nil {
+		t.Fatal(err)
+	}
+	schema := row.MustSchema(
+		row.Column{Name: "age", Type: row.TypeInt},
+		row.Column{Name: "amount", Type: row.TypeFloat},
+		row.Column{Name: "abandoned", Type: row.TypeInt},
+	)
+	var rows []row.Row
+	for i := 0; i < 120; i++ {
+		rows = append(rows, row.Row{row.Int(int64(20 + i%50)), row.Float(float64(i)), row.Int(int64(1 + i%2))})
+	}
+	if err := eng.LoadTable("prepared", schema, rows); err != nil {
+		t.Fatal(err)
+	}
+
+	type mlResult struct {
+		d   *ml.Dataset
+		err error
+	}
+	resCh := make(chan mlResult, 1)
+	coord := NewCoordinator(nil)
+	addr, err := coord.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Stop()
+	coord.launcher = func(spec JobSpec) {
+		f := &InputFormat{CoordAddr: addr, Job: spec.Job}
+		d, err := ml.Ingest(f, ml.IngestOptions{
+			LabelCol:       "abandoned",
+			LabelTransform: func(v float64) float64 { return v - 1 },
+			Nodes:          topo.Nodes(),
+		})
+		resCh <- mlResult{d, err}
+	}
+
+	res, err := eng.Query(fmt.Sprintf(
+		"SELECT * FROM TABLE(stream_send(prepared, '%s', 'udfjob', 'svm', 2))", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 4 {
+		t.Errorf("sender summary rows = %d, want 4 (one per SQL worker)", res.NumRows())
+	}
+	var sent int64
+	for _, r := range res.Rows() {
+		sent += r[1].AsInt()
+	}
+	if sent != 120 {
+		t.Errorf("rows sent = %d, want 120", sent)
+	}
+
+	mlRes := <-resCh
+	if mlRes.err != nil {
+		t.Fatal(mlRes.err)
+	}
+	if mlRes.d.NumRows() != 120 || mlRes.d.NumFeatures != 2 {
+		t.Errorf("ingested %d rows, %d features", mlRes.d.NumRows(), mlRes.d.NumFeatures)
+	}
+	if len(mlRes.d.Parts) != 8 {
+		t.Errorf("ML partitions = %d, want 8 (4 workers x k=2)", len(mlRes.d.Parts))
+	}
+	// The stream is good enough to train on.
+	model, err := ml.TrainSVMWithSGD(mlRes.d, ml.DefaultSGD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model == nil {
+		t.Fatal("nil model")
+	}
+}
+
+func TestMessageLogProduceConsume(t *testing.T) {
+	l := NewMessageLog()
+	if err := l.CreateTopic("t", 2, streamSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.CreateTopic("t", 2, streamSchema()); err == nil {
+		t.Error("duplicate topic accepted")
+	}
+	for w := 0; w < 2; w++ {
+		for _, r := range genRows(w, 50) {
+			if err := l.Append("t", w, r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Seal("t", w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := &LogFormat{Log: l, Topic: "t"}
+	got, err := hadoopfmt.ReadAll(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Errorf("log rows = %d", len(got))
+	}
+	if err := l.Append("t", 0, genRows(0, 1)[0]); err == nil {
+		t.Error("append to sealed partition accepted")
+	}
+}
+
+func TestMessageLogBlocksUntilSealed(t *testing.T) {
+	l := NewMessageLog()
+	if err := l.CreateTopic("b", 1, streamSchema()); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan int, 1)
+	go func() {
+		f := &LogFormat{Log: l, Topic: "b"}
+		rows, err := hadoopfmt.ReadAll(f, nil)
+		if err != nil {
+			done <- -1
+			return
+		}
+		done <- len(rows)
+	}()
+	for _, r := range genRows(0, 10) {
+		l.Append("b", 0, r)
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case n := <-done:
+		t.Fatalf("reader finished before seal with %d rows", n)
+	default:
+	}
+	l.Seal("b", 0)
+	select {
+	case n := <-done:
+		if n != 10 {
+			t.Errorf("rows = %d", n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader did not finish after seal")
+	}
+}
+
+func TestMessageLogReplayFromCommitted(t *testing.T) {
+	l := NewMessageLog()
+	if err := l.CreateTopic("r", 1, streamSchema()); err != nil {
+		t.Fatal(err)
+	}
+	rows := genRows(0, 20)
+	for _, r := range rows {
+		l.Append("r", 0, r)
+	}
+	l.Seal("r", 0)
+
+	// First consumer reads 8 rows, then "crashes".
+	f := &LogFormat{Log: l, Topic: "r"}
+	splits, err := f.Splits(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := f.Open(splits[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, ok, err := rr.Next(); !ok || err != nil {
+			t.Fatal("short read")
+		}
+	}
+	rr.Close()
+	if off, _ := l.Committed("r", 0); off != 8 {
+		t.Fatalf("committed = %d", off)
+	}
+
+	// Replacement consumer resumes from the committed offset.
+	f2 := &LogFormat{Log: l, Topic: "r", StartFromCommitted: true}
+	got, err := hadoopfmt.ReadAll(f2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 12 {
+		t.Fatalf("replayed rows = %d, want 12", len(got))
+	}
+	if got[0][0].AsInt() != rows[8][0].AsInt() {
+		t.Errorf("replay started at %v, want %v", got[0][0], rows[8][0])
+	}
+}
+
+func TestCoordinatorRejectsUnknownMessage(t *testing.T) {
+	env := newTransferEnv(t)
+	_ = env
+}
+
+// TestCoordinatorCrashRecovery exercises §6's "the coordinator service must
+// be resilient itself": the coordinator dies while the SQL workers are
+// parked waiting for their matches, losing all matchmaking state. A
+// replacement coordinator comes up on the same address (the stable
+// endpoint ZooKeeper would provide); the senders' retry loops re-register
+// with it, the ML job runs against it, and the transfer completes
+// exactly-once.
+func TestCoordinatorCrashRecovery(t *testing.T) {
+	topo := cluster.NewTopology(3)
+
+	coord1 := NewCoordinator(nil)
+	addr, err := coord1.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The senders start first and park on coordinator 1 awaiting matches.
+	cfg := DefaultSenderConfig()
+	cfg.MaxRestarts = 25
+	cfg.DialTimeout = 5 * time.Second
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			_, errs[w] = Send(SendRequest{
+				CoordAddr: addr, Job: "jcrash", Command: "svm",
+				Worker: w, NumWorkers: 2, K: 1,
+				Node: topo.Node(w + 1), Topo: topo,
+				Schema: streamSchema(), Rows: genRows(w, 120),
+				Config: cfg,
+			})
+		}(w)
+	}
+
+	// Crash coordinator 1 mid-protocol and bring the replacement up on the
+	// same address.
+	time.Sleep(200 * time.Millisecond)
+	coord1.Stop()
+	coord2 := NewCoordinator(nil)
+	for attempt := 0; ; attempt++ {
+		if _, err = coord2.Start(addr); err == nil {
+			break
+		}
+		if attempt > 100 {
+			t.Fatalf("could not rebind coordinator address: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	defer coord2.Stop()
+
+	// The ML job only ever talks to the replacement.
+	f := &InputFormat{CoordAddr: addr, Job: "jcrash", AcceptTimeout: 2 * time.Second}
+	d, err := ml.Ingest(f, ml.IngestOptions{LabelCol: "label", Nodes: topo.Nodes()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("sender %d after coordinator failover: %v", w, err)
+		}
+	}
+	checkExactlyOnce(t, d, 2, 120)
+}
+
+// TestConcurrentJobsThroughOneCoordinator runs two independent transfers
+// through the same long-standing coordinator simultaneously — the service
+// is shared infrastructure, not per-pipeline state.
+func TestConcurrentJobsThroughOneCoordinator(t *testing.T) {
+	env := newTransferEnv(t)
+	type out struct {
+		d   *ml.Dataset
+		err error
+	}
+	results := make(chan out, 2)
+	runJob := func(job string, n, rowsPer int) {
+		f := &InputFormat{CoordAddr: env.coordAddr, Job: job}
+		go func() {
+			d, err := ml.Ingest(f, ml.IngestOptions{LabelCol: "label", Nodes: env.topo.Nodes()})
+			results <- out{d, err}
+		}()
+		var wg sync.WaitGroup
+		for w := 0; w < n; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				if _, err := Send(SendRequest{
+					CoordAddr: env.coordAddr, Job: job, Command: "svm",
+					Worker: w, NumWorkers: n, K: 1,
+					Node: env.topo.Node(w + 1), Topo: env.topo,
+					Schema: streamSchema(), Rows: genRows(w, rowsPer),
+					Config: DefaultSenderConfig(),
+				}); err != nil {
+					t.Errorf("%s sender %d: %v", job, w, err)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	var jobs sync.WaitGroup
+	jobs.Add(2)
+	go func() { defer jobs.Done(); runJob("jobA", 2, 150) }()
+	go func() { defer jobs.Done(); runJob("jobB", 3, 80) }()
+	jobs.Wait()
+	total := 0
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		total += r.d.NumRows()
+	}
+	if total != 2*150+3*80 {
+		t.Errorf("total rows across jobs = %d, want %d", total, 2*150+3*80)
+	}
+}

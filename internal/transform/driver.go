@@ -1,0 +1,179 @@
+package transform
+
+import (
+	"fmt"
+
+	"sqlml/internal/sqlengine"
+)
+
+// Coding selects the post-recode coding family applied to categorical
+// features.
+type Coding int
+
+// Supported codings. CodingNone leaves columns recoded but unexpanded.
+const (
+	CodingNone Coding = iota
+	CodingDummy
+	CodingEffect
+	CodingOrthogonal
+)
+
+// String returns the coding's UDF name.
+func (c Coding) String() string {
+	switch c {
+	case CodingDummy:
+		return "dummy_code"
+	case CodingEffect:
+		return "effect_code"
+	case CodingOrthogonal:
+		return "orthogonal_code"
+	default:
+		return "none"
+	}
+}
+
+// ScalingKind selects the numeric feature-scaling family.
+type ScalingKind int
+
+// Supported scalings.
+const (
+	ScalingNone ScalingKind = iota
+	ScalingStandard
+	ScalingMinMax
+)
+
+// String returns the scaling's UDF name.
+func (s ScalingKind) String() string {
+	switch s {
+	case ScalingStandard:
+		return "standardize"
+	case ScalingMinMax:
+		return "minmax_scale"
+	default:
+		return "none"
+	}
+}
+
+// Spec describes the In-SQL transformation of one prepared table.
+type Spec struct {
+	// RecodeCols are the categorical (VARCHAR) columns to recode.
+	RecodeCols []string
+	// CodeCols is the subset of RecodeCols to expand after recoding (e.g.
+	// the paper dummy-codes gender but leaves the label recoded only).
+	CodeCols []string
+	// Coding selects the expansion family for CodeCols.
+	Coding Coding
+	// ScaleCols are numeric columns to scale after the categorical steps
+	// (the engine must have RegisterScalingUDFs installed).
+	ScaleCols []string
+	// Scaling selects the scaling family for ScaleCols.
+	Scaling ScalingKind
+	// MapSide uses the recode_apply UDF (map-side broadcast) instead of the
+	// paper's join-based phase 2; an ablation knob.
+	MapSide bool
+}
+
+// Output is the outcome of a full transformation.
+type Output struct {
+	// Result is the transformed relation, partitioned across SQL workers.
+	Result *sqlengine.Result
+	// Map is the recode map used (built fresh, or the cached one passed in).
+	Map *RecodeMap
+	// MapTable is the catalog name of the materialized map table; it is
+	// left registered so callers can cache it (§5.2) — drop it when done.
+	MapTable string
+	// Stats holds the scaling statistics when the spec scaled columns.
+	Stats StatsMap
+}
+
+// Apply runs the full In-SQL transformation over a catalog table: build (or
+// reuse) the recode map, recode, then expand the coded columns. A non-nil
+// cachedMap skips phase 1 of recoding entirely — the benefit measured by
+// the paper's "cache recode maps" bar in Figure 4.
+func Apply(e *sqlengine.Engine, table string, spec Spec, cachedMap *RecodeMap) (*Output, error) {
+	if len(spec.RecodeCols) == 0 {
+		return nil, fmt.Errorf("transform: spec lists no categorical columns")
+	}
+	for _, c := range spec.CodeCols {
+		found := false
+		for _, rc := range spec.RecodeCols {
+			if rc == c {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("transform: coded column %q is not in RecodeCols", c)
+		}
+	}
+
+	var (
+		m        *RecodeMap
+		mapTable string
+		err      error
+	)
+	if cachedMap != nil {
+		m = cachedMap
+		mapTable, err = MaterializeMap(e, m)
+	} else {
+		m, mapTable, err = BuildRecodeMap(e, table, spec.RecodeCols)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	var recoded *sqlengine.Result
+	if spec.MapSide {
+		recoded, err = RecodeMapSide(e, table, mapTable, spec.RecodeCols)
+	} else {
+		recoded, err = Recode(e, table, mapTable, spec.RecodeCols)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Output{Result: recoded, Map: m, MapTable: mapTable}
+	if len(spec.CodeCols) > 0 && spec.Coding != CodingNone {
+		// Expand the coded columns via the coding UDF over a temp
+		// registration of the result (partitions are adopted, not copied).
+		tmp := tmpName("recoded")
+		if err := e.RegisterResult(tmp, out.Result); err != nil {
+			return nil, err
+		}
+		specArg, err := SpecArg(m, spec.CodeCols)
+		if err != nil {
+			e.DropTable(tmp)
+			return nil, err
+		}
+		coded, err := e.Query(fmt.Sprintf("SELECT * FROM TABLE(%s(%s, '%s'))", spec.Coding, tmp, specArg))
+		e.DropTable(tmp)
+		if err != nil {
+			return nil, err
+		}
+		out.Result = coded
+	}
+	if len(spec.ScaleCols) > 0 && spec.Scaling != ScalingNone {
+		tmp := tmpName("prescale")
+		if err := e.RegisterResult(tmp, out.Result); err != nil {
+			return nil, err
+		}
+		var (
+			scaled *sqlengine.Result
+			stats  StatsMap
+			err    error
+		)
+		switch spec.Scaling {
+		case ScalingStandard:
+			scaled, stats, err = Standardize(e, tmp, spec.ScaleCols)
+		case ScalingMinMax:
+			scaled, stats, err = MinMaxScale(e, tmp, spec.ScaleCols)
+		}
+		e.DropTable(tmp)
+		if err != nil {
+			return nil, err
+		}
+		out.Result = scaled
+		out.Stats = stats
+	}
+	return out, nil
+}

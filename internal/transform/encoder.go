@@ -1,0 +1,151 @@
+package transform
+
+import (
+	"fmt"
+	"strings"
+
+	"sqlml/internal/row"
+)
+
+// RecodedSchema returns the schema of a table after recoding the listed
+// VARCHAR columns to BIGINT codes.
+func RecodedSchema(in row.Schema, cols []string) (row.Schema, error) {
+	return recodedSchema(in, cols)
+}
+
+// Encoder applies a full row-at-a-time transformation (recode + coding)
+// outside the SQL engine. It backs the external Jaql-style transformation
+// tool of the naive baseline, guaranteeing the naive and In-SQL pipelines
+// compute identical outputs.
+type Encoder struct {
+	in         row.Schema
+	out        row.Schema
+	m          *RecodeMap
+	recodeCols map[int]string // input column index → column name
+	plans      map[int]encoderPlan
+}
+
+type encoderPlan struct {
+	n      int
+	t      row.Type
+	encode func(int64) (row.Row, error)
+}
+
+// NewEncoder builds an encoder for rows of schema in: recodeCols are
+// recoded through m; codeCols (a subset) are then expanded with the coding.
+func NewEncoder(in row.Schema, m *RecodeMap, recodeCols, codeCols []string, coding Coding) (*Encoder, error) {
+	e := &Encoder{in: in, m: m, recodeCols: make(map[int]string), plans: make(map[int]encoderPlan)}
+	for _, c := range recodeCols {
+		idx := in.ColIndex(c)
+		if idx < 0 {
+			return nil, fmt.Errorf("transform: unknown column %q", c)
+		}
+		if in.Cols[idx].Type != row.TypeString {
+			return nil, fmt.Errorf("transform: column %q is %s; recoding applies to VARCHAR", c, in.Cols[idx].Type)
+		}
+		e.recodeCols[idx] = strings.ToLower(c)
+	}
+	var fn codingFn
+	switch coding {
+	case CodingNone:
+	case CodingDummy:
+		fn = dummyCoding
+	case CodingEffect:
+		fn = effectCoding
+	case CodingOrthogonal:
+		fn = orthogonalCoding
+	default:
+		return nil, fmt.Errorf("transform: unknown coding %d", coding)
+	}
+	coded := make(map[string]bool)
+	for _, c := range codeCols {
+		if fn == nil {
+			return nil, fmt.Errorf("transform: codeCols given with CodingNone")
+		}
+		idx := in.ColIndex(c)
+		if idx < 0 {
+			return nil, fmt.Errorf("transform: unknown column %q", c)
+		}
+		if _, ok := e.recodeCols[idx]; !ok {
+			return nil, fmt.Errorf("transform: coded column %q is not recoded", c)
+		}
+		k := m.Cardinality(c)
+		if k == 0 {
+			return nil, fmt.Errorf("transform: column %q not in recode map", c)
+		}
+		n, t, enc, err := fn(k)
+		if err != nil {
+			return nil, err
+		}
+		e.plans[idx] = encoderPlan{n: n, t: t, encode: enc}
+		coded[strings.ToLower(c)] = true
+	}
+
+	var cols []row.Column
+	for i, c := range in.Cols {
+		name := strings.ToLower(c.Name)
+		if plan, ok := e.plans[i]; ok {
+			for j := 1; j <= plan.n; j++ {
+				cols = append(cols, row.Column{Name: fmt.Sprintf("%s_%d", c.Name, j), Type: plan.t})
+			}
+			continue
+		}
+		if _, ok := e.recodeCols[i]; ok {
+			cols = append(cols, row.Column{Name: c.Name, Type: row.TypeInt})
+			continue
+		}
+		_ = name
+		cols = append(cols, c)
+	}
+	out, err := row.NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	e.out = out
+	return e, nil
+}
+
+// Schema returns the encoder's output schema.
+func (e *Encoder) Schema() row.Schema { return e.out }
+
+// Encode transforms one input row.
+func (e *Encoder) Encode(r row.Row) (row.Row, error) {
+	if len(r) != e.in.Len() {
+		return nil, fmt.Errorf("transform: row arity %d, schema arity %d", len(r), e.in.Len())
+	}
+	var out row.Row
+	for i, v := range r {
+		col, isCat := e.recodeCols[i]
+		if !isCat {
+			out = append(out, v)
+			continue
+		}
+		var code row.Value
+		if v.Null {
+			code = row.NullOf(row.TypeInt)
+		} else {
+			id, ok := e.m.ID(col, v.AsString())
+			if !ok {
+				return nil, fmt.Errorf("transform: value %q of column %q not in recode map", v.AsString(), col)
+			}
+			code = row.Int(id)
+		}
+		plan, isCoded := e.plans[i]
+		if !isCoded {
+			out = append(out, code)
+			continue
+		}
+		if code.Null {
+			for j := 0; j < plan.n; j++ {
+				out = append(out, row.NullOf(plan.t))
+			}
+			continue
+		}
+		vec, err := plan.encode(code.AsInt())
+		if err != nil {
+			return nil, fmt.Errorf("transform: column %q: %w", col, err)
+		}
+		out = append(out, vec...)
+	}
+	return out, nil
+}

@@ -1,0 +1,218 @@
+package transform
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sqlml/internal/row"
+	"sqlml/internal/sqlengine"
+)
+
+func newScalingEngine(t testing.TB) *sqlengine.Engine {
+	t.Helper()
+	e := newEngine(t)
+	if err := RegisterScalingUDFs(e); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func loadNumeric(t testing.TB, e *sqlengine.Engine, name string, values []float64) {
+	t.Helper()
+	schema := row.MustSchema(
+		row.Column{Name: "id", Type: row.TypeInt},
+		row.Column{Name: "x", Type: row.TypeFloat},
+		row.Column{Name: "tag", Type: row.TypeString},
+	)
+	rows := make([]row.Row, len(values))
+	for i, v := range values {
+		rows[i] = row.Row{row.Int(int64(i)), row.Float(v), row.String_("t")}
+	}
+	if err := e.LoadTable(name, schema, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildStatsMatchesDirectComputation(t *testing.T) {
+	e := newScalingEngine(t)
+	rng := rand.New(rand.NewSource(1))
+	values := make([]float64, 500)
+	sum, sumsq := 0.0, 0.0
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for i := range values {
+		v := rng.NormFloat64()*3 + 10
+		values[i] = v
+		sum += v
+		sumsq += v * v
+		minV = math.Min(minV, v)
+		maxV = math.Max(maxV, v)
+	}
+	loadNumeric(t, e, "nums", values)
+	stats, statsTable, err := BuildStats(e, "nums", []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.DropTable(statsTable)
+	s := stats["x"]
+	n := float64(len(values))
+	wantMean := sum / n
+	wantStd := math.Sqrt(sumsq/n - wantMean*wantMean)
+	if s.Count != int64(len(values)) {
+		t.Errorf("count = %d", s.Count)
+	}
+	if math.Abs(s.Mean-wantMean) > 1e-9 || math.Abs(s.Std-wantStd) > 1e-9 {
+		t.Errorf("mean/std = %v/%v, want %v/%v", s.Mean, s.Std, wantMean, wantStd)
+	}
+	if s.Min != minV || s.Max != maxV {
+		t.Errorf("min/max = %v/%v, want %v/%v", s.Min, s.Max, minV, maxV)
+	}
+	// The materialised table round-trips.
+	back, err := LoadStatsTable(e, statsTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back["x"].Count != s.Count {
+		t.Error("stats table round trip lost data")
+	}
+}
+
+func TestStandardizeProducesZeroMeanUnitVariance(t *testing.T) {
+	e := newScalingEngine(t)
+	rng := rand.New(rand.NewSource(2))
+	values := make([]float64, 400)
+	for i := range values {
+		values[i] = rng.NormFloat64()*7 - 3
+	}
+	loadNumeric(t, e, "nums", values)
+	res, stats, err := Standardize(e, "nums", []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats["x"].Count != 400 {
+		t.Errorf("stats count = %d", stats["x"].Count)
+	}
+	xIdx := res.Schema.ColIndex("x")
+	sum, sumsq := 0.0, 0.0
+	for _, r := range res.Rows() {
+		v := r[xIdx].AsFloat()
+		sum += v
+		sumsq += v * v
+	}
+	n := float64(res.NumRows())
+	if mean := sum / n; math.Abs(mean) > 1e-9 {
+		t.Errorf("standardized mean = %v", mean)
+	}
+	if variance := sumsq / n; math.Abs(variance-1) > 1e-9 {
+		t.Errorf("standardized variance = %v", variance)
+	}
+	// Untouched columns pass through.
+	if res.Schema.ColIndex("tag") < 0 || res.Schema.ColIndex("id") < 0 {
+		t.Error("non-scaled columns missing")
+	}
+}
+
+func TestMinMaxScaleBounds(t *testing.T) {
+	e := newScalingEngine(t)
+	values := []float64{5, 10, 15, 20, 25}
+	loadNumeric(t, e, "nums", values)
+	res, _, err := MinMaxScale(e, "nums", []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xIdx := res.Schema.ColIndex("x")
+	seen0, seen1 := false, false
+	for _, r := range res.Rows() {
+		v := r[xIdx].AsFloat()
+		if v < 0 || v > 1 {
+			t.Errorf("scaled value %v outside [0,1]", v)
+		}
+		if v == 0 {
+			seen0 = true
+		}
+		if v == 1 {
+			seen1 = true
+		}
+	}
+	if !seen0 || !seen1 {
+		t.Error("min and max must map to 0 and 1")
+	}
+}
+
+func TestScaleConstantColumn(t *testing.T) {
+	e := newScalingEngine(t)
+	loadNumeric(t, e, "nums", []float64{7, 7, 7})
+	res, _, err := Standardize(e, "nums", []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows() {
+		if v := r[res.Schema.ColIndex("x")].AsFloat(); v != 0 {
+			t.Errorf("constant column standardizes to %v, want 0", v)
+		}
+	}
+	res, _, err = MinMaxScale(e, "nums", []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows() {
+		if v := r[res.Schema.ColIndex("x")].AsFloat(); v != 0 {
+			t.Errorf("constant column min-max scales to %v, want 0", v)
+		}
+	}
+}
+
+func TestScalePreservesNulls(t *testing.T) {
+	e := newScalingEngine(t)
+	schema := row.MustSchema(row.Column{Name: "x", Type: row.TypeFloat})
+	if err := e.LoadTable("n", schema, []row.Row{
+		{row.Float(1)}, {row.NullOf(row.TypeFloat)}, {row.Float(3)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, stats, err := Standardize(e, "n", []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats["x"].Count != 2 {
+		t.Errorf("NULLs must not count toward stats: count = %d", stats["x"].Count)
+	}
+	nulls := 0
+	for _, r := range res.Rows() {
+		if r[0].Null {
+			nulls++
+		}
+	}
+	if nulls != 1 {
+		t.Errorf("nulls after scaling = %d, want 1", nulls)
+	}
+}
+
+func TestScaleIntegerColumnsBecomeDouble(t *testing.T) {
+	e := newScalingEngine(t)
+	schema := row.MustSchema(row.Column{Name: "age", Type: row.TypeInt})
+	if err := e.LoadTable("ages", schema, []row.Row{{row.Int(20)}, {row.Int(40)}}); err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := MinMaxScale(e, "ages", []string{"age"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema.Cols[0].Type != row.TypeFloat {
+		t.Errorf("scaled BIGINT column should become DOUBLE, got %s", res.Schema.Cols[0].Type)
+	}
+}
+
+func TestScaleErrors(t *testing.T) {
+	e := newScalingEngine(t)
+	loadFigure1(t, e)
+	if _, _, err := Standardize(e, "t", []string{"gender"}); err == nil {
+		t.Error("scaling a VARCHAR column accepted")
+	}
+	if _, _, err := Standardize(e, "t", []string{"nosuch"}); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if _, _, err := Standardize(e, "t", nil); err == nil {
+		t.Error("empty column list accepted")
+	}
+}
