@@ -12,6 +12,7 @@ package sqlml_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -25,7 +26,11 @@ func simMS(d time.Duration) float64 { return float64(d) / float64(time.Milliseco
 
 // BenchmarkFigure3 regenerates Figure 3: the three approaches of
 // connecting the big SQL system with the big ML system, with the same
-// stage breakdown the paper plots (prep / trsfm / input for ml).
+// stage breakdown the paper plots (prep / trsfm / input for ml). Besides
+// the allocation counters (-benchmem is implied via ReportAllocs), it
+// reports the peak Go heap over the run — the number the batch-pipelined
+// executor is meant to push down relative to stage-at-a-time
+// materialization.
 func BenchmarkFigure3(b *testing.B) {
 	for _, approach := range []core.Approach{core.Naive, core.InSQL, core.InSQLStream} {
 		b.Run(approach.String(), func(b *testing.B) {
@@ -37,6 +42,9 @@ func BenchmarkFigure3(b *testing.B) {
 			cfg := experiments.PaperPipeline()
 			var total, stageSim time.Duration
 			stages := map[string]time.Duration{}
+			b.ReportAllocs()
+			var peakHeap uint64
+			var ms runtime.MemStats
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				env.Cost.ResetStats()
@@ -45,6 +53,10 @@ func BenchmarkFigure3(b *testing.B) {
 					now := env.Cost.Stats().SimulatedTime
 					stages[stage] += now - last
 					last = now
+					runtime.ReadMemStats(&ms)
+					if ms.HeapAlloc > peakHeap {
+						peakHeap = ms.HeapAlloc
+					}
 				}
 				if _, err := core.Run(env, approach, cfg); err != nil {
 					b.Fatal(err)
@@ -53,6 +65,7 @@ func BenchmarkFigure3(b *testing.B) {
 				total += stageSim
 			}
 			b.ReportMetric(simMS(total)/float64(b.N), "sim-ms/op")
+			b.ReportMetric(float64(peakHeap), "peak-heap-B")
 			for stage, d := range stages {
 				b.ReportMetric(simMS(d)/float64(b.N), "sim-ms-"+stage)
 			}

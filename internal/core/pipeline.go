@@ -152,7 +152,10 @@ func runNaive(env *Env, cfg PipelineConfig) (*RunResult, error) {
 	outDir := stagingDir + "/transformed"
 
 	start := time.Now()
-	res, err := env.Engine.Query(cfg.Query)
+	// Even the naive approach pipelines query → DFS writer inside the
+	// engine; its penalty is the DFS round trips between systems, not
+	// materialization inside one.
+	res, err := env.Engine.QueryStream(cfg.Query)
 	if err != nil {
 		return nil, err
 	}
@@ -197,8 +200,12 @@ func runNaive(env *Env, cfg PipelineConfig) (*RunResult, error) {
 
 // prepareTransformed runs the In-SQL half shared by insql and insql+stream:
 // query + transformation inside the engine (consulting the cache per the
-// tier), returning the transformed result registered as a temp table.
-func prepareTransformed(env *Env, cfg PipelineConfig) (table string, out *transform.Output, hit cache.HitKind, cleanup func(), err error) {
+// tier). The returned Output.Result is STREAMING whenever the plan allows
+// (no scaling breaker, no cache population): the query/transform pipeline
+// runs only as the caller consumes it, so the consumer — DFS export or the
+// streaming transfer — overlaps with transformation (Figure 2). Call
+// cleanup after the result has been consumed.
+func prepareTransformed(env *Env, cfg PipelineConfig) (out *transform.Output, hit cache.HitKind, cleanup func(), err error) {
 	seq := pipelineSeq.Add(1)
 	cleanups := []func(){}
 	cleanup = func() {
@@ -226,78 +233,69 @@ func prepareTransformed(env *Env, cfg PipelineConfig) (table string, out *transf
 		h := env.Cache.LookupAtMost(info, cfg.Spec, maxKind)
 		switch h.Kind {
 		case cache.FullResultHit:
-			// §5.1: answer entirely from the cached transformed table.
-			res, qerr := env.Engine.Query(h.RewrittenSQL)
+			// §5.1: answer entirely from the cached transformed table,
+			// streamed straight to the consumer.
+			res, qerr := env.Engine.QueryStream(h.RewrittenSQL)
 			if qerr != nil {
 				cleanup()
-				return "", nil, cache.Miss, nil, qerr
+				return nil, cache.Miss, nil, qerr
 			}
-			table = fmt.Sprintf("__pipe_full_%d", seq)
-			if rerr := env.Engine.RegisterResult(table, res); rerr != nil {
-				cleanup()
-				return "", nil, cache.Miss, nil, rerr
-			}
-			cleanups = append(cleanups, func() { env.Engine.DropTable(table) })
-			return table, &transform.Output{Result: res, Map: h.Entry.Map}, cache.FullResultHit, cleanup, nil
+			return &transform.Output{Result: res, Map: h.Entry.Map}, cache.FullResultHit, cleanup, nil
 		case cache.RecodeMapHit:
-			// §5.2: run the query but skip recode phase 1.
+			// §5.2: run the query but skip recode phase 1. With the map
+			// already known, the transformation scans the prep result just
+			// once, so the query streams into recoding — nothing
+			// materializes between prep and transform.
 			hit = cache.RecodeMapHit
-			prep, qerr := env.Engine.Query(cfg.Query)
+			prep, qerr := env.Engine.QueryStream(cfg.Query)
 			if qerr != nil {
 				cleanup()
-				return "", nil, cache.Miss, nil, qerr
+				return nil, cache.Miss, nil, qerr
 			}
 			prepTable := fmt.Sprintf("__pipe_prep_%d", seq)
-			if rerr := env.Engine.RegisterResult(prepTable, prep); rerr != nil {
+			if rerr := env.Engine.RegisterResultStream(prepTable, prep); rerr != nil {
 				cleanup()
-				return "", nil, cache.Miss, nil, rerr
+				return nil, cache.Miss, nil, rerr
 			}
 			cleanups = append(cleanups, func() { env.Engine.DropTable(prepTable) })
 			out, terr := transform.Apply(env.Engine, prepTable, cfg.Spec, h.Entry.Map)
 			if terr != nil {
 				cleanup()
-				return "", nil, cache.Miss, nil, terr
+				return nil, cache.Miss, nil, terr
 			}
 			cleanups = append(cleanups, func() { env.Engine.DropTable(out.MapTable) })
-			table = fmt.Sprintf("__pipe_trsfm_%d", seq)
-			if rerr := env.Engine.RegisterResult(table, out.Result); rerr != nil {
-				cleanup()
-				return "", nil, cache.Miss, nil, rerr
-			}
-			cleanups = append(cleanups, func() { env.Engine.DropTable(table) })
-			return table, out, cache.RecodeMapHit, cleanup, nil
+			return out, cache.RecodeMapHit, cleanup, nil
 		}
 	}
 
-	// Fresh run: query, then transform, all inside the engine.
+	// Fresh run: query, then transform, all inside the engine. Building a
+	// fresh recode map needs two scans of the prep result (map build, then
+	// recode), so the prep query is the one mandatory materialization.
 	prep, err := env.Engine.Query(cfg.Query)
 	if err != nil {
 		cleanup()
-		return "", nil, cache.Miss, nil, err
+		return nil, cache.Miss, nil, err
 	}
 	prepTable := fmt.Sprintf("__pipe_prep_%d", seq)
 	if err := env.Engine.RegisterResult(prepTable, prep); err != nil {
 		cleanup()
-		return "", nil, cache.Miss, nil, err
+		return nil, cache.Miss, nil, err
 	}
 	cleanups = append(cleanups, func() { env.Engine.DropTable(prepTable) })
 	out, err = transform.Apply(env.Engine, prepTable, cfg.Spec, nil)
 	if err != nil {
 		cleanup()
-		return "", nil, cache.Miss, nil, err
+		return nil, cache.Miss, nil, err
 	}
-	table = fmt.Sprintf("__pipe_trsfm_%d", seq)
-	if err := env.Engine.RegisterResult(table, out.Result); err != nil {
-		cleanup()
-		return "", nil, cache.Miss, nil, err
-	}
-	cleanups = append(cleanups, func() { env.Engine.DropTable(table) })
-
 	cleanups = append(cleanups, func() { env.Engine.DropTable(out.MapTable) })
 	if cfg.CachePopulate && info != nil {
-		// The cache entry holds the RecodeMap in memory and the transformed
-		// result as its own (not temp) table, so the temp tables above can
-		// still be dropped.
+		// Populating the cache forces materialization: the entry must
+		// survive this run, and the caller still consumes out.Result after
+		// us (a materialized result replays its partitions on every read).
+		if merr := out.Result.Materialize(); merr != nil {
+			cleanup()
+			return nil, cache.Miss, nil, merr
+		}
 		name := fmt.Sprintf("__cached_%d", seq)
 		var entry *cache.Entry
 		var cerr error
@@ -312,7 +310,7 @@ func prepareTransformed(env *Env, cfg PipelineConfig) (table string, out *transf
 			}
 		}
 	}
-	return table, out, hit, cleanup, nil
+	return out, hit, cleanup, nil
 }
 
 // runInSQL is Figure 3's middle bar: query and transformation pipeline
@@ -323,11 +321,13 @@ func runInSQL(env *Env, cfg PipelineConfig) (*RunResult, error) {
 	outDir := fmt.Sprintf("/staging/insql-%d/transformed", seq)
 
 	start := time.Now()
-	_, out, hit, cleanup, err := prepareTransformed(env, cfg)
+	out, hit, cleanup, err := prepareTransformed(env, cfg)
 	if err != nil {
 		return nil, err
 	}
 	defer cleanup()
+	// The export pulls the (usually streaming) transform pipeline directly:
+	// transformed batches go to the DFS writers as they are produced.
 	if err := env.Engine.ExportToDFS(out.Result, env.FS, outDir); err != nil {
 		return nil, err
 	}
@@ -365,11 +365,20 @@ func runInSQLStream(env *Env, cfg PipelineConfig) (*RunResult, error) {
 	}
 
 	start := time.Now()
-	table, _, hit, cleanup, err := prepareTransformed(env, cfg)
+	out, hit, cleanup, err := prepareTransformed(env, cfg)
 	if err != nil {
 		return nil, err
 	}
 	defer cleanup()
+
+	// Hand the live transform pipeline to the sender UDF through a streaming
+	// temp table: query → transform → transfer is one fused pipeline, the
+	// paper's Figure 2 overlap. (A materialized result registers normally.)
+	table := fmt.Sprintf("__pipe_send_%d", seq)
+	if err := env.Engine.RegisterResultStream(table, out.Result); err != nil {
+		return nil, err
+	}
+	defer env.Engine.DropTable(table)
 
 	// ML side: ingest from the stream, concurrently with the senders.
 	type ingestResult struct {

@@ -249,14 +249,24 @@ func RecodeAblation(env *core.Env) (joinSim, mapSideSim time.Duration, err error
 	}
 	defer env.Engine.DropTable(mapTable)
 
+	// Recode results are streaming pipelines; drain them so the simulated
+	// cost of actually executing each path is charged.
 	env.Cost.ResetStats()
-	if _, err := transform.Recode(env.Engine, "__ablate_prep", mapTable, []string{"gender", "abandoned"}); err != nil {
+	joined, err := transform.Recode(env.Engine, "__ablate_prep", mapTable, []string{"gender", "abandoned"})
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := joined.Materialize(); err != nil {
 		return 0, 0, err
 	}
 	joinSim = env.Cost.Stats().SimulatedTime
 
 	env.Cost.ResetStats()
-	if _, err := transform.RecodeMapSide(env.Engine, "__ablate_prep", mapTable, []string{"gender", "abandoned"}); err != nil {
+	mapped, err := transform.RecodeMapSide(env.Engine, "__ablate_prep", mapTable, []string{"gender", "abandoned"})
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := mapped.Materialize(); err != nil {
 		return 0, 0, err
 	}
 	mapSideSim = env.Cost.Stats().SimulatedTime

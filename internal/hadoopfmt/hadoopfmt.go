@@ -226,32 +226,67 @@ func (l *lineRecordReader) Close() error {
 	return nil
 }
 
+// TextTableWriter streams rows into a DFS text table file one at a time,
+// so producers can interleave writing with row production instead of
+// materializing the full partition first.
+type TextTableWriter struct {
+	w      *dfs.Writer
+	schema row.Schema
+	buf    []byte
+	total  int64
+}
+
+// NewTextTableWriter creates (or replaces) the file at path and returns a
+// row-at-a-time writer.
+func NewTextTableWriter(fs *dfs.FileSystem, path string, schema row.Schema, node *cluster.Node) (*TextTableWriter, error) {
+	w, err := fs.Create(path, node)
+	if err != nil {
+		return nil, err
+	}
+	return &TextTableWriter{w: w, schema: schema}, nil
+}
+
+// WriteRow appends one row. On any error the underlying file is aborted.
+func (t *TextTableWriter) WriteRow(r row.Row) error {
+	if err := r.Conforms(t.schema); err != nil {
+		t.w.Abort()
+		return err
+	}
+	t.buf = row.AppendLine(t.buf[:0], r)
+	if _, err := t.w.Write(t.buf); err != nil {
+		t.w.Abort()
+		return err
+	}
+	t.total += int64(len(t.buf))
+	return nil
+}
+
+// Close commits the file and returns the number of bytes written.
+func (t *TextTableWriter) Close() (int64, error) {
+	if err := t.w.Close(); err != nil {
+		return 0, err
+	}
+	return t.total, nil
+}
+
+// Abort discards the file.
+func (t *TextTableWriter) Abort() { t.w.Abort() }
+
 // WriteTextTable writes rows to a DFS path in the text table format,
 // returning the number of bytes written. It is the common sink used by the
-// SQL engine's DFS export and the MapReduce output stage.
+// MapReduce output stage; the SQL engine's export streams through
+// TextTableWriter directly.
 func WriteTextTable(fs *dfs.FileSystem, path string, schema row.Schema, rows []row.Row, node *cluster.Node) (int64, error) {
-	w, err := fs.Create(path, node)
+	w, err := NewTextTableWriter(fs, path, schema, node)
 	if err != nil {
 		return 0, err
 	}
-	var buf []byte
-	var total int64
 	for _, r := range rows {
-		if err := r.Conforms(schema); err != nil {
-			w.Abort()
+		if err := w.WriteRow(r); err != nil {
 			return 0, err
 		}
-		buf = row.AppendLine(buf[:0], r)
-		if _, err := w.Write(buf); err != nil {
-			w.Abort()
-			return 0, err
-		}
-		total += int64(len(buf))
 	}
-	if err := w.Close(); err != nil {
-		return 0, err
-	}
-	return total, nil
+	return w.Close()
 }
 
 // ReadAll drains an InputFormat completely (all splits, sequentially) and

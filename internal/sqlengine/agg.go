@@ -201,9 +201,10 @@ type outputCol struct {
 	typ    row.Type
 }
 
-// execAggregate evaluates an aggregate query: partial aggregation per
-// partition in parallel, then a merge at the head node. The merged result
-// occupies partition 0.
+// execAggregate evaluates an aggregate query: streaming partial
+// aggregation per partition in parallel (a pipeline breaker, but one that
+// holds O(groups) memory, never the full input), then a merge at the head
+// node. The merged result occupies partition 0.
 func (e *Engine) execAggregate(sel *SelectStmt, in *dataset) (row.Schema, [][]row.Row, error) {
 	// Compile group keys.
 	keyFns := make([]evalFn, len(sel.GroupBy))
@@ -285,11 +286,21 @@ func (e *Engine) execAggregate(sel *SelectStmt, in *dataset) (row.Schema, [][]ro
 		return g
 	}
 
-	// Partial aggregation per partition.
-	partials := make([]map[string]*group, len(in.parts))
-	err := forEachPart(len(in.parts), func(i int) error {
+	// Streaming partial aggregation per partition: consume the input
+	// pipeline batch-by-batch, accumulating only per-group state.
+	partials := make([]map[string]*group, len(in.iters))
+	err := forEachPart(len(in.iters), func(i int) error {
+		defer in.iters[i].Close()
 		m := make(map[string]*group)
-		for _, r := range in.parts[i] {
+		it := &batchRows{in: in.iters[i]}
+		for {
+			r, ok, err := it.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
 			keys := make(row.Row, len(keyFns))
 			for ki, fn := range keyFns {
 				v, err := fn(r)
@@ -320,6 +331,7 @@ func (e *Engine) execAggregate(sel *SelectStmt, in *dataset) (row.Schema, [][]ro
 		return nil
 	})
 	if err != nil {
+		closeAllIters(in.iters)
 		return row.Schema{}, nil, err
 	}
 
@@ -379,7 +391,7 @@ func (e *Engine) execAggregate(sel *SelectStmt, in *dataset) (row.Schema, [][]ro
 		}
 		out = append(out, r)
 	}
-	parts := make([][]row.Row, len(in.parts))
+	parts := make([][]row.Row, len(in.iters))
 	if len(parts) == 0 {
 		parts = make([][]row.Row, e.NumWorkers())
 	}

@@ -1,0 +1,117 @@
+package sqlengine
+
+import "sqlml/internal/row"
+
+// DefaultBatchSize is how many rows flow through the pipeline per batch.
+// Large enough to amortize per-batch overhead, small enough that a full
+// pipeline holds O(batch × depth) rows instead of O(dataset).
+const DefaultBatchSize = 1024
+
+// RowBatch is the unit of data flowing between pipelined operators.
+type RowBatch []row.Row
+
+// BatchIterator is the Volcano-style pull interface of one partition's
+// operator pipeline. Next returns the next batch (ok=false at end of
+// stream); a batch is only valid until the following Next call. Close
+// releases the pipeline early — it must be safe to call at any point,
+// more than once, and must stop any producer goroutines upstream.
+type BatchIterator interface {
+	Next() (b RowBatch, ok bool, err error)
+	Close()
+}
+
+// sliceBatches iterates an in-memory partition as zero-copy sub-slices.
+type sliceBatches struct {
+	rows []row.Row
+	i    int
+}
+
+// NewSliceBatches returns a BatchIterator over an in-memory row slice,
+// yielding DefaultBatchSize-row sub-slices without copying.
+func NewSliceBatches(rows []row.Row) BatchIterator { return &sliceBatches{rows: rows} }
+
+func (s *sliceBatches) Next() (RowBatch, bool, error) {
+	if s.i >= len(s.rows) {
+		return nil, false, nil
+	}
+	end := s.i + DefaultBatchSize
+	if end > len(s.rows) {
+		end = len(s.rows)
+	}
+	b := RowBatch(s.rows[s.i:end])
+	s.i = end
+	return b, true, nil
+}
+
+func (s *sliceBatches) Close() { s.i = len(s.rows) }
+
+// batchRows adapts a BatchIterator to the row-at-a-time Iterator consumed
+// by table UDFs. Closing is the owner's job, not the adapter's.
+type batchRows struct {
+	in  BatchIterator
+	cur RowBatch
+	i   int
+}
+
+// Next implements Iterator.
+func (a *batchRows) Next() (row.Row, bool, error) {
+	for a.i >= len(a.cur) {
+		b, ok, err := a.in.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		a.cur, a.i = b, 0
+	}
+	r := a.cur[a.i]
+	a.i++
+	return r, true, nil
+}
+
+// drainBatches pulls an iterator to completion, materializing one
+// partition. The iterator is closed either way.
+func drainBatches(it BatchIterator) ([]row.Row, error) {
+	defer it.Close()
+	var out []row.Row
+	for {
+		b, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, b...)
+	}
+}
+
+// drainAll materializes every partition of a pipeline in parallel (one
+// goroutine per partition, like every other per-partition pass). On error
+// the remaining iterators are closed.
+func drainAll(iters []BatchIterator) ([][]row.Row, error) {
+	parts := make([][]row.Row, len(iters))
+	err := forEachPart(len(iters), func(i int) error {
+		p, err := drainBatches(iters[i])
+		parts[i] = p
+		return err
+	})
+	if err != nil {
+		closeAllIters(iters)
+		return nil, err
+	}
+	return parts, nil
+}
+
+func closeAllIters(iters []BatchIterator) {
+	for _, it := range iters {
+		if it != nil {
+			it.Close()
+		}
+	}
+}
+
+// errorIterator yields a single error; used when a partition's pipeline
+// cannot even be constructed.
+type errorIterator struct{ err error }
+
+func (e *errorIterator) Next() (RowBatch, bool, error) { return nil, false, e.err }
+func (e *errorIterator) Close()                        {}

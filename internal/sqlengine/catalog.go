@@ -20,14 +20,18 @@ type ExternalBacking struct {
 }
 
 // Table is a catalog entry. Managed tables hold their rows partitioned
-// across the engine's workers; external tables are scanned from the DFS.
+// across the engine's workers; external tables are scanned from the DFS;
+// streaming tables (RegisterResultStream) hold a live per-partition batch
+// pipeline that exactly one scan may consume.
 type Table struct {
 	Name     string
 	Schema   row.Schema
 	External *ExternalBacking
 
-	mu    sync.RWMutex
-	parts [][]row.Row
+	mu        sync.RWMutex
+	parts     [][]row.Row
+	streaming bool
+	stream    []BatchIterator
 }
 
 // NumRows returns the managed row count (0 for external tables; their
@@ -48,6 +52,16 @@ func (t *Table) partitions() [][]row.Row {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return t.parts
+}
+
+// takeStream hands over a streaming table's one-shot pipeline; the second
+// caller gets ok=false.
+func (t *Table) takeStream() ([]BatchIterator, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.stream
+	t.stream = nil
+	return s, s != nil
 }
 
 // Catalog is the engine's table namespace. Safe for concurrent use.

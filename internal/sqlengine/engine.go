@@ -112,50 +112,202 @@ func (e *Engine) RegisterExternalTable(name string, fs *dfs.FileSystem, path str
 }
 
 // RegisterResult defines a managed table adopting a query result's
-// partitions (no copy). This is how pipelines chain query → table UDF →
-// query without leaving engine memory.
+// partitions (no copy), materializing the result if it is still
+// streaming. This is how pipelines chain query → table UDF → query
+// without leaving engine memory.
 func (e *Engine) RegisterResult(name string, res *Result) error {
-	return e.LoadPartitionedTable(name, res.Schema, res.Parts)
+	parts, err := res.Parts()
+	if err != nil {
+		return err
+	}
+	return e.LoadPartitionedTable(name, res.Schema, parts)
+}
+
+// RegisterResultStream defines a table over a streaming result WITHOUT
+// materializing it: the table hands the result's per-partition pipelines
+// to its first (and only) scan, so a downstream query keeps the whole
+// chain pipelined. A materialized result falls back to RegisterResult.
+func (e *Engine) RegisterResultStream(name string, res *Result) error {
+	if !res.Streaming() {
+		return e.RegisterResult(name, res)
+	}
+	iters, err := res.Batches()
+	if err != nil {
+		return err
+	}
+	if len(iters) != e.NumWorkers() {
+		closeAllIters(iters)
+		return fmt.Errorf("sql: %d stream partitions for %d workers", len(iters), e.NumWorkers())
+	}
+	t := &Table{Name: name, Schema: res.Schema, streaming: true, stream: iters}
+	if err := e.catalog.Put(t); err != nil {
+		closeAllIters(iters)
+		return err
+	}
+	return nil
 }
 
 // DropTable removes a table from the catalog.
 func (e *Engine) DropTable(name string) error { return e.catalog.Drop(name) }
 
 // Result is a query result partitioned across the engine's workers:
-// Parts[i] lives on WorkerNode(i).
+// partition i lives on WorkerNode(i). A result starts out either
+// materialized (pipeline breakers, DDL answers) or streaming — per-worker
+// batch pipelines that run as they are consumed. Materialize is the
+// compatibility shim: it drains a streaming result in parallel, after
+// which the result behaves exactly like the pre-pipelining one.
 type Result struct {
 	Schema row.Schema
-	Parts  [][]row.Row
+
+	mu       sync.Mutex
+	stream   []BatchIterator
+	parts    [][]row.Row
+	done     bool // parts is valid
+	consumed bool // stream handed off or drained
 }
 
-// NumRows returns the total row count.
+// NewResult wraps materialized partitions as a result.
+func NewResult(schema row.Schema, parts [][]row.Row) *Result {
+	return &Result{Schema: schema, parts: parts, done: true, consumed: true}
+}
+
+// NewStreamingResult wraps per-partition batch pipelines as a result.
+func NewStreamingResult(schema row.Schema, iters []BatchIterator) *Result {
+	return &Result{Schema: schema, stream: iters}
+}
+
+// Streaming reports whether the result still holds an unconsumed pipeline.
+func (r *Result) Streaming() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stream != nil
+}
+
+// Materialize drains a streaming result into in-memory partitions, one
+// goroutine per partition (pipelines whose partitions coordinate — like
+// the stream sender — require this parallel drain). It is idempotent; on
+// a materialized result it is a no-op.
+func (r *Result) Materialize() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.done {
+		return nil
+	}
+	if r.stream == nil {
+		return fmt.Errorf("sql: streaming result already consumed")
+	}
+	s := r.stream
+	r.stream = nil
+	r.consumed = true
+	parts, err := drainAll(s)
+	if err != nil {
+		return err
+	}
+	r.parts = parts
+	r.done = true
+	return nil
+}
+
+// Batches returns the per-partition batch pipelines. On a streaming
+// result this hands off the live pipeline — callable once, and the caller
+// owns closing the iterators. On a materialized result it returns fresh
+// zero-copy iterators every call.
+func (r *Result) Batches() ([]BatchIterator, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.done {
+		return partIters(r.parts), nil
+	}
+	if r.stream == nil {
+		return nil, fmt.Errorf("sql: streaming result already consumed")
+	}
+	s := r.stream
+	r.stream = nil
+	r.consumed = true
+	return s, nil
+}
+
+// Parts materializes the result if needed and returns its partitions.
+func (r *Result) Parts() ([][]row.Row, error) {
+	if err := r.Materialize(); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.parts, nil
+}
+
+// NumParts returns the partition count (known without materializing).
+func (r *Result) NumParts() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.done {
+		return len(r.parts)
+	}
+	return len(r.stream)
+}
+
+// Close releases an unconsumed streaming pipeline without draining it.
+// Safe on any result, any number of times.
+func (r *Result) Close() {
+	r.mu.Lock()
+	s := r.stream
+	r.stream = nil
+	if s != nil {
+		r.consumed = true
+	}
+	r.mu.Unlock()
+	closeAllIters(s)
+}
+
+// NumRows returns the total row count, materializing first if needed.
+// It panics if draining the pipeline fails; error-aware callers should
+// use Materialize or Parts instead.
 func (r *Result) NumRows() int {
 	n := 0
-	for _, p := range r.Parts {
+	for _, p := range r.mustParts() {
 		n += len(p)
 	}
 	return n
 }
 
-// Rows flattens the partitions in worker order, without charging transfer
-// costs; use Engine.Collect to model fetching results to the head node.
+// Rows flattens the partitions in worker order (materializing first if
+// needed), without charging transfer costs; use Engine.Collect to model
+// fetching results to the head node. Panics if draining fails.
 func (r *Result) Rows() []row.Row {
-	out := make([]row.Row, 0, r.NumRows())
-	for _, p := range r.Parts {
+	parts := r.mustParts()
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	out := make([]row.Row, 0, n)
+	for _, p := range parts {
 		out = append(out, p...)
 	}
 	return out
 }
 
+func (r *Result) mustParts() [][]row.Row {
+	parts, err := r.Parts()
+	if err != nil {
+		panic(fmt.Sprintf("sqlengine: draining streaming result: %v", err))
+	}
+	return parts
+}
+
 // Collect gathers a result to the head node, charging network transfer for
 // remote partitions, and returns the flattened rows.
-func (e *Engine) Collect(r *Result) []row.Row {
-	for i, p := range r.Parts {
+func (e *Engine) Collect(r *Result) ([]row.Row, error) {
+	parts, err := r.Parts()
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range parts {
 		if i < len(e.workers) && e.workers[i] != e.head {
 			e.cost.ChargeNet(e.workers[i], e.head, partBytes(p))
 		}
 	}
-	return r.Rows()
+	return r.Rows(), nil
 }
 
 // rowBytes estimates the wire size of a row for cost charging.

@@ -5,13 +5,14 @@ import (
 	"sort"
 	"strings"
 
+	"sqlml/internal/cluster"
 	"sqlml/internal/dfs"
 	"sqlml/internal/hadoopfmt"
 	"sqlml/internal/row"
 )
 
 // Run parses and executes one statement. SELECT (and CREATE TABLE AS
-// SELECT) return a result; DDL and INSERT return nil.
+// SELECT) return a materialized result; DDL and INSERT return nil.
 func (e *Engine) Run(sql string) (*Result, error) {
 	stmt, err := Parse(sql)
 	if err != nil {
@@ -19,7 +20,14 @@ func (e *Engine) Run(sql string) (*Result, error) {
 	}
 	switch s := stmt.(type) {
 	case *SelectStmt:
-		return e.ExecSelect(s)
+		res, err := e.ExecSelect(s)
+		if err != nil {
+			return nil, err
+		}
+		if err := res.Materialize(); err != nil {
+			return nil, err
+		}
+		return res, nil
 	case *CreateTableStmt:
 		return nil, e.execCreate(s)
 	case *InsertStmt:
@@ -35,8 +43,24 @@ func (e *Engine) Run(sql string) (*Result, error) {
 	}
 }
 
-// Query executes a SELECT statement given as SQL text.
+// Query executes a SELECT statement given as SQL text and materializes the
+// result, so runtime errors surface here (the pre-pipelining contract).
 func (e *Engine) Query(sql string) (*Result, error) {
+	res, err := e.QueryStream(sql)
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Materialize(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// QueryStream executes a SELECT and returns a streaming result: per-worker
+// batch pipelines that run as the caller consumes Batches(). Plan-time
+// errors (unknown tables/columns, type errors) still surface here; row
+// production errors surface from the iterators.
+func (e *Engine) QueryStream(sql string) (*Result, error) {
 	sel, err := ParseSelect(sql)
 	if err != nil {
 		return nil, err
@@ -59,7 +83,11 @@ func (e *Engine) execCreate(s *CreateTableStmt) error {
 		if err != nil {
 			return err
 		}
-		return e.LoadPartitionedTable(s.Name, res.Schema, res.Parts)
+		parts, err := res.Parts()
+		if err != nil {
+			return err
+		}
+		return e.LoadPartitionedTable(s.Name, res.Schema, parts)
 	}
 	schema, err := row.NewSchema(s.Cols...)
 	if err != nil {
@@ -75,6 +103,9 @@ func (e *Engine) execInsert(s *InsertStmt) error {
 	}
 	if t.External != nil {
 		return fmt.Errorf("sql: cannot INSERT into external table %q", t.Name)
+	}
+	if t.streaming {
+		return fmt.Errorf("sql: cannot INSERT into streaming table %q", t.Name)
 	}
 	empty := newScope()
 	var rows []row.Row
@@ -121,32 +152,42 @@ func (t *Table) appendRows(rows []row.Row, numWorkers int) {
 	}
 }
 
-// dataset is an intermediate distributed relation: parts[i] lives on
-// worker i, and sc resolves column references against its bindings.
+// dataset is an intermediate distributed relation: iters[i] is the pending
+// operator pipeline of worker i's partition, and sc resolves column
+// references against its bindings.
 type dataset struct {
 	sc    *scope
-	parts [][]row.Row
+	iters []BatchIterator
 }
 
-func (d *dataset) numRows() int {
-	n := 0
-	for _, p := range d.parts {
-		n += len(p)
-	}
-	return n
-}
-
-// ExecSelect executes a parsed SELECT.
-func (e *Engine) ExecSelect(sel *SelectStmt) (*Result, error) {
+// ExecSelect plans a SELECT into per-partition batch pipelines. Streaming
+// operators (scan, filter, project, per-partition table UDFs, hash-join
+// probe) run lazily as the result is consumed; pipeline breakers (join
+// build, aggregation, DISTINCT, ORDER BY, LIMIT, global UDFs) drain their
+// input during this call.
+func (e *Engine) ExecSelect(sel *SelectStmt) (res *Result, retErr error) {
 	if len(sel.From) == 0 {
 		return nil, fmt.Errorf("sql: SELECT requires a FROM clause")
 	}
 
-	// Evaluate FROM items into per-source datasets.
+	// Every iterator ever created is recorded here; if planning fails the
+	// whole set is closed (Close is idempotent, and wrappers cascade).
+	var allIters []BatchIterator
+	defer func() {
+		if retErr != nil {
+			closeAllIters(allIters)
+		}
+	}()
+	track := func(iters []BatchIterator) []BatchIterator {
+		allIters = append(allIters, iters...)
+		return iters
+	}
+
+	// Evaluate FROM items into per-source pipelines.
 	type source struct {
 		name   string
 		schema row.Schema
-		parts  [][]row.Row
+		iters  []BatchIterator
 	}
 	srcs := make([]*source, len(sel.From))
 	seenNames := make(map[string]bool)
@@ -158,23 +199,23 @@ func (e *Engine) ExecSelect(sel *SelectStmt) (*Result, error) {
 		seenNames[name] = true
 		var (
 			schema row.Schema
-			parts  [][]row.Row
+			iters  []BatchIterator
 			err    error
 		)
 		if item.Func != nil {
-			schema, parts, err = e.execTableFunc(item.Func)
+			schema, iters, err = e.execTableFunc(item.Func)
 		} else {
 			var t *Table
 			t, err = e.catalog.Get(item.Table)
 			if err == nil {
 				schema = t.Schema
-				parts, err = e.scanTable(t)
+				iters, err = e.scanTable(t)
 			}
 		}
 		if err != nil {
 			return nil, err
 		}
-		srcs[i] = &source{name: name, schema: schema, parts: parts}
+		srcs[i] = &source{name: name, schema: schema, iters: track(iters)}
 	}
 
 	// Classify WHERE conjuncts.
@@ -222,7 +263,8 @@ func (e *Engine) ExecSelect(sel *SelectStmt) (*Result, error) {
 		conjs = append(conjs, &conjunct{ex: ex, refs: refs})
 	}
 
-	// Push single-source predicates down to their source.
+	// Push single-source predicates down to their source as streaming
+	// filter operators.
 	for si, s := range srcs {
 		var push []Expr
 		for _, c := range conjs {
@@ -249,15 +291,16 @@ func (e *Engine) ExecSelect(sel *SelectStmt) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		filtered, err := e.filterParts(s.parts, pred)
-		if err != nil {
-			return nil, err
+		for j := range s.iters {
+			s.iters[j] = newFilterIter(s.iters[j], pred)
 		}
-		s.parts = filtered
+		track(s.iters)
 	}
 
-	// Left-deep joins in FROM order.
-	cur := &dataset{sc: newScope(), parts: srcs[0].parts}
+	// Left-deep joins in FROM order: each newly joined source is drained
+	// and built into a hash table (pipeline breaker), the accumulated left
+	// side keeps streaming through probe operators.
+	cur := &dataset{sc: newScope(), iters: srcs[0].iters}
 	if err := cur.sc.add(srcs[0].name, srcs[0].schema); err != nil {
 		return nil, err
 	}
@@ -312,15 +355,16 @@ func (e *Engine) ExecSelect(sel *SelectStmt) (*Result, error) {
 				c.used = true
 			}
 		}
-		joined, err := e.hashJoin(cur, &dataset{sc: nextScope, parts: s.parts}, leftKeys, rightKeys)
+		joined, err := e.hashJoin(cur, &dataset{sc: nextScope, iters: s.iters}, leftKeys, rightKeys)
 		if err != nil {
 			return nil, err
 		}
 		cur = joined
+		track(cur.iters)
 		inCur[next] = true
 	}
 
-	// Residual predicates after all joins.
+	// Residual predicates after all joins, as streaming filters.
 	var residual []Expr
 	for _, c := range conjs {
 		if !c.used {
@@ -332,14 +376,13 @@ func (e *Engine) ExecSelect(sel *SelectStmt) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		filtered, err := e.filterParts(cur.parts, pred)
-		if err != nil {
-			return nil, err
+		for j := range cur.iters {
+			cur.iters[j] = newFilterIter(cur.iters[j], pred)
 		}
-		cur.parts = filtered
+		track(cur.iters)
 	}
 
-	// Aggregation or plain projection.
+	// Aggregation (breaker) or streaming projection.
 	hasAgg := len(sel.GroupBy) > 0
 	for _, item := range sel.Items {
 		if item.Expr != nil && exprHasAggregate(item.Expr) {
@@ -349,16 +392,29 @@ func (e *Engine) ExecSelect(sel *SelectStmt) (*Result, error) {
 
 	var (
 		outSchema row.Schema
-		outParts  [][]row.Row
+		outIters  []BatchIterator // set while the tail is still streaming
+		outParts  [][]row.Row     // set once a breaker materializes it
+		streaming bool
 		err       error
 	)
 	if hasAgg {
 		outSchema, outParts, err = e.execAggregate(sel, cur)
 	} else {
-		outSchema, outParts, err = e.execProject(sel.Items, cur)
+		outSchema, outIters, err = e.execProject(sel.Items, cur)
+		streaming = true
+		track(outIters)
 	}
 	if err != nil {
 		return nil, err
+	}
+
+	// tailIters hands the current tail to a breaker, whichever form it is in.
+	tailIters := func() []BatchIterator {
+		if streaming {
+			streaming = false
+			return outIters
+		}
+		return partIters(outParts)
 	}
 
 	if sel.Having != nil {
@@ -381,24 +437,30 @@ func (e *Engine) ExecSelect(sel *SelectStmt) (*Result, error) {
 	}
 
 	if sel.Distinct {
-		outParts, err = e.distinct(outParts)
+		outParts, err = e.distinct(tailIters())
 		if err != nil {
 			return nil, err
 		}
 	}
 
 	if len(sel.OrderBy) > 0 {
-		outParts, err = e.orderBy(sel.OrderBy, outSchema, outParts)
+		outParts, err = e.orderBy(sel.OrderBy, outSchema, tailIters())
 		if err != nil {
 			return nil, err
 		}
 	}
 
 	if sel.Limit >= 0 {
-		outParts = e.limit(outParts, sel.Limit)
+		outParts, err = e.limit(tailIters(), sel.Limit)
+		if err != nil {
+			return nil, err
+		}
 	}
 
-	return &Result{Schema: outSchema, Parts: outParts}, nil
+	if streaming {
+		return NewStreamingResult(outSchema, outIters), nil
+	}
+	return NewResult(outSchema, outParts), nil
 }
 
 func sideIn(refs map[int]bool, in map[int]bool) bool {
@@ -429,7 +491,8 @@ func compilePredicate(ex Expr, sc *scope, reg *Registry) (evalFn, row.Type, erro
 	return fn, t, nil
 }
 
-// filterParts applies a predicate to every partition in parallel.
+// filterParts applies a predicate to every materialized partition in
+// parallel (used by HAVING, whose input the aggregate already drained).
 func (e *Engine) filterParts(parts [][]row.Row, pred evalFn) ([][]row.Row, error) {
 	out := make([][]row.Row, len(parts))
 	err := forEachPart(len(parts), func(i int) error {
@@ -449,17 +512,24 @@ func (e *Engine) filterParts(parts [][]row.Row, pred evalFn) ([][]row.Row, error
 	return out, err
 }
 
-// scanTable produces the partitions of a table: managed tables are adopted
-// in place; external tables are re-read from the DFS with locality-aware
-// split assignment (each worker reads the blocks stored on its node when
-// possible).
-func (e *Engine) scanTable(t *Table) ([][]row.Row, error) {
+// scanTable produces per-partition batch pipelines for a table: managed
+// tables yield zero-copy sub-slice batches; streaming tables hand over
+// their (single-use) pipelines; external tables stream their DFS splits
+// with locality-aware assignment, never materializing a partition.
+func (e *Engine) scanTable(t *Table) ([]BatchIterator, error) {
+	if t.streaming {
+		iters, ok := t.takeStream()
+		if !ok {
+			return nil, fmt.Errorf("sql: streaming table %q already consumed", t.Name)
+		}
+		return iters, nil
+	}
 	if t.External == nil {
 		parts := t.partitions()
 		if len(parts) == 0 {
-			return make([][]row.Row, e.NumWorkers()), nil
+			return emptyIters(e.NumWorkers()), nil
 		}
-		return parts, nil
+		return partIters(parts), nil
 	}
 	fs := t.External.FS
 	paths := []string{t.External.Path}
@@ -469,12 +539,8 @@ func (e *Engine) scanTable(t *Table) ([][]row.Row, error) {
 			return nil, fmt.Errorf("sql: external table %q: no file or directory %q", t.Name, t.External.Path)
 		}
 	}
-	type assigned struct {
-		fm    *hadoopfmt.TextTableFormat
-		split hadoopfmt.InputSplit
-	}
 	loads := make([]int64, e.NumWorkers())
-	assignments := make([][]assigned, e.NumWorkers())
+	assignments := make([][]assignedSplit, e.NumWorkers())
 	for _, p := range paths {
 		fm := hadoopfmt.NewTextTableFormat(fs, p, t.Schema)
 		splits, err := fm.Splits(0)
@@ -484,34 +550,14 @@ func (e *Engine) scanTable(t *Table) ([][]row.Row, error) {
 		for _, sp := range splits {
 			w := e.pickWorker(sp.Locations(), loads)
 			loads[w] += sp.Length()
-			assignments[w] = append(assignments[w], assigned{fm: fm, split: sp})
+			assignments[w] = append(assignments[w], assignedSplit{fm: fm, split: sp})
 		}
 	}
-	parts := make([][]row.Row, e.NumWorkers())
-	err := forEachPart(e.NumWorkers(), func(i int) error {
-		for _, a := range assignments[i] {
-			rr, err := a.fm.Open(a.split, e.workers[i])
-			if err != nil {
-				return err
-			}
-			for {
-				r, ok, err := rr.Next()
-				if err != nil {
-					rr.Close()
-					return err
-				}
-				if !ok {
-					break
-				}
-				parts[i] = append(parts[i], r)
-			}
-			if err := rr.Close(); err != nil {
-				return err
-			}
-		}
-		return nil
-	})
-	return parts, err
+	iters := make([]BatchIterator, e.NumWorkers())
+	for i := range iters {
+		iters[i] = &externalScan{assigned: assignments[i], node: e.workers[i]}
+	}
+	return iters, nil
 }
 
 // pickWorker chooses the least-loaded worker among those local to the
@@ -542,15 +588,20 @@ func (e *Engine) pickWorker(locations []string, loads []int64) int {
 	return best
 }
 
-// execTableFunc runs TABLE(f(...)) from a FROM clause.
-func (e *Engine) execTableFunc(call *TableFuncCall) (row.Schema, [][]row.Row, error) {
+// execTableFunc plans TABLE(f(...)) from a FROM clause. Per-partition UDFs
+// become pipelined operators: the UDF runs in a goroutine per partition,
+// pulling input batches and emitting output batches as the consumer asks
+// for them. Global UDFs are pipeline breakers: gather input to the head,
+// run once, scatter output. Every emitted row is checked against the
+// declared output schema so a misbehaving UDF fails loudly.
+func (e *Engine) execTableFunc(call *TableFuncCall) (row.Schema, []BatchIterator, error) {
 	udf, ok := e.registry.Table(call.Name)
 	if !ok {
 		return row.Schema{}, nil, fmt.Errorf("sql: unknown table function %q", call.Name)
 	}
 	var (
 		inSchema row.Schema
-		inParts  [][]row.Row
+		inIters  []BatchIterator
 		litArgs  []row.Value
 		hasTable bool
 	)
@@ -565,55 +616,56 @@ func (e *Engine) execTableFunc(call *TableFuncCall) (row.Schema, [][]row.Row, er
 				return row.Schema{}, nil, err
 			}
 			inSchema = t.Schema
-			parts, err := e.scanTable(t)
+			iters, err := e.scanTable(t)
 			if err != nil {
 				return row.Schema{}, nil, err
 			}
-			inParts = parts
+			inIters = iters
 			continue
 		}
 		litArgs = append(litArgs, a.Lit.V)
 	}
 	outSchema, err := udf.OutSchema(inSchema, litArgs)
 	if err != nil {
+		closeAllIters(inIters)
 		return row.Schema{}, nil, fmt.Errorf("sql: %s: %w", udf.Name, err)
 	}
-	if inParts == nil {
-		inParts = make([][]row.Row, e.NumWorkers())
+	if inIters == nil {
+		inIters = emptyIters(e.NumWorkers())
 	}
 
 	if udf.PerPartition {
-		outParts := make([][]row.Row, e.NumWorkers())
-		err := forEachPart(e.NumWorkers(), func(i int) error {
-			// A table UDF is one pass over its local partition.
-			e.cost.ChargeProc(e.workers[i], partBytes(inParts[i]))
-			ctx := &UDFContext{Engine: e, Node: e.workers[i], Partition: i, NumPartitions: e.NumWorkers(), InSchema: inSchema}
-			first := true
-			emit := func(r row.Row) error {
-				if first {
-					first = false
+		outIters := make([]BatchIterator, len(inIters))
+		for i := range inIters {
+			node := e.workers[i]
+			// Consuming the input is one pass over the local partition,
+			// charged batch-by-batch as the UDF pulls.
+			input := &chargeIter{in: inIters[i], cost: e.cost, node: node}
+			ctx := &UDFContext{Engine: e, Node: node, Partition: i, NumPartitions: len(inIters), InSchema: inSchema}
+			outIters[i] = newUDFPipe(input, func(in Iterator, emit func(row.Row) error) error {
+				checked := func(r row.Row) error {
 					if err := r.Conforms(outSchema); err != nil {
 						return fmt.Errorf("sql: %s: %w", udf.Name, err)
 					}
+					return emit(r)
 				}
-				outParts[i] = append(outParts[i], r)
+				if err := udf.Fn(ctx, in, litArgs, checked); err != nil {
+					return fmt.Errorf("sql: %s: %w", udf.Name, err)
+				}
 				return nil
-			}
-			if err := udf.Fn(ctx, &SliceIterator{Rows: inParts[i]}, litArgs, emit); err != nil {
-				return fmt.Errorf("sql: %s: %w", udf.Name, err)
-			}
-			return nil
-		})
-		if err != nil {
-			return row.Schema{}, nil, err
+			})
 		}
-		return outSchema, outParts, nil
+		return outSchema, outIters, nil
 	}
 
 	// Global UDF: gather input to the head node, run once, scatter output.
+	inParts, err := drainAll(inIters)
+	if err != nil {
+		return row.Schema{}, nil, err
+	}
 	var gathered []row.Row
 	for i, p := range inParts {
-		if e.workers[i] != e.head {
+		if i < len(e.workers) && e.workers[i] != e.head {
 			e.cost.ChargeNet(e.workers[i], e.head, partBytes(p))
 		}
 		gathered = append(gathered, p...)
@@ -621,13 +673,9 @@ func (e *Engine) execTableFunc(call *TableFuncCall) (row.Schema, [][]row.Row, er
 	e.cost.ChargeProc(e.head, partBytes(gathered))
 	ctx := &UDFContext{Engine: e, Node: e.head, Partition: 0, NumPartitions: 1, InSchema: inSchema}
 	var outRows []row.Row
-	first := true
 	emit := func(r row.Row) error {
-		if first {
-			first = false
-			if err := r.Conforms(outSchema); err != nil {
-				return fmt.Errorf("sql: %s: %w", udf.Name, err)
-			}
+		if err := r.Conforms(outSchema); err != nil {
+			return fmt.Errorf("sql: %s: %w", udf.Name, err)
 		}
 		outRows = append(outRows, r)
 		return nil
@@ -645,13 +693,14 @@ func (e *Engine) execTableFunc(call *TableFuncCall) (row.Schema, [][]row.Row, er
 			e.cost.ChargeNet(e.head, e.workers[i], partBytes(p))
 		}
 	}
-	return outSchema, outParts, nil
+	return outSchema, partIters(outParts), nil
 }
 
-// hashJoin joins two datasets. With key expressions it is a broadcast hash
-// join (the smaller side is built and broadcast); with no keys it degrades
-// to a broadcast nested-loop (cartesian) join. Output binding order is
-// always left-then-right, matching FROM order.
+// hashJoin joins two datasets. The right (newly joined) side is drained and
+// built into a hash table that is broadcast to every probe worker; the left
+// side streams through probe operators — a pipelined broadcast hash join.
+// With no keys it degrades to a broadcast nested-loop (cartesian) join.
+// Output binding order is always left-then-right, matching FROM order.
 func (e *Engine) hashJoin(left, right *dataset, leftKeys, rightKeys []Expr) (*dataset, error) {
 	outScope := newScope()
 	for _, b := range left.sc.bindings {
@@ -665,29 +714,27 @@ func (e *Engine) hashJoin(left, right *dataset, leftKeys, rightKeys []Expr) (*da
 		}
 	}
 
-	buildLeft := left.numRows() < right.numRows()
-	build, probe := right, left
-	buildKeys, probeKeys := rightKeys, leftKeys
-	if buildLeft {
-		build, probe = left, right
-		buildKeys, probeKeys = leftKeys, rightKeys
-	}
-
-	buildKeyFns, err := compileKeys(buildKeys, build.sc, e.registry)
+	buildKeyFns, err := compileKeys(rightKeys, right.sc, e.registry)
 	if err != nil {
 		return nil, err
 	}
-	probeKeyFns, err := compileKeys(probeKeys, probe.sc, e.registry)
+	probeKeyFns, err := compileKeys(leftKeys, left.sc, e.registry)
+	if err != nil {
+		return nil, err
+	}
+
+	// Drain the build side (pipeline breaker).
+	buildParts, err := drainAll(right.iters)
 	if err != nil {
 		return nil, err
 	}
 
 	// Broadcast: every probe worker receives the full build side. Charge
 	// the network once per (build partition, remote probe worker) pair.
-	for bi, bp := range build.parts {
+	for bi, bp := range buildParts {
 		bytes := partBytes(bp)
-		for pi := range probe.parts {
-			if e.workers[bi] != e.workers[pi] {
+		for pi := range left.iters {
+			if bi < len(e.workers) && pi < len(e.workers) && e.workers[bi] != e.workers[pi] {
 				e.cost.ChargeNet(e.workers[bi], e.workers[pi], bytes)
 			}
 		}
@@ -696,7 +743,7 @@ func (e *Engine) hashJoin(left, right *dataset, leftKeys, rightKeys []Expr) (*da
 	// Build the hash table (shared read-only across probe workers).
 	table := make(map[string][]row.Row)
 	var buildAll []row.Row
-	for _, bp := range build.parts {
+	for _, bp := range buildParts {
 		for _, r := range bp {
 			if len(buildKeyFns) == 0 {
 				buildAll = append(buildAll, r)
@@ -715,46 +762,27 @@ func (e *Engine) hashJoin(left, right *dataset, leftKeys, rightKeys []Expr) (*da
 
 	concat := func(probeRow, buildRow row.Row) row.Row {
 		out := make(row.Row, 0, len(probeRow)+len(buildRow))
-		if buildLeft {
-			out = append(out, buildRow...)
-			return append(out, probeRow...)
-		}
 		out = append(out, probeRow...)
 		return append(out, buildRow...)
 	}
 
-	outParts := make([][]row.Row, len(probe.parts))
-	err = forEachPart(len(probe.parts), func(i int) error {
-		// Probing is one pass over the local probe partition.
+	outIters := make([]BatchIterator, len(left.iters))
+	for i := range left.iters {
+		var node *cluster.Node
 		if i < len(e.workers) {
-			e.cost.ChargeProc(e.workers[i], partBytes(probe.parts[i]))
+			node = e.workers[i]
 		}
-		var out []row.Row
-		for _, r := range probe.parts[i] {
-			if len(probeKeyFns) == 0 {
-				for _, br := range buildAll {
-					out = append(out, concat(r, br))
-				}
-				continue
-			}
-			key, nullKey, err := evalKey(probeKeyFns, r)
-			if err != nil {
-				return err
-			}
-			if nullKey {
-				continue
-			}
-			for _, br := range table[key] {
-				out = append(out, concat(r, br))
-			}
+		outIters[i] = &probeIter{
+			in:       left.iters[i],
+			keyFns:   probeKeyFns,
+			table:    table,
+			buildAll: buildAll,
+			concat:   concat,
+			cost:     e.cost,
+			node:     node,
 		}
-		outParts[i] = out
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
-	return &dataset{sc: outScope, parts: outParts}, nil
+	return &dataset{sc: outScope, iters: outIters}, nil
 }
 
 func compileKeys(keys []Expr, sc *scope, reg *Registry) ([]evalFn, error) {
@@ -788,33 +816,17 @@ func evalKey(fns []evalFn, r row.Row) (string, bool, error) {
 	return encodeKey(vals), false, nil
 }
 
-// execProject evaluates the select list over every partition in parallel.
-func (e *Engine) execProject(items []SelectItem, in *dataset) (row.Schema, [][]row.Row, error) {
+// execProject compiles the select list into streaming projection operators.
+func (e *Engine) execProject(items []SelectItem, in *dataset) (row.Schema, []BatchIterator, error) {
 	fns, schema, err := compileSelectList(items, in.sc, e.registry)
 	if err != nil {
 		return row.Schema{}, nil, err
 	}
-	outParts := make([][]row.Row, len(in.parts))
-	err = forEachPart(len(in.parts), func(i int) error {
-		out := make([]row.Row, 0, len(in.parts[i]))
-		for _, r := range in.parts[i] {
-			or := make(row.Row, len(fns))
-			for j, fn := range fns {
-				v, err := fn(r)
-				if err != nil {
-					return err
-				}
-				or[j] = v
-			}
-			out = append(out, or)
-		}
-		outParts[i] = out
-		return nil
-	})
-	if err != nil {
-		return row.Schema{}, nil, err
+	outIters := make([]BatchIterator, len(in.iters))
+	for i := range in.iters {
+		outIters[i] = newProjectIter(in.iters[i], fns)
 	}
-	return schema, outParts, nil
+	return schema, outIters, nil
 }
 
 // compileSelectList expands stars and compiles each output column.
@@ -888,14 +900,24 @@ func makeOutputSchema(names []string, types []row.Type) (row.Schema, error) {
 	return row.NewSchema(cols...)
 }
 
-// distinct de-duplicates rows: local pass, hash repartition so equal rows
-// colocate, then a second local pass.
-func (e *Engine) distinct(parts [][]row.Row) ([][]row.Row, error) {
-	local := make([][]row.Row, len(parts))
-	err := forEachPart(len(parts), func(i int) error {
-		seen := make(map[string]bool, len(parts[i]))
+// distinct de-duplicates rows (pipeline breaker): a streaming local pass
+// holding only distinct rows, hash repartition so equal rows colocate,
+// then a second local pass.
+func (e *Engine) distinct(iters []BatchIterator) ([][]row.Row, error) {
+	local := make([][]row.Row, len(iters))
+	err := forEachPart(len(iters), func(i int) error {
+		defer iters[i].Close()
+		seen := make(map[string]bool)
 		var out []row.Row
-		for _, r := range parts[i] {
+		it := &batchRows{in: iters[i]}
+		for {
+			r, ok, err := it.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
 			k := encodeKey(r)
 			if !seen[k] {
 				seen[k] = true
@@ -906,6 +928,7 @@ func (e *Engine) distinct(parts [][]row.Row) ([][]row.Row, error) {
 		return nil
 	})
 	if err != nil {
+		closeAllIters(iters)
 		return nil, err
 	}
 	shuffled := e.repartitionByKey(local, func(r row.Row) uint64 { return hashKey(r) })
@@ -956,11 +979,12 @@ func (e *Engine) repartitionByKey(parts [][]row.Row, h func(row.Row) uint64) [][
 	return out
 }
 
-// orderBy gathers all rows to the head node and sorts them; the sorted
-// result occupies partition 0.
-func (e *Engine) orderBy(items []OrderItem, schema row.Schema, parts [][]row.Row) ([][]row.Row, error) {
+// orderBy drains the pipeline (breaker), gathers all rows to the head node
+// and sorts them; the sorted result occupies partition 0.
+func (e *Engine) orderBy(items []OrderItem, schema row.Schema, iters []BatchIterator) ([][]row.Row, error) {
 	sc := newScope()
 	if err := sc.add("", schema); err != nil {
+		closeAllIters(iters)
 		return nil, err
 	}
 	type key struct {
@@ -971,9 +995,14 @@ func (e *Engine) orderBy(items []OrderItem, schema row.Schema, parts [][]row.Row
 	for i, it := range items {
 		fn, _, err := compile(it.Expr, sc, e.registry)
 		if err != nil {
+			closeAllIters(iters)
 			return nil, err
 		}
 		keys[i] = key{fn: fn, desc: it.Desc}
+	}
+	parts, err := drainAll(iters)
+	if err != nil {
+		return nil, err
 	}
 	var all []row.Row
 	for i, p := range parts {
@@ -1014,34 +1043,77 @@ func (e *Engine) orderBy(items []OrderItem, schema row.Schema, parts [][]row.Row
 	return out, nil
 }
 
-// limit truncates the result to n rows (taken in partition order).
-func (e *Engine) limit(parts [][]row.Row, n int) [][]row.Row {
-	out := make([][]row.Row, len(parts))
+// limit truncates the result to n rows (taken in partition order), pulling
+// only the batches it needs and closing the rest of the pipeline early —
+// the early-termination path of the batch-iterator model.
+func (e *Engine) limit(iters []BatchIterator, n int) ([][]row.Row, error) {
+	out := make([][]row.Row, len(iters))
 	remaining := n
-	for i, p := range parts {
-		if remaining <= 0 {
-			break
+	var firstErr error
+	for i, it := range iters {
+		if remaining <= 0 || firstErr != nil {
+			it.Close()
+			continue
 		}
-		take := len(p)
-		if take > remaining {
-			take = remaining
+		for remaining > 0 {
+			b, ok, err := it.Next()
+			if err != nil {
+				firstErr = err
+				break
+			}
+			if !ok {
+				break
+			}
+			if len(b) > remaining {
+				b = b[:remaining]
+			}
+			out[i] = append(out[i], b...)
+			remaining -= len(b)
 		}
-		out[i] = p[:take]
-		remaining -= take
+		it.Close()
 	}
-	return out
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
 }
 
 // ExportToDFS writes a result to the DFS as a directory of text part
 // files, one per partition, written in parallel by each worker — the
-// materialization step of the paper's naive pipeline.
+// materialization step of the paper's naive pipeline. A streaming result
+// is written batch-by-batch as its pipeline produces rows, so the export
+// overlaps with the query instead of following it.
 func (e *Engine) ExportToDFS(res *Result, fs *dfs.FileSystem, dir string) error {
-	return forEachPart(len(res.Parts), func(i int) error {
+	iters, err := res.Batches()
+	if err != nil {
+		return err
+	}
+	return forEachPart(len(iters), func(i int) error {
+		defer iters[i].Close()
 		node := e.workers[i%len(e.workers)]
-		// Encoding and writing the partition is one pass over it.
-		e.cost.ChargeProc(node, partBytes(res.Parts[i]))
 		path := fmt.Sprintf("%s/part-%05d", dir, i)
-		_, err := hadoopfmt.WriteTextTable(fs, path, res.Schema, res.Parts[i], node)
+		w, err := hadoopfmt.NewTextTableWriter(fs, path, res.Schema, node)
+		if err != nil {
+			return err
+		}
+		for {
+			b, ok, berr := iters[i].Next()
+			if berr != nil {
+				w.Abort()
+				return berr
+			}
+			if !ok {
+				break
+			}
+			// Encoding and writing the batch is one pass over it.
+			e.cost.ChargeProc(node, partBytes(b))
+			for _, r := range b {
+				if werr := w.WriteRow(r); werr != nil {
+					return werr
+				}
+			}
+		}
+		_, err = w.Close()
 		return err
 	})
 }
@@ -1063,11 +1135,14 @@ func (e *Engine) showTables() (*Result, error) {
 		if t.External != nil {
 			storage = "external:" + t.External.Path
 		}
+		if t.streaming {
+			storage = "streaming"
+		}
 		parts[0] = append(parts[0], row.Row{
 			row.String_(t.Name), row.Int(int64(t.NumRows())), row.String_(storage),
 		})
 	}
-	return &Result{Schema: schema, Parts: parts}, nil
+	return NewResult(schema, parts), nil
 }
 
 // describe answers DESCRIBE <table> with one row per column.
@@ -1084,5 +1159,5 @@ func (e *Engine) describe(name string) (*Result, error) {
 	for _, c := range t.Schema.Cols {
 		parts[0] = append(parts[0], row.Row{row.String_(c.Name), row.String_(c.Type.String())})
 	}
-	return &Result{Schema: schema, Parts: parts}, nil
+	return NewResult(schema, parts), nil
 }

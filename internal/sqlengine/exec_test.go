@@ -736,7 +736,10 @@ func TestCollectChargesNetwork(t *testing.T) {
 		t.Fatal(err)
 	}
 	cost.ResetStats()
-	rows := e.Collect(res)
+	rows, err := e.Collect(res)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 5 {
 		t.Fatalf("collected %d rows", len(rows))
 	}

@@ -1,0 +1,378 @@
+package sqlengine
+
+import (
+	"errors"
+	"sync"
+
+	"sqlml/internal/cluster"
+	"sqlml/internal/hadoopfmt"
+	"sqlml/internal/row"
+)
+
+// errPipeClosed is the cancellation signal delivered to a running table
+// UDF through its emit function when the consumer closes the pipeline
+// early (e.g. LIMIT, or a first-error abort downstream).
+var errPipeClosed = errors.New("sql: pipeline closed")
+
+// filterIter streams a predicate over its input, yielding only batches
+// with at least one surviving row. The returned batch is reused between
+// Next calls (rows themselves are not copied).
+type filterIter struct {
+	in   BatchIterator
+	pred evalFn
+	buf  RowBatch
+	done bool
+}
+
+func newFilterIter(in BatchIterator, pred evalFn) BatchIterator {
+	return &filterIter{in: in, pred: pred}
+}
+
+func (f *filterIter) Next() (RowBatch, bool, error) {
+	if f.done {
+		return nil, false, nil
+	}
+	for {
+		b, ok, err := f.in.Next()
+		if err != nil || !ok {
+			f.done = true
+			return nil, false, err
+		}
+		out := f.buf[:0]
+		for _, r := range b {
+			v, err := f.pred(r)
+			if err != nil {
+				f.done = true
+				return nil, false, err
+			}
+			if !v.Null && v.AsBool() {
+				out = append(out, r)
+			}
+		}
+		f.buf = out
+		if len(out) > 0 {
+			return out, true, nil
+		}
+	}
+}
+
+func (f *filterIter) Close() {
+	f.done = true
+	f.in.Close()
+}
+
+// projectIter evaluates the compiled select list batch-at-a-time.
+type projectIter struct {
+	in   BatchIterator
+	fns  []evalFn
+	buf  RowBatch
+	done bool
+}
+
+func newProjectIter(in BatchIterator, fns []evalFn) BatchIterator {
+	return &projectIter{in: in, fns: fns}
+}
+
+func (p *projectIter) Next() (RowBatch, bool, error) {
+	if p.done {
+		return nil, false, nil
+	}
+	b, ok, err := p.in.Next()
+	if err != nil || !ok {
+		p.done = true
+		return nil, false, err
+	}
+	out := p.buf[:0]
+	for _, r := range b {
+		or := make(row.Row, len(p.fns))
+		for j, fn := range p.fns {
+			v, err := fn(r)
+			if err != nil {
+				p.done = true
+				return nil, false, err
+			}
+			or[j] = v
+		}
+		out = append(out, or)
+	}
+	p.buf = out
+	return out, true, nil
+}
+
+func (p *projectIter) Close() {
+	p.done = true
+	p.in.Close()
+}
+
+// probeIter is the streaming probe side of a hash join: the build side has
+// been drained into table/buildAll, probing is one pipelined pass. Each
+// consumed input batch is charged as processing work on the probe worker.
+type probeIter struct {
+	in       BatchIterator
+	keyFns   []evalFn // empty => broadcast nested-loop join
+	table    map[string][]row.Row
+	buildAll []row.Row
+	concat   func(probeRow, buildRow row.Row) row.Row
+	cost     *cluster.CostModel
+	node     *cluster.Node
+	buf      RowBatch
+	done     bool
+}
+
+func (p *probeIter) Next() (RowBatch, bool, error) {
+	if p.done {
+		return nil, false, nil
+	}
+	for {
+		b, ok, err := p.in.Next()
+		if err != nil || !ok {
+			p.done = true
+			return nil, false, err
+		}
+		if p.node != nil {
+			p.cost.ChargeProc(p.node, partBytes(b))
+		}
+		out := p.buf[:0]
+		for _, r := range b {
+			if len(p.keyFns) == 0 {
+				for _, br := range p.buildAll {
+					out = append(out, p.concat(r, br))
+				}
+				continue
+			}
+			key, nullKey, err := evalKey(p.keyFns, r)
+			if err != nil {
+				p.done = true
+				return nil, false, err
+			}
+			if nullKey {
+				continue
+			}
+			for _, br := range p.table[key] {
+				out = append(out, p.concat(r, br))
+			}
+		}
+		p.buf = out
+		if len(out) > 0 {
+			return out, true, nil
+		}
+	}
+}
+
+func (p *probeIter) Close() {
+	p.done = true
+	p.in.Close()
+}
+
+// chargeIter charges each consumed batch as one processing pass over its
+// bytes — the streaming equivalent of the old per-partition upfront charge.
+type chargeIter struct {
+	in   BatchIterator
+	cost *cluster.CostModel
+	node *cluster.Node
+}
+
+func (c *chargeIter) Next() (RowBatch, bool, error) {
+	b, ok, err := c.in.Next()
+	if ok {
+		c.cost.ChargeProc(c.node, partBytes(b))
+	}
+	return b, ok, err
+}
+
+func (c *chargeIter) Close() { c.in.Close() }
+
+// udfPipe runs a push-style table UDF as a pull-style batch operator: the
+// UDF executes in its own goroutine, emitted rows are batched onto a
+// channel, and closing the iterator cancels the UDF through its emit
+// function. The goroutine starts lazily on the first Next, so building a
+// plan (or abandoning it) spawns nothing.
+type udfPipe struct {
+	input BatchIterator
+	run   func(in Iterator, emit func(row.Row) error) error
+
+	mu      sync.Mutex
+	started bool
+	closed  bool
+
+	out    chan RowBatch
+	errc   chan error
+	cancel chan struct{}
+	done   chan struct{}
+}
+
+func newUDFPipe(input BatchIterator, run func(in Iterator, emit func(row.Row) error) error) *udfPipe {
+	return &udfPipe{
+		input:  input,
+		run:    run,
+		out:    make(chan RowBatch, 1),
+		errc:   make(chan error, 1),
+		cancel: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+func (p *udfPipe) start() {
+	go func() {
+		defer close(p.done)
+		defer p.input.Close()
+		defer close(p.out)
+		batch := make(RowBatch, 0, DefaultBatchSize)
+		send := func(b RowBatch) error {
+			select {
+			case p.out <- b:
+				return nil
+			case <-p.cancel:
+				return errPipeClosed
+			}
+		}
+		emit := func(r row.Row) error {
+			batch = append(batch, r)
+			if len(batch) >= DefaultBatchSize {
+				if err := send(batch); err != nil {
+					return err
+				}
+				batch = make(RowBatch, 0, DefaultBatchSize)
+			}
+			return nil
+		}
+		err := p.run(&batchRows{in: p.input}, emit)
+		if err == nil && len(batch) > 0 {
+			err = send(batch)
+		}
+		if err != nil && !errors.Is(err, errPipeClosed) {
+			p.errc <- err
+		}
+	}()
+}
+
+func (p *udfPipe) Next() (RowBatch, bool, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, false, nil
+	}
+	if !p.started {
+		p.started = true
+		p.start()
+	}
+	p.mu.Unlock()
+	b, ok := <-p.out
+	if ok {
+		return b, true, nil
+	}
+	select {
+	case err := <-p.errc:
+		return nil, false, err
+	default:
+		return nil, false, nil
+	}
+}
+
+// Close cancels the UDF (if running) and waits for its goroutine to exit,
+// so early-terminating consumers leak nothing.
+func (p *udfPipe) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	started := p.started
+	p.mu.Unlock()
+	if !started {
+		p.input.Close()
+		return
+	}
+	close(p.cancel)
+	for range p.out {
+	}
+	<-p.done
+}
+
+// assignedSplit is one external-table split assigned to a worker.
+type assignedSplit struct {
+	fm    *hadoopfmt.TextTableFormat
+	split hadoopfmt.InputSplit
+}
+
+// externalScan streams a worker's assigned DFS splits batch-at-a-time —
+// an external scan never materializes its partition.
+type externalScan struct {
+	assigned []assignedSplit
+	node     *cluster.Node
+	idx      int
+	rr       hadoopfmt.RecordReader
+	done     bool
+}
+
+func (s *externalScan) Next() (RowBatch, bool, error) {
+	if s.done {
+		return nil, false, nil
+	}
+	batch := make(RowBatch, 0, DefaultBatchSize)
+	for len(batch) < DefaultBatchSize {
+		if s.rr == nil {
+			if s.idx >= len(s.assigned) {
+				break
+			}
+			a := s.assigned[s.idx]
+			rr, err := a.fm.Open(a.split, s.node)
+			if err != nil {
+				s.done = true
+				return nil, false, err
+			}
+			s.rr = rr
+		}
+		r, ok, err := s.rr.Next()
+		if err != nil {
+			s.rr.Close()
+			s.rr = nil
+			s.done = true
+			return nil, false, err
+		}
+		if !ok {
+			err := s.rr.Close()
+			s.rr = nil
+			s.idx++
+			if err != nil {
+				s.done = true
+				return nil, false, err
+			}
+			continue
+		}
+		batch = append(batch, r)
+	}
+	if len(batch) == 0 {
+		s.done = true
+		return nil, false, nil
+	}
+	return batch, true, nil
+}
+
+func (s *externalScan) Close() {
+	s.done = true
+	if s.rr != nil {
+		s.rr.Close()
+		s.rr = nil
+	}
+	s.idx = len(s.assigned)
+}
+
+// emptyIters returns n empty partitions.
+func emptyIters(n int) []BatchIterator {
+	iters := make([]BatchIterator, n)
+	for i := range iters {
+		iters[i] = NewSliceBatches(nil)
+	}
+	return iters
+}
+
+// partIters wraps materialized partitions back into iterators.
+func partIters(parts [][]row.Row) []BatchIterator {
+	iters := make([]BatchIterator, len(parts))
+	for i, p := range parts {
+		iters[i] = NewSliceBatches(p)
+	}
+	return iters
+}

@@ -3,6 +3,7 @@ package stream
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"os"
@@ -31,6 +32,12 @@ type SenderConfig struct {
 	MaxRestarts int
 	// DialTimeout bounds connection establishment to ML workers.
 	DialTimeout time.Duration
+	// DisableReplay turns off the per-slot frame spool that restart
+	// attempts resend from. With a streaming input the spool is the only
+	// copy of already-consumed rows, so disabling it trades §6 restarts
+	// for true O(batch) sender memory (a failed transfer then fails the
+	// query).
+	DisableReplay bool
 }
 
 // DefaultSenderConfig mirrors the paper's settings.
@@ -94,10 +101,10 @@ func RegisterSenderUDF(e *sqlengine.Engine, cfg SenderConfig) error {
 			if len(args) == 4 {
 				k = int(args[3].AsInt())
 			}
-			rows, err := sqlengine.Drain(in)
-			if err != nil {
-				return err
-			}
+			// The input iterator is handed straight to the sender: rows go
+			// onto the wire as the upstream pipeline produces them, so the
+			// query, transformation, and transfer overlap (the paper's
+			// Figure 2 insql+stream path).
 			stats, err := Send(SendRequest{
 				CoordAddr:  coordAddr,
 				Job:        job,
@@ -109,7 +116,7 @@ func RegisterSenderUDF(e *sqlengine.Engine, cfg SenderConfig) error {
 				Cost:       ctx.Engine.Cost(),
 				Topo:       ctx.Engine.Topology(),
 				Schema:     ctx.InSchema,
-				Rows:       rows,
+				Input:      in,
 				Config:     cfg,
 			})
 			if err != nil {
@@ -127,7 +134,9 @@ func RegisterSenderUDF(e *sqlengine.Engine, cfg SenderConfig) error {
 }
 
 // SendRequest carries everything one SQL worker needs to stream its
-// partition.
+// partition. The partition arrives either as a streaming Input iterator
+// (rows hit the wire as they are produced) or as pre-materialized Rows;
+// Input wins when both are set.
 type SendRequest struct {
 	CoordAddr  string
 	Job        string
@@ -140,9 +149,28 @@ type SendRequest struct {
 	Topo       *cluster.Topology
 	Cost       *cluster.CostModel
 	Schema     row.Schema
+	Input      sqlengine.Iterator
 	Rows       []row.Row
 	Config     SenderConfig
 }
+
+// sendSource tracks where an attempt's rows come from. The first attempt
+// consumes the streaming input, encoding each row once and (unless replay
+// is disabled) spooling the encoded frames per slot; later attempts resend
+// the unconfirmed slots from the spool. The input is consumed exactly once
+// even when targets fail mid-stream.
+type sendSource struct {
+	input  sqlengine.Iterator // nil once consumed
+	spool  [][][]byte         // [slot][frame]; nil until k is known
+	replay bool
+}
+
+// fatalError marks a failure no restart can recover from (the streaming
+// input itself failed, or it was consumed with replay disabled).
+type fatalError struct{ err error }
+
+func (f *fatalError) Error() string { return f.err.Error() }
+func (f *fatalError) Unwrap() error { return f.err }
 
 // Send runs the full sender protocol for one SQL worker: register (step 1),
 // await matches (step 6), connect (step 7), stream round-robin (step 8).
@@ -150,9 +178,9 @@ type SendRequest struct {
 // Failure handling refines §6's restart into per-split resume: rows are
 // assigned to split slots deterministically (row i → slot i mod k), each
 // slot's delivery is confirmed by an end-of-stream ACK, and a retry attempt
-// resends only the unconfirmed slots — failed ML tasks re-register fresh
-// listeners, completed ones are never re-run, and every row is delivered
-// exactly once.
+// resends only the unconfirmed slots (from the encoded-frame spool) —
+// failed ML tasks re-register fresh listeners, completed ones are never
+// re-run, and every row is delivered exactly once.
 func Send(req SendRequest) (*SenderStats, error) {
 	cfg := req.Config
 	if cfg.BufferSize <= 0 {
@@ -170,28 +198,40 @@ func Send(req SendRequest) (*SenderStats, error) {
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = DefaultSenderConfig().DialTimeout
 	}
+	src := &sendSource{input: req.Input, replay: !cfg.DisableReplay}
+	if src.input == nil {
+		src.input = &sqlengine.SliceIterator{Rows: req.Rows}
+	}
+	maxRestarts := cfg.MaxRestarts
+	if cfg.DisableReplay {
+		maxRestarts = 0
+	}
 	stats := &SenderStats{Worker: req.Worker}
 	completed := make(map[int]bool)
 	var lastErr error
-	for attempt := 0; attempt <= cfg.MaxRestarts; attempt++ {
+	for attempt := 0; attempt <= maxRestarts; attempt++ {
 		if attempt > 0 {
 			stats.Restarts++
 			// Give failed ML tasks a moment to re-execute and re-register.
 			sleepMillis(20 * attempt)
 		}
-		done, err := sendOnce(req, cfg, stats, completed)
+		done, err := sendOnce(req, cfg, stats, completed, src)
 		if done {
 			return stats, nil
 		}
 		lastErr = err
+		var fe *fatalError
+		if errors.As(err, &fe) {
+			break
+		}
 	}
-	return nil, fmt.Errorf("stream: worker %d: transfer failed after %d restarts: %w", req.Worker, cfg.MaxRestarts, lastErr)
+	return nil, fmt.Errorf("stream: worker %d: transfer failed after %d restarts: %w", req.Worker, stats.Restarts, lastErr)
 }
 
 // sendOnce performs one attempt: it (re-)registers, awaits matches, and
 // streams the slots not yet confirmed. It reports done when every slot has
 // been delivered and acknowledged.
-func sendOnce(req SendRequest, cfg SenderConfig, stats *SenderStats, completed map[int]bool) (done bool, err error) {
+func sendOnce(req SendRequest, cfg SenderConfig, stats *SenderStats, completed map[int]bool, src *sendSource) (done bool, err error) {
 	coord, err := net.DialTimeout("tcp", req.CoordAddr, cfg.DialTimeout)
 	if err != nil {
 		return false, fmt.Errorf("stream: dial coordinator: %w", err)
@@ -232,6 +272,9 @@ func sendOnce(req SendRequest, cfg SenderConfig, stats *SenderStats, completed m
 	for _, t := range targets {
 		bySplit[t.Split] = t
 	}
+	if src.input != nil && src.replay && src.spool == nil {
+		src.spool = make([][][]byte, k)
+	}
 
 	// Step 7: connect to the ML workers of the still-incomplete slots.
 	chans := make([]*targetChannel, k)
@@ -255,22 +298,39 @@ func sendOnce(req SendRequest, cfg SenderConfig, stats *SenderStats, completed m
 	}
 	if dialErr != nil {
 		closeAll(chans)
+		if src.input != nil && src.spool != nil {
+			// The upstream pipeline is one-shot: drain it into the spool now
+			// so the retry attempt has the rows.
+			if err := src.consumeInput(k, nil); err != nil {
+				return false, &fatalError{err}
+			}
+		}
 		return false, dialErr
 	}
 
 	// Step 8: round-robin the partition across the slots, sending only the
-	// incomplete ones.
-	var buf []byte
-	for i, r := range req.Rows {
-		tc := chans[i%k]
-		if tc == nil || tc.aborted {
-			continue
+	// incomplete ones. The first attempt streams the input as it is
+	// produced; retries resend unconfirmed slots from the spool.
+	if src.input != nil {
+		if err := src.consumeInput(k, chans); err != nil {
+			// The pipeline feeding the sender failed: unsent rows are gone,
+			// no restart can recover them.
+			closeAll(chans)
+			return false, &fatalError{err}
 		}
-		buf = row.AppendBinary(buf[:0], r)
-		if err := tc.enqueue(buf); err != nil {
-			// Keep streaming the healthy slots; this one retries next
-			// attempt.
-			tc.abort()
+	} else {
+		for j, tc := range chans {
+			if tc == nil || tc.aborted {
+				continue
+			}
+			for _, frame := range src.spool[j] {
+				if err := tc.enqueue(frame); err != nil {
+					// Keep streaming the healthy slots; this one retries
+					// next attempt.
+					tc.abort()
+					break
+				}
+			}
 		}
 	}
 	// Await per-slot completion; the ACK handshake makes delivery failures
@@ -296,6 +356,43 @@ func sendOnce(req SendRequest, cfg SenderConfig, stats *SenderStats, completed m
 		return false, firstErr
 	}
 	return true, nil
+}
+
+// consumeInput drains the streaming input exactly once, encoding each row
+// into its slot's frame, spooling it (when replay is enabled) and fanning
+// it out to the live channels (chans is nil when a dial failure means this
+// attempt only spools). The input is consumed afterwards.
+func (s *sendSource) consumeInput(k int, chans []*targetChannel) error {
+	in := s.input
+	s.input = nil
+	i := 0
+	for {
+		r, ok, err := in.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		j := i % k
+		i++
+		frame := row.AppendBinary(nil, r)
+		if s.spool != nil {
+			s.spool[j] = append(s.spool[j], frame)
+		}
+		if chans == nil {
+			continue
+		}
+		tc := chans[j]
+		if tc == nil || tc.aborted {
+			continue
+		}
+		if err := tc.enqueue(frame); err != nil {
+			// Keep streaming the healthy slots; this one retries next
+			// attempt (or fails the transfer when replay is off).
+			tc.abort()
+		}
+	}
 }
 
 func nodeAddr(n *cluster.Node) string {
@@ -399,12 +496,11 @@ func (tc *targetChannel) creditLoop() {
 	}
 }
 
-// enqueue hands one encoded frame to the writer. When the queue is full it
-// blocks up to SpillWait for the consumer to catch up, then spills to disk
-// (the paper's producer/consumer synchronization for slow ML workers).
-func (tc *targetChannel) enqueue(frame []byte) error {
-	f := make([]byte, len(frame))
-	copy(f, frame)
+// enqueue hands one encoded frame to the writer, taking ownership of it
+// (callers must not reuse the slice). When the queue is full it blocks up
+// to SpillWait for the consumer to catch up, then spills to disk (the
+// paper's producer/consumer synchronization for slow ML workers).
+func (tc *targetChannel) enqueue(f []byte) error {
 	select {
 	case tc.queue <- f:
 		tc.rows++

@@ -235,19 +235,21 @@ func codingUDF(name string, fn codingFn) *sqlengine.TableUDF {
 }
 
 // DummyCode runs the dummy_code UDF over a catalog table with the given
-// 'col:K,...' spec and returns the expanded result.
+// 'col:K,...' spec and returns the expanded result (streaming — the spec
+// string is self-contained, so the pipeline needs nothing from the
+// catalog once planned).
 func DummyCode(e *sqlengine.Engine, table, spec string) (*sqlengine.Result, error) {
-	return e.Query(fmt.Sprintf("SELECT * FROM TABLE(dummy_code(%s, '%s'))", table, spec))
+	return e.QueryStream(fmt.Sprintf("SELECT * FROM TABLE(dummy_code(%s, '%s'))", table, spec))
 }
 
-// EffectCode runs the effect_code UDF.
+// EffectCode runs the effect_code UDF (streaming).
 func EffectCode(e *sqlengine.Engine, table, spec string) (*sqlengine.Result, error) {
-	return e.Query(fmt.Sprintf("SELECT * FROM TABLE(effect_code(%s, '%s'))", table, spec))
+	return e.QueryStream(fmt.Sprintf("SELECT * FROM TABLE(effect_code(%s, '%s'))", table, spec))
 }
 
-// OrthogonalCode runs the orthogonal_code UDF.
+// OrthogonalCode runs the orthogonal_code UDF (streaming).
 func OrthogonalCode(e *sqlengine.Engine, table, spec string) (*sqlengine.Result, error) {
-	return e.Query(fmt.Sprintf("SELECT * FROM TABLE(orthogonal_code(%s, '%s'))", table, spec))
+	return e.QueryStream(fmt.Sprintf("SELECT * FROM TABLE(orthogonal_code(%s, '%s'))", table, spec))
 }
 
 // CodedWidth returns how many derived columns a coding family produces for

@@ -76,6 +76,10 @@ type Spec struct {
 // Output is the outcome of a full transformation.
 type Output struct {
 	// Result is the transformed relation, partitioned across SQL workers.
+	// Unless the spec scales columns (a two-pass breaker), it is a
+	// STREAMING result — the recode/coding pipeline runs as the caller
+	// consumes it (Batches, or the Materialize shim). Consume it before
+	// dropping MapTable: the map-side recode loads the map lazily.
 	Result *sqlengine.Result
 	// Map is the recode map used (built fresh, or the cached one passed in).
 	Map *RecodeMap
@@ -135,9 +139,12 @@ func Apply(e *sqlengine.Engine, table string, spec Spec, cachedMap *RecodeMap) (
 	out := &Output{Result: recoded, Map: m, MapTable: mapTable}
 	if len(spec.CodeCols) > 0 && spec.Coding != CodingNone {
 		// Expand the coded columns via the coding UDF over a temp
-		// registration of the result (partitions are adopted, not copied).
+		// registration of the result. The recode output is still streaming,
+		// so the temp table hands its live pipeline to the coding scan and
+		// recode → coding stays one fused pipeline (no materialization
+		// between the paper's transformation steps).
 		tmp := tmpName("recoded")
-		if err := e.RegisterResult(tmp, out.Result); err != nil {
+		if err := e.RegisterResultStream(tmp, out.Result); err != nil {
 			return nil, err
 		}
 		specArg, err := SpecArg(m, spec.CodeCols)
@@ -145,7 +152,7 @@ func Apply(e *sqlengine.Engine, table string, spec Spec, cachedMap *RecodeMap) (
 			e.DropTable(tmp)
 			return nil, err
 		}
-		coded, err := e.Query(fmt.Sprintf("SELECT * FROM TABLE(%s(%s, '%s'))", spec.Coding, tmp, specArg))
+		coded, err := e.QueryStream(fmt.Sprintf("SELECT * FROM TABLE(%s(%s, '%s'))", spec.Coding, tmp, specArg))
 		e.DropTable(tmp)
 		if err != nil {
 			return nil, err
@@ -153,6 +160,8 @@ func Apply(e *sqlengine.Engine, table string, spec Spec, cachedMap *RecodeMap) (
 		out.Result = coded
 	}
 	if len(spec.ScaleCols) > 0 && spec.Scaling != ScalingNone {
+		// Scaling is inherently two passes (statistics, then apply), so it
+		// is a pipeline breaker: materialize the input once here.
 		tmp := tmpName("prescale")
 		if err := e.RegisterResult(tmp, out.Result); err != nil {
 			return nil, err

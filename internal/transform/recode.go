@@ -374,7 +374,11 @@ func LoadMapTable(e *sqlengine.Engine, name string) (*RecodeMap, error) {
 	if err != nil {
 		return nil, err
 	}
-	return FromRows(e.Collect(res))
+	rows, err := e.Collect(res)
+	if err != nil {
+		return nil, err
+	}
+	return FromRows(rows)
 }
 
 var tmpCounter atomic.Int64
@@ -468,8 +472,10 @@ func RecodeJoinSQL(schema row.Schema, table, mapTable string, cols []string) (st
 		" WHERE " + strings.Join(wheres, " AND "), nil
 }
 
-// Recode applies phase 2 (the join-based recode) to a catalog table and
-// returns the recoded result.
+// Recode applies phase 2 (the join-based recode) to a catalog table. The
+// result is streaming: the map tables are drained into hash tables at plan
+// time (join build side), then the base table streams through the probes
+// as the caller consumes the result.
 func Recode(e *sqlengine.Engine, table, mapTable string, cols []string) (*sqlengine.Result, error) {
 	t, err := e.Catalog().Get(table)
 	if err != nil {
@@ -479,12 +485,14 @@ func Recode(e *sqlengine.Engine, table, mapTable string, cols []string) (*sqleng
 	if err != nil {
 		return nil, err
 	}
-	return e.Query(sql)
+	return e.QueryStream(sql)
 }
 
 // RecodeMapSide applies the map-side recode_apply UDF instead of the join.
+// The result is streaming; mapTable must stay registered until it is
+// consumed (the UDF loads the map when the pipeline runs).
 func RecodeMapSide(e *sqlengine.Engine, table, mapTable string, cols []string) (*sqlengine.Result, error) {
 	sql := fmt.Sprintf("SELECT * FROM TABLE(recode_apply(%s, '%s', '%s'))",
 		table, mapTable, strings.Join(cols, ","))
-	return e.Query(sql)
+	return e.QueryStream(sql)
 }

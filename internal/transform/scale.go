@@ -280,7 +280,11 @@ func LoadStatsTable(e *sqlengine.Engine, name string) (StatsMap, error) {
 	if err != nil {
 		return nil, err
 	}
-	return statsFromRows(e.Collect(res))
+	rows, err := e.Collect(res)
+	if err != nil {
+		return nil, err
+	}
+	return statsFromRows(rows)
 }
 
 // BuildStats runs phase 1 over a catalog table: the parallel column_stats

@@ -519,7 +519,13 @@ func TestCodingRejectsOutOfRangeLevels(t *testing.T) {
 	if err := e.LoadTable("bad", schema, []row.Row{{row.Int(5)}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := DummyCode(e, "bad", "g:2"); err == nil {
+	// The coding pipeline is streaming: the out-of-range row is only seen
+	// when the result is consumed, so the error surfaces at Materialize.
+	res, err := DummyCode(e, "bad", "g:2")
+	if err == nil {
+		err = res.Materialize()
+	}
+	if err == nil {
 		t.Error("out-of-range level accepted")
 	}
 }
