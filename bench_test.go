@@ -19,6 +19,7 @@ import (
 	"sqlml/internal/core"
 	"sqlml/internal/experiments"
 	"sqlml/internal/ml"
+	"sqlml/internal/row"
 	"sqlml/internal/stream"
 )
 
@@ -166,6 +167,45 @@ func BenchmarkAblationBufferSize(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationBlockSize sweeps the rows-per-block budget of the wire
+// protocol, plus the v1 per-row framing as the degenerate point — the
+// block-oriented-transfer ablation (frames/op makes the coalescing
+// visible).
+func BenchmarkAblationBlockSize(b *testing.B) {
+	type variant struct {
+		name      string
+		blockRows int
+		proto     int
+	}
+	variants := []variant{
+		{"rowframes-v1", 0, row.WireProtoRow},
+		{"block=64rows", 64, 0},
+		{"block=1024rows", 1024, 0},
+		{"block=4096rows", 4096, 0},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			cfg := experiments.DefaultTransfer()
+			cfg.BlockRows = v.blockRows
+			cfg.Proto = v.proto
+			var frames int64
+			var total time.Duration
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := experiments.RunTransfer(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				frames += rep.FramesSent
+				total += rep.SimTime
+			}
+			b.ReportMetric(float64(frames)/float64(b.N), "frames/op")
+			b.ReportMetric(simMS(total)/float64(b.N), "sim-ms/op")
+		})
+	}
+}
+
 // BenchmarkAblationLocality compares locality-aware ML worker placement
 // (colocated with SQL workers, node-local transfer) against anti-located
 // placement where every byte crosses the simulated network.
@@ -207,6 +247,7 @@ func BenchmarkAblationSpill(b *testing.B) {
 			cfg := experiments.DefaultTransfer()
 			cfg.ConsumeDelay = delay
 			cfg.QueueFrames = 4
+			cfg.BlockRows = 16 // small blocks so the queue can actually fill
 			cfg.RowsPerWork = 1500
 			var spilled int64
 			b.ResetTimer()

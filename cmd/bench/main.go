@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"sqlml/internal/experiments"
+	"sqlml/internal/row"
 	"sqlml/internal/stream"
 )
 
@@ -142,10 +143,10 @@ func runSVM(scale experiments.Scale) error {
 func runAblations(experiments.Scale) error {
 	fmt.Println("Ablations — parallel streaming transfer design choices (§3)")
 	w := newTab()
-	fmt.Fprintln(w, "experiment\tvariant\tsim-ms\tnet-KB\tspilled-KB\trestarts")
+	fmt.Fprintln(w, "experiment\tvariant\tsim-ms\tnet-KB\tspilled-KB\tframes\trestarts")
 	report := func(name, variant string, rep *experiments.TransferReport) {
-		fmt.Fprintf(w, "%s\t%s\t%s\t%.1f\t%.1f\t%d\n",
-			name, variant, ms(rep.SimTime), float64(rep.NetBytes)/1024, float64(rep.SpilledBytes)/1024, rep.Restarts)
+		fmt.Fprintf(w, "%s\t%s\t%s\t%.1f\t%.1f\t%d\t%d\n",
+			name, variant, ms(rep.SimTime), float64(rep.NetBytes)/1024, float64(rep.SpilledBytes)/1024, rep.FramesSent, rep.Restarts)
 	}
 
 	for _, k := range []int{1, 2, 4, 8} {
@@ -166,6 +167,24 @@ func runAblations(experiments.Scale) error {
 		}
 		report("buffer size", fmt.Sprintf("%dKB", size>>10), rep)
 	}
+	{
+		cfg := experiments.DefaultTransfer()
+		cfg.Proto = row.WireProtoRow
+		rep, err := experiments.RunTransfer(cfg)
+		if err != nil {
+			return err
+		}
+		report("block framing", "v1 per-row frames", rep)
+	}
+	for _, blockRows := range []int{64, 1024, 4096} {
+		cfg := experiments.DefaultTransfer()
+		cfg.BlockRows = blockRows
+		rep, err := experiments.RunTransfer(cfg)
+		if err != nil {
+			return err
+		}
+		report("block framing", fmt.Sprintf("block=%d rows", blockRows), rep)
+	}
 	for _, colocate := range []bool{true, false} {
 		cfg := experiments.DefaultTransfer()
 		cfg.Colocate = colocate
@@ -183,6 +202,7 @@ func runAblations(experiments.Scale) error {
 		cfg := experiments.DefaultTransfer()
 		cfg.ConsumeDelay = 50 * time.Microsecond
 		cfg.QueueFrames = 4
+		cfg.BlockRows = 16
 		cfg.RowsPerWork = 1500
 		rep, err := experiments.RunTransfer(cfg)
 		if err != nil {

@@ -17,11 +17,16 @@ import (
 // (the §3 design-choice ablations: split factor k, buffer size, locality,
 // slow-consumer spilling, failure recovery).
 type TransferConfig struct {
-	Workers      int
-	K            int
-	RowsPerWork  int
-	BufferSize   int
-	QueueFrames  int
+	Workers     int
+	K           int
+	RowsPerWork int
+	BufferSize  int
+	QueueFrames int
+	// BlockRows caps rows per wire block (0 means the sender default);
+	// Proto pins the wire-format version (0 means latest) — together the
+	// block-framing ablation knobs.
+	BlockRows    int
+	Proto        int
 	ConsumeDelay time.Duration
 	// Colocate places ML workers on the SQL workers' nodes (the
 	// coordinator's locality hint honoured); otherwise they all land on a
@@ -48,6 +53,7 @@ func DefaultTransfer() TransferConfig {
 // TransferReport summarises one transfer experiment.
 type TransferReport struct {
 	Rows         int
+	FramesSent   int64
 	SimTime      time.Duration
 	NetBytes     int64
 	SpilledBytes int64
@@ -115,6 +121,8 @@ func RunTransfer(cfg TransferConfig) (*TransferReport, error) {
 	senderCfg := stream.DefaultSenderConfig()
 	senderCfg.BufferSize = cfg.BufferSize
 	senderCfg.QueueFrames = cfg.QueueFrames
+	senderCfg.BlockRows = cfg.BlockRows
+	senderCfg.Proto = cfg.Proto
 	senderCfg.MaxRestarts = 8
 	if cfg.ConsumeDelay > 0 {
 		// The spill ablation wants the producer to give up quickly.
@@ -174,6 +182,7 @@ func RunTransfer(cfg TransferConfig) (*TransferReport, error) {
 		Wall:     time.Since(start),
 	}
 	for _, s := range stats {
+		report.FramesSent += s.FramesSent
 		report.SpilledBytes += s.SpilledBytes
 		report.Restarts += s.Restarts
 	}

@@ -40,6 +40,31 @@ type RecordReader interface {
 	Close() error
 }
 
+// BatchRecordReader is an optional extension of RecordReader: readers that
+// stage multiple rows per underlying transfer unit (e.g. one wire block of
+// the streaming transfer) expose them a batch at a time, so consumers
+// amortize per-row call overhead. NextBatch appends into buf (which may be
+// nil or recycled between calls) and returns the filled batch; ok is false
+// at the end of the split. Batches interleave freely with Next.
+type BatchRecordReader interface {
+	RecordReader
+	NextBatch(buf []row.Row) (batch []row.Row, ok bool, err error)
+}
+
+// ReadBatch drains one batch from rr, falling back to a single Next call
+// when rr does not implement BatchRecordReader. Callers must copy rows they
+// retain before reusing buf.
+func ReadBatch(rr RecordReader, buf []row.Row) ([]row.Row, bool, error) {
+	if br, ok := rr.(BatchRecordReader); ok {
+		return br.NextBatch(buf)
+	}
+	r, ok, err := rr.Next()
+	if !ok || err != nil {
+		return nil, false, err
+	}
+	return append(buf[:0], r), true, nil
+}
+
 // InputFormat produces splits and readers over a dataset.
 type InputFormat interface {
 	// Schema returns the row schema of the dataset.
@@ -297,13 +322,14 @@ func ReadAll(f InputFormat, node *cluster.Node) ([]row.Row, error) {
 		return nil, err
 	}
 	var out []row.Row
+	var buf []row.Row
 	for _, s := range splits {
 		rr, err := f.Open(s, node)
 		if err != nil {
 			return nil, err
 		}
 		for {
-			r, ok, err := rr.Next()
+			batch, ok, err := ReadBatch(rr, buf[:0])
 			if err != nil {
 				rr.Close()
 				return nil, err
@@ -311,7 +337,8 @@ func ReadAll(f InputFormat, node *cluster.Node) ([]row.Row, error) {
 			if !ok {
 				break
 			}
-			out = append(out, r)
+			out = append(out, batch...)
+			buf = batch
 		}
 		if err := rr.Close(); err != nil {
 			return nil, err

@@ -139,26 +139,32 @@ func Ingest(f hadoopfmt.InputFormat, opts IngestOptions) (*Dataset, error) {
 }
 
 // readSplit runs one ingest task: open the split, convert every row, and
-// append into out.
+// append into out. Batch-capable readers (the streaming transfer's) are
+// drained a wire block at a time; the batch buffer is recycled across
+// iterations since converted points don't retain the rows.
 func readSplit(f hadoopfmt.InputFormat, split hadoopfmt.InputSplit, node *cluster.Node, conv *converter, out *[]LabeledPoint) error {
 	rr, err := f.Open(split, node)
 	if err != nil {
 		return err
 	}
 	defer rr.Close()
+	var buf []row.Row
 	for {
-		r, ok, err := rr.Next()
+		batch, ok, err := hadoopfmt.ReadBatch(rr, buf[:0])
 		if err != nil {
 			return err
 		}
 		if !ok {
 			return nil
 		}
-		p, err := conv.convert(r)
-		if err != nil {
-			return err
+		for _, r := range batch {
+			p, err := conv.convert(r)
+			if err != nil {
+				return err
+			}
+			*out = append(*out, p)
 		}
-		*out = append(*out, p)
+		buf = batch
 	}
 }
 

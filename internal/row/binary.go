@@ -138,15 +138,28 @@ func (w *Writer) Write(r Row) error {
 // Flush flushes buffered frames to the underlying writer.
 func (w *Writer) Flush() error { return w.w.Flush() }
 
-// Reader decodes binary row frames from an io.Reader.
+// Reader decodes binary row frames from an io.Reader. It understands both
+// wire formats: v1 single-row frames and v2 multi-row block frames (see
+// block.go) may be freely interleaved on one stream. A block is read off
+// the wire in one I/O operation into a reused buffer, then its rows are
+// served in place — per-row syscalls and allocations drop to per-block.
 type Reader struct {
 	r     *bufio.Reader
 	buf   []byte
 	nread int64
+
+	// pending block: rows still to serve, and the wire size to credit to
+	// nread once the last of them has been consumed.
+	block     []byte
+	blockRows int
+	blockWire int64
 }
 
-// Bytes returns the total frame bytes consumed so far (headers included);
-// the streaming transfer's flow control is driven by this counter.
+// Bytes returns the wire bytes of fully consumed frames (headers
+// included); the streaming transfer's flow control is driven by this
+// counter. A block frame counts only once all of its rows have been
+// served, so a slow consumer does not grant credit for rows it has merely
+// buffered.
 func (r *Reader) Bytes() int64 { return r.nread }
 
 // NewReader returns a frame reader over r.
@@ -156,26 +169,104 @@ func NewReader(r io.Reader) *Reader {
 
 // Read decodes the next row. It returns io.EOF cleanly at end of stream.
 func (r *Reader) Read() (Row, error) {
+	for r.blockRows == 0 {
+		if err := r.nextFrame(); err != nil {
+			return nil, err
+		}
+	}
+	row, rest, err := decodeBlockRow(r.block)
+	if err != nil {
+		return nil, err
+	}
+	r.block = rest
+	r.blockRows--
+	if r.blockRows == 0 {
+		if len(r.block) != 0 {
+			return nil, fmt.Errorf("row: %d trailing block bytes", len(r.block))
+		}
+		r.nread += r.blockWire
+	}
+	return row, nil
+}
+
+// ReadBlock appends every remaining row of the current frame to dst and
+// returns it: the rows of one block frame, or a single row for a v1
+// frame. It returns io.EOF cleanly at end of stream. Batch consumers
+// (hadoopfmt.BatchRecordReader) use it to amortize per-row call overhead.
+func (r *Reader) ReadBlock(dst []Row) ([]Row, error) {
+	for r.blockRows == 0 {
+		if err := r.nextFrame(); err != nil {
+			return nil, err
+		}
+	}
+	for r.blockRows > 0 {
+		row, rest, err := decodeBlockRow(r.block)
+		if err != nil {
+			return nil, err
+		}
+		dst = append(dst, row)
+		r.block = rest
+		r.blockRows--
+	}
+	if len(r.block) != 0 {
+		return nil, fmt.Errorf("row: %d trailing block bytes", len(r.block))
+	}
+	r.nread += r.blockWire
+	return dst, nil
+}
+
+// nextFrame reads one wire frame into the reused buffer and stages its
+// rows for serving. A v1 frame is staged as a one-row block (synthesizing
+// the length prefix decodeBlockRow expects from the frame header it
+// already consumed).
+func (r *Reader) nextFrame() error {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
 		if err == io.ErrUnexpectedEOF {
-			return nil, fmt.Errorf("row: truncated frame header: %w", err)
+			return fmt.Errorf("row: truncated frame header: %w", err)
 		}
-		return nil, err
+		return err
 	}
-	n := int(binary.LittleEndian.Uint32(hdr[:]))
-	if n > MaxFrameSize {
-		return nil, fmt.Errorf("row: frame of %d bytes exceeds limit", n)
+	word := binary.LittleEndian.Uint32(hdr[:])
+	if word&blockFlag == 0 {
+		// v1 single-row frame.
+		n := int(word)
+		if n > MaxFrameSize {
+			return fmt.Errorf("row: frame of %d bytes exceeds limit", n)
+		}
+		if cap(r.buf) < 4+n {
+			r.buf = make([]byte, 4+n)
+		}
+		body := r.buf[:4+n]
+		copy(body, hdr[:])
+		if _, err := io.ReadFull(r.r, body[4:]); err != nil {
+			return fmt.Errorf("row: truncated frame body: %w", err)
+		}
+		r.block, r.blockRows, r.blockWire = body, 1, int64(4+n)
+		return nil
+	}
+	n := int(word &^ blockFlag)
+	if n > MaxBlockSize {
+		return fmt.Errorf("row: block of %d bytes exceeds limit", n)
 	}
 	if cap(r.buf) < n {
 		r.buf = make([]byte, n)
 	}
-	body := r.buf[:n]
-	if _, err := io.ReadFull(r.r, body); err != nil {
-		return nil, fmt.Errorf("row: truncated frame body: %w", err)
+	tail := r.buf[:n]
+	if _, err := io.ReadFull(r.r, tail); err != nil {
+		return fmt.Errorf("row: truncated block frame: %w", err)
 	}
-	r.nread += int64(4 + n)
-	return DecodeBinary(body)
+	payload, rows, err := parseBlockTail(tail)
+	if err != nil {
+		return err
+	}
+	if rows == 0 {
+		// Empty block: account it and move on.
+		r.nread += int64(4 + n)
+		return nil
+	}
+	r.block, r.blockRows, r.blockWire = payload, rows, int64(4+n)
+	return nil
 }
 
 // WriteSchema writes a schema header: it precedes row frames on a stream so

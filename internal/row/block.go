@@ -1,0 +1,245 @@
+package row
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Block frames amortize the per-row costs of the streaming transfer: one
+// length word, one channel hand-off, one spool entry, and one disk write
+// cover ~BlockTargetRows rows instead of one. The wire stays
+// self-describing — a stream may interleave v1 single-row frames and v2
+// block frames, and Reader decodes both — while the coordinator handshake
+// (see internal/stream) lets mixed-version deployments pin a job to v1.
+//
+// Block frame layout (all little-endian):
+//
+//	uint32  blockFlag | n   (top bit set marks a block frame; the low 31
+//	                         bits are the byte count that follows this word)
+//	uint8   version         (WireProtoBlock)
+//	uint8   flags           (reserved, 0)
+//	uint32  row count
+//	payload: row count × (uint32 body length + body), the same per-row
+//	         body encoding as a v1 frame
+//
+// The flag bit cannot collide with a v1 frame: v1 lengths are bounded by
+// MaxFrameSize (2^26), far below the 2^31 flag bit.
+
+const (
+	// WireProtoRow is the original one-frame-per-row wire format.
+	WireProtoRow = 1
+	// WireProtoBlock is the multi-row block-frame wire format.
+	WireProtoBlock = 2
+	// WireProtoLatest is what senders and readers advertise by default.
+	WireProtoLatest = WireProtoBlock
+
+	blockFlag = uint32(1) << 31
+	// blockTailLen is the header part covered by the length word:
+	// version(1) + flags(1) + rowCount(4).
+	blockTailLen = 6
+	// blockHeaderLen is the full block frame header.
+	blockHeaderLen = 4 + blockTailLen
+
+	// BlockTargetRows and BlockTargetBytes are the default flush budgets:
+	// a block is emitted when it reaches either. ~1k rows matches the
+	// engine's RowBatch granularity; ~64 KB keeps a block inside a few
+	// socket buffers.
+	BlockTargetRows  = 1024
+	BlockTargetBytes = 64 << 10
+)
+
+// MaxBlockSize bounds one block frame, guarding corrupt length words.
+const MaxBlockSize = 128 << 20
+
+// blockBufPool recycles block buffers across frames. Buffers are handed
+// out by NewBlockBuffer and returned by RecycleBlockBuffer once the frame
+// has left the process (written to a socket or spill file) — callers that
+// retain frames (the §6 replay spool) simply never return them.
+var blockBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, BlockTargetBytes+4<<10)
+		return &b
+	},
+}
+
+// NewBlockBuffer returns an empty, pooled byte buffer sized for one block.
+func NewBlockBuffer() []byte {
+	return (*blockBufPool.Get().(*[]byte))[:0]
+}
+
+// RecycleBlockBuffer returns a buffer obtained from NewBlockBuffer (or a
+// finished block frame built on one) to the pool. The caller must not
+// touch the slice afterwards. Undersized buffers (e.g. ad-hoc v1 row
+// frames that flow through the same code path) are dropped rather than
+// pooled, so the pool only ever hands out block-capacity buffers.
+func RecycleBlockBuffer(b []byte) {
+	if cap(b) < BlockTargetBytes {
+		return
+	}
+	blockBufPool.Put(&b)
+}
+
+// IsBlockFrame reports whether frame starts a v2 block frame (as opposed
+// to a v1 single-row frame).
+func IsBlockFrame(frame []byte) bool {
+	return len(frame) >= 4 && binary.LittleEndian.Uint32(frame)&blockFlag != 0
+}
+
+// BlockEncoder packs rows into one block frame built on a pooled buffer.
+// Append rows until Rows()/Len() hit the caller's budget, then Finish to
+// take the frame; the encoder detaches and starts the next block lazily.
+type BlockEncoder struct {
+	buf  []byte
+	rows int
+}
+
+// Append encodes one row into the current block.
+func (e *BlockEncoder) Append(r Row) {
+	if e.buf == nil {
+		e.buf = append(NewBlockBuffer(), make([]byte, blockHeaderLen)...)
+	}
+	e.buf = AppendBinary(e.buf, r)
+	e.rows++
+}
+
+// Rows returns the number of rows in the current block.
+func (e *BlockEncoder) Rows() int { return e.rows }
+
+// Len returns the current block's encoded size in bytes (header included).
+func (e *BlockEncoder) Len() int { return len(e.buf) }
+
+// Finish seals and returns the block frame, transferring ownership to the
+// caller (recycle it with RecycleBlockBuffer once it has left the
+// process). It returns nil when no rows were appended.
+func (e *BlockEncoder) Finish() []byte {
+	if e.rows == 0 {
+		return nil
+	}
+	b := e.buf
+	binary.LittleEndian.PutUint32(b, blockFlag|uint32(len(b)-4))
+	b[4] = WireProtoBlock
+	b[5] = 0
+	binary.LittleEndian.PutUint32(b[6:], uint32(e.rows))
+	e.buf, e.rows = nil, 0
+	return b
+}
+
+// BlockDecoder iterates the rows of one encoded block frame in place —
+// no per-row reads, no payload copies.
+type BlockDecoder struct {
+	payload   []byte
+	remaining int
+}
+
+// NewBlockDecoder validates the frame header and returns a decoder over
+// the block's rows.
+func NewBlockDecoder(frame []byte) (*BlockDecoder, error) {
+	var d BlockDecoder
+	if err := d.Reset(frame); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// Reset re-points the decoder at another block frame.
+func (d *BlockDecoder) Reset(frame []byte) error {
+	if len(frame) < blockHeaderLen {
+		return fmt.Errorf("row: short block frame (%d bytes)", len(frame))
+	}
+	word := binary.LittleEndian.Uint32(frame)
+	if word&blockFlag == 0 {
+		return fmt.Errorf("row: not a block frame")
+	}
+	if n := int(word &^ blockFlag); n != len(frame)-4 {
+		return fmt.Errorf("row: block frame length %d, have %d bytes", n, len(frame)-4)
+	}
+	tail, rows, err := parseBlockTail(frame[4:])
+	if err != nil {
+		return err
+	}
+	d.payload, d.remaining = tail, rows
+	return nil
+}
+
+// Rows returns how many rows remain undecoded.
+func (d *BlockDecoder) Rows() int { return d.remaining }
+
+// Next decodes the next row; ok is false once the block is exhausted.
+func (d *BlockDecoder) Next() (r Row, ok bool, err error) {
+	if d.remaining == 0 {
+		if len(d.payload) != 0 {
+			return nil, false, fmt.Errorf("row: %d trailing block bytes", len(d.payload))
+		}
+		return nil, false, nil
+	}
+	r, rest, err := decodeBlockRow(d.payload)
+	if err != nil {
+		return nil, false, err
+	}
+	d.payload = rest
+	d.remaining--
+	return r, true, nil
+}
+
+// ReadRawFrame reads one whole wire frame — v1 single-row or v2 block —
+// off r without decoding it, appended to buf (length word included). It
+// returns io.EOF cleanly at a frame boundary; a frame cut short inside
+// returns io.ErrUnexpectedEOF. The sender's spill replay uses it to re-send
+// spilled bytes frame-aligned, which the credit window requires.
+func ReadRawFrame(r io.Reader, buf []byte) ([]byte, error) {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	if _, err := io.ReadFull(r, buf[start:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, err
+		}
+		return nil, io.EOF
+	}
+	word := binary.LittleEndian.Uint32(buf[start:])
+	n := int(word &^ blockFlag)
+	if word&blockFlag != 0 {
+		if n < blockTailLen || n > MaxBlockSize {
+			return nil, fmt.Errorf("row: bad block frame length %d", n)
+		}
+	} else if n > MaxFrameSize {
+		return nil, fmt.Errorf("row: bad frame length %d", n)
+	}
+	body := len(buf)
+	buf = append(buf, make([]byte, n)...)
+	if _, err := io.ReadFull(r, buf[body:]); err != nil {
+		return nil, io.ErrUnexpectedEOF
+	}
+	return buf, nil
+}
+
+// parseBlockTail validates everything after the length word (version,
+// flags, row count) and returns the row payload and row count.
+func parseBlockTail(tail []byte) ([]byte, int, error) {
+	if len(tail) < blockTailLen {
+		return nil, 0, fmt.Errorf("row: truncated block header")
+	}
+	if v := tail[0]; v != WireProtoBlock {
+		return nil, 0, fmt.Errorf("row: unsupported block version %d", v)
+	}
+	rows := int(binary.LittleEndian.Uint32(tail[2:]))
+	return tail[blockTailLen:], rows, nil
+}
+
+// decodeBlockRow decodes one length-prefixed row body off the front of
+// payload, returning the rest.
+func decodeBlockRow(payload []byte) (Row, []byte, error) {
+	if len(payload) < 4 {
+		return nil, nil, fmt.Errorf("row: truncated row header in block")
+	}
+	n := int(binary.LittleEndian.Uint32(payload))
+	if n > MaxFrameSize || 4+n > len(payload) {
+		return nil, nil, fmt.Errorf("row: truncated row body in block (%d of %d bytes)", n, len(payload)-4)
+	}
+	r, err := DecodeBinary(payload[4 : 4+n])
+	if err != nil {
+		return nil, nil, err
+	}
+	return r, payload[4+n:], nil
+}

@@ -1,0 +1,173 @@
+package stream
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"sqlml/internal/hadoopfmt"
+	"sqlml/internal/row"
+)
+
+// TestMixedVersionHandshakeReaderPinsV1 covers the wire-format negotiation:
+// one reader that only speaks the v1 per-row protocol pins the whole job to
+// it — the sender falls back to one frame per row, and delivery still
+// completes exactly-once.
+func TestMixedVersionHandshakeReaderPinsV1(t *testing.T) {
+	env := newTransferEnv(t)
+	f := &InputFormat{CoordAddr: env.coordAddr, Job: "jv1reader", Proto: row.WireProtoRow}
+	d, stats := env.runTransfer(t, "jv1reader", 2, 1, 150, f, DefaultSenderConfig())
+	checkExactlyOnce(t, d, 2, 150)
+	for _, s := range stats {
+		if s.FramesSent != s.RowsSent {
+			t.Errorf("v1-pinned job sent %d frames for %d rows; want one frame per row",
+				s.FramesSent, s.RowsSent)
+		}
+	}
+}
+
+// TestMixedVersionHandshakeSenderPinsV1 is the other direction: a sender
+// configured for the v1 protocol ignores the coordinator's block offer, and
+// the (block-capable) reader decodes the per-row stream fine.
+func TestMixedVersionHandshakeSenderPinsV1(t *testing.T) {
+	env := newTransferEnv(t)
+	f := &InputFormat{CoordAddr: env.coordAddr, Job: "jv1sender"}
+	cfg := DefaultSenderConfig()
+	cfg.Proto = row.WireProtoRow
+	d, stats := env.runTransfer(t, "jv1sender", 2, 1, 150, f, cfg)
+	checkExactlyOnce(t, d, 2, 150)
+	for _, s := range stats {
+		if s.FramesSent != s.RowsSent {
+			t.Errorf("v1 sender sent %d frames for %d rows; want one frame per row",
+				s.FramesSent, s.RowsSent)
+		}
+	}
+}
+
+// drainSplits consumes every split of f batch-wise without retaining rows,
+// so the receiving side contributes no lasting heap growth.
+func drainSplits(f *InputFormat) error {
+	splits, err := f.Splits(0)
+	if err != nil {
+		return err
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(splits))
+	for i, sp := range splits {
+		wg.Add(1)
+		go func(i int, sp hadoopfmt.InputSplit) {
+			defer wg.Done()
+			rr, err := f.Open(sp, nil)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer rr.Close()
+			var buf []row.Row
+			for {
+				batch, ok, err := hadoopfmt.ReadBatch(rr, buf[:0])
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if !ok {
+					return
+				}
+				buf = batch
+			}
+		}(i, sp)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// probeIterator serves rows and fires probe once, right before row `at` —
+// from the sender's own consume goroutine, so the probe observes the
+// sender mid-transfer with most of the stream already encoded.
+type probeIterator struct {
+	rows  []row.Row
+	i     int
+	at    int
+	probe func()
+}
+
+func (p *probeIterator) Next() (row.Row, bool, error) {
+	if p.i == p.at && p.probe != nil {
+		p.probe()
+		p.probe = nil
+	}
+	if p.i >= len(p.rows) {
+		return nil, false, nil
+	}
+	r := p.rows[p.i]
+	p.i++
+	return r, true, nil
+}
+
+// liveHeap forces a full GC and returns the live heap bytes.
+func liveHeap() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// TestSenderMemoryBoundedWithoutReplay pins the pooling contract: with the
+// replay spool disabled, block buffers recycle through the pool and the
+// sender's residency stays O(blocks in flight) per target instead of
+// O(stream). The run with replay enabled — which must retain every frame
+// until the ACK — serves as the yardstick. Live heap is probed with a
+// forced GC from inside the sender's input iterator near the end of the
+// stream (when the spool is near-full), so transient decode garbage
+// cannot inflate the measurement.
+func TestSenderMemoryBoundedWithoutReplay(t *testing.T) {
+	env := newTransferEnv(t)
+	const numRows = 400_000
+	rows := genRows(0, numRows)
+	// Pool buffers survive the probe's GC; keep their count small and
+	// deterministic with a short queue.
+	const queueFrames = 8
+
+	runOnce := func(job string, disable bool) uint64 {
+		f := &InputFormat{CoordAddr: env.coordAddr, Job: job}
+		drained := make(chan error, 1)
+		go func() {
+			<-env.launched
+			drained <- drainSplits(f)
+		}()
+		cfg := DefaultSenderConfig()
+		cfg.DisableReplay = disable
+		cfg.QueueFrames = queueFrames
+		base := liveHeap()
+		var atProbe uint64
+		it := &probeIterator{rows: rows, at: numRows - 1, probe: func() { atProbe = liveHeap() }}
+		if _, err := Send(SendRequest{
+			CoordAddr: env.coordAddr, Job: job, Command: "svm",
+			Worker: 0, NumWorkers: 1, K: 1,
+			Node: env.topo.Node(1), Topo: env.topo,
+			Schema: streamSchema(), Input: it,
+			Config: cfg,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-drained; err != nil {
+			t.Fatal(err)
+		}
+		if atProbe < base {
+			return 0
+		}
+		return atProbe - base
+	}
+
+	replayOn := runOnce("jresident-replay", false)
+	replayOff := runOnce("jresident-noreplay", true)
+	if replayOff*2 > replayOn {
+		t.Errorf("live heap growth without replay = %d B, with replay = %d B; recycling should keep it well under half",
+			replayOff, replayOn)
+	}
+}

@@ -33,6 +33,8 @@ import (
 	"log"
 	"net"
 	"sync"
+
+	"sqlml/internal/row"
 )
 
 // JobSpec is what a launcher receives when all SQL workers of a job have
@@ -82,6 +84,12 @@ type message struct {
 	Split  int    `json:"split,omitempty"`
 	Listen string `json:"listen,omitempty"`
 
+	// Proto is the wire-format version the registering peer supports
+	// (row.WireProtoRow or row.WireProtoBlock; absent means the pre-block
+	// v1 protocol). In the matches reply it carries the job's negotiated
+	// version: the minimum over every registered sender and reader.
+	Proto int `json:"proto,omitempty"`
+
 	// splits / matches replies
 	Splits  []SplitInfo `json:"splits,omitempty"`
 	Targets []Target    `json:"targets,omitempty"`
@@ -92,6 +100,12 @@ type message struct {
 type jobState struct {
 	spec     JobSpec
 	launched bool
+
+	// proto is the job's negotiated wire-format version: the minimum
+	// advertised across every register_sql and register_ml seen so far
+	// (0 until the first registration; a peer that sends no version is a
+	// pre-block v1 speaker and pins the job to per-row frames).
+	proto int
 
 	// sqlWaiters[w] is the connection a registered SQL worker w is parked
 	// on, awaiting its matches message.
@@ -192,7 +206,17 @@ func (c *Coordinator) handle(conn net.Conn) {
 	case "register_ml":
 		c.handleRegisterML(&msg, enc)
 	default:
-		enc.Encode(message{Type: "error", Error: "unknown message " + msg.Type})
+		c.reply(enc, message{Type: "error", Error: "unknown message " + msg.Type})
+	}
+}
+
+// reply encodes one response message. A failed write is logged, not
+// dropped: the peer's own read loop surfaces the broken connection, but a
+// silently vanished reply would otherwise be invisible when diagnosing a
+// wedged transfer.
+func (c *Coordinator) reply(enc *json.Encoder, msg message) {
+	if err := enc.Encode(msg); err != nil {
+		log.Printf("stream: coordinator: reply %q failed: %v", msg.Type, err)
 	}
 }
 
@@ -228,6 +252,7 @@ func (c *Coordinator) handleRegisterSQL(msg *message, enc *json.Encoder, dec *js
 	js.sqlWaiters[msg.Worker] = enc
 	js.sqlAddrs[msg.Worker] = msg.Addr
 	js.dispatched[msg.Worker] = false
+	js.noteProto(msg.Proto)
 	if isRestart {
 		// §6 restart: the worker re-parks for a fresh matches message. ML
 		// registrations are kept — failed readers re-register on their own
@@ -257,12 +282,23 @@ func (c *Coordinator) handleRegisterSQL(msg *message, enc *json.Encoder, dec *js
 	}
 }
 
+// noteProto folds one peer's advertised wire-format version into the
+// job's negotiated minimum. Callers hold c.mu.
+func (js *jobState) noteProto(p int) {
+	if p <= 0 {
+		p = row.WireProtoRow // pre-versioning peer
+	}
+	if js.proto == 0 || p < js.proto {
+		js.proto = p
+	}
+}
+
 // handleGetSplits implements step 3: it answers once all SQL workers have
 // registered, so the split list and schema are complete.
 func (c *Coordinator) handleGetSplits(msg *message, enc *json.Encoder) {
 	js, ok := c.waitForRegistration(msg.Job)
 	if !ok {
-		enc.Encode(message{Type: "error", Error: "job " + msg.Job + " never registered"})
+		c.reply(enc, message{Type: "error", Error: "job " + msg.Job + " never registered"})
 		return
 	}
 	c.mu.Lock()
@@ -280,7 +316,7 @@ func (c *Coordinator) handleGetSplits(msg *message, enc *json.Encoder) {
 	}
 	schema := js.spec.Schema
 	c.mu.Unlock()
-	enc.Encode(message{Type: "splits", Schema: schema, Splits: splits})
+	c.reply(enc, message{Type: "splits", Schema: schema, Splits: splits})
 }
 
 // waitForRegistration polls for the job's full SQL registration. The
@@ -310,17 +346,18 @@ func (c *Coordinator) waitForRegistration(job string) (*jobState, bool) {
 func (c *Coordinator) handleRegisterML(msg *message, enc *json.Encoder) {
 	js, ok := c.waitForRegistration(msg.Job)
 	if !ok {
-		enc.Encode(message{Type: "error", Error: "job " + msg.Job + " never registered"})
+		c.reply(enc, message{Type: "error", Error: "job " + msg.Job + " never registered"})
 		return
 	}
 	c.mu.Lock()
 	js.mlRegs[msg.Split] = Target{Split: msg.Split, Listen: msg.Listen, Addr: msg.Addr}
+	js.noteProto(msg.Proto)
 	k := js.spec.SplitsPer
 	worker := msg.Split / k
 	// A fresh ML registration re-arms dispatch for its group (restart).
 	js.dispatched[worker] = false
 	c.mu.Unlock()
-	enc.Encode(message{Type: "ok"})
+	c.reply(enc, message{Type: "ok"})
 	c.tryDispatch(msg.Job, worker)
 }
 
@@ -349,9 +386,10 @@ func (c *Coordinator) tryDispatch(job string, worker int) {
 		targets = append(targets, t)
 	}
 	js.dispatched[worker] = true
+	proto := js.proto
 	c.mu.Unlock()
 
-	if err := enc.Encode(message{Type: "matches", Targets: targets}); err != nil {
+	if err := enc.Encode(message{Type: "matches", Targets: targets, Proto: proto}); err != nil {
 		log.Printf("stream: coordinator: dispatch to sql worker %d failed: %v", worker, err)
 	}
 	c.logf("matched sql worker %d of job %s with %d ml workers", worker, job, len(targets))

@@ -34,6 +34,11 @@ type InputFormat struct {
 	// the reader fail abruptly (no ACK), simulating an ML worker crash for
 	// the §6 restart tests.
 	Inject func(split, rowsRead int) bool
+	// Proto caps the wire-format version this reader advertises to the
+	// coordinator (0 means latest). Setting row.WireProtoRow simulates a
+	// pre-block reader: the handshake then pins the whole job to per-row
+	// v1 frames.
+	Proto int
 
 	mu      sync.Mutex
 	fetched bool
@@ -158,8 +163,12 @@ func (f *InputFormat) registerML(split int, listen, nodeAddr string) error {
 		return fmt.Errorf("stream: dial coordinator: %w", err)
 	}
 	defer conn.Close()
+	proto := f.Proto
+	if proto <= 0 {
+		proto = row.WireProtoLatest
+	}
 	if err := json.NewEncoder(conn).Encode(message{
-		Type: "register_ml", Job: f.Job, Split: split, Listen: listen, Addr: nodeAddr,
+		Type: "register_ml", Job: f.Job, Split: split, Listen: listen, Addr: nodeAddr, Proto: proto,
 	}); err != nil {
 		return err
 	}
@@ -192,7 +201,9 @@ type streamReader struct {
 	failed   bool
 }
 
-// Next implements hadoopfmt.RecordReader.
+// Next implements hadoopfmt.RecordReader. The frame reader underneath is
+// block-aware: one wire read stages a whole block, and Next serves rows
+// out of it without further I/O or re-allocation.
 func (r *streamReader) Next() (row.Row, bool, error) {
 	if r.done || r.failed {
 		return nil, false, nil
@@ -204,18 +215,63 @@ func (r *streamReader) Next() (row.Row, bool, error) {
 	}
 	rw, err := r.rd.Read()
 	if err == io.EOF {
-		// Clean end of stream: acknowledge delivery.
-		r.done = true
-		r.conn.SetWriteDeadline(time.Now().Add(r.timeout))
-		if _, werr := r.conn.Write([]byte{ackByte}); werr != nil {
-			return nil, false, r.fail(fmt.Errorf("stream: ack write: %w", werr))
-		}
-		r.Close()
-		return nil, false, nil
+		return nil, false, r.finish()
 	}
 	if err != nil {
 		return nil, false, r.fail(fmt.Errorf("stream: split %d read: %w", r.split, err))
 	}
+	if err := r.consumed(); err != nil {
+		return nil, false, err
+	}
+	return rw, true, nil
+}
+
+// NextBatch implements hadoopfmt.BatchRecordReader: it serves one wire
+// frame's rows per call — the whole decoded block, or a single row from a
+// v1 frame — so batch-aware consumers amortize per-row call overhead on
+// top of the amortized I/O.
+func (r *streamReader) NextBatch(buf []row.Row) ([]row.Row, bool, error) {
+	if r.done || r.failed {
+		return nil, false, nil
+	}
+	if r.conn == nil {
+		if err := r.connect(); err != nil {
+			return nil, false, r.fail(err)
+		}
+	}
+	batch, err := r.rd.ReadBlock(buf[:0])
+	if err == io.EOF {
+		return nil, false, r.finish()
+	}
+	if err != nil {
+		return nil, false, r.fail(fmt.Errorf("stream: split %d read: %w", r.split, err))
+	}
+	for range batch {
+		// Per-row bookkeeping still runs row-at-a-time: the slow-consumer
+		// delay and the §6 failure injection are per-row contracts, and a
+		// mid-batch injected crash discards the batch exactly like task
+		// re-execution discards partial rows.
+		if err := r.consumed(); err != nil {
+			return nil, false, err
+		}
+	}
+	return batch, true, nil
+}
+
+// finish acknowledges a clean end of stream.
+func (r *streamReader) finish() error {
+	r.done = true
+	r.conn.SetWriteDeadline(time.Now().Add(r.timeout))
+	if _, werr := r.conn.Write([]byte{ackByte}); werr != nil {
+		return r.fail(fmt.Errorf("stream: ack write: %w", werr))
+	}
+	r.Close()
+	return nil
+}
+
+// consumed runs the per-row bookkeeping: the slow-consumer delay, credit
+// grants, and failure injection.
+func (r *streamReader) consumed() error {
 	r.rowsRead++
 	if r.format.ConsumeDelay > 0 {
 		time.Sleep(r.format.ConsumeDelay)
@@ -223,7 +279,9 @@ func (r *streamReader) Next() (row.Row, bool, error) {
 	// Flow control: grant the sender one credit per consumed receive
 	// buffer. Credits flow only after the row has been consumed (including
 	// the injected delay), which is what makes a slow ML worker
-	// backpressure — and eventually spill — the SQL-side sender.
+	// backpressure — and eventually spill — the SQL-side sender. A block
+	// frame's bytes enter the reader's consumed counter only once its last
+	// row is served, so buffered-but-unconsumed blocks grant nothing.
 	// Each credit accounts exactly bufSize bytes (the remainder carries
 	// over); acknowledging "everything so far" instead would leak phantom
 	// in-flight bytes on the sender until its window jammed shut.
@@ -231,13 +289,13 @@ func (r *streamReader) Next() (row.Row, bool, error) {
 		r.credited += int64(r.bufSize)
 		r.conn.SetWriteDeadline(time.Now().Add(r.timeout))
 		if _, err := r.conn.Write([]byte{creditByte}); err != nil {
-			return nil, false, r.fail(fmt.Errorf("stream: credit write: %w", err))
+			return r.fail(fmt.Errorf("stream: credit write: %w", err))
 		}
 	}
 	if inject := r.format.Inject; inject != nil && inject(r.split, r.rowsRead) {
-		return nil, false, r.fail(fmt.Errorf("stream: split %d: injected ML worker failure", r.split))
+		return r.fail(fmt.Errorf("stream: split %d: injected ML worker failure", r.split))
 	}
-	return rw, true, nil
+	return nil
 }
 
 func (r *streamReader) connect() error {

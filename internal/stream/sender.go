@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"time"
@@ -22,7 +23,22 @@ type SenderConfig struct {
 	// QueueFrames bounds the in-flight frame queue per target; when it is
 	// full (a slow consumer), frames spill to a local disk file to keep
 	// the producer running — the paper's producer/consumer synchronization.
+	// One frame is one block (~BlockRows rows), so the queue bounds
+	// O(blocks), not O(rows), of sender memory.
 	QueueFrames int
+	// BlockRows and BlockBytes bound one block frame: the sender flushes a
+	// slot's block when it reaches BlockRows rows or BlockBytes encoded
+	// bytes (and at end of stream). They default to the engine's batch
+	// granularity (~1024 rows / ~64 KB).
+	BlockRows  int
+	BlockBytes int
+	// Proto pins the wire-format version this sender offers during the
+	// coordinator handshake: row.WireProtoRow for one-frame-per-row (what
+	// pre-block senders speak), row.WireProtoBlock for multi-row block
+	// frames. 0 means latest. The coordinator negotiates the minimum
+	// across a job's senders and readers, so mixed-version deployments
+	// degrade to v1 instead of breaking.
+	Proto int
 	// SpillWait is how long a full queue may block the producer before it
 	// spills to disk; a fast consumer frees buffer space well within it.
 	SpillWait time.Duration
@@ -44,7 +60,9 @@ type SenderConfig struct {
 func DefaultSenderConfig() SenderConfig {
 	return SenderConfig{
 		BufferSize:  4 << 10,
-		QueueFrames: 1024,
+		QueueFrames: 64,
+		BlockRows:   row.BlockTargetRows,
+		BlockBytes:  row.BlockTargetBytes,
 		SpillWait:   5 * time.Millisecond,
 		MaxRestarts: 5,
 		DialTimeout: 10 * time.Second,
@@ -59,6 +77,10 @@ type SenderStats struct {
 	BytesSent    int64
 	SpilledBytes int64
 	Restarts     int
+	// FramesSent counts wire frames; with block framing it is the number
+	// of blocks, so FramesSent ≪ RowsSent is the observable signature of
+	// coalescing (FramesSent == RowsSent means the v1 per-row protocol).
+	FramesSent int64
 }
 
 // statsSchema is the sender UDF's output schema.
@@ -69,6 +91,7 @@ func statsSchema() row.Schema {
 		row.Column{Name: "bytes_sent", Type: row.TypeInt},
 		row.Column{Name: "spilled_bytes", Type: row.TypeInt},
 		row.Column{Name: "restarts", Type: row.TypeInt},
+		row.Column{Name: "frames_sent", Type: row.TypeInt},
 	)
 }
 
@@ -128,6 +151,7 @@ func RegisterSenderUDF(e *sqlengine.Engine, cfg SenderConfig) error {
 				row.Int(stats.BytesSent),
 				row.Int(stats.SpilledBytes),
 				row.Int(int64(stats.Restarts)),
+				row.Int(stats.FramesSent),
 			})
 		},
 	})
@@ -154,14 +178,23 @@ type SendRequest struct {
 	Config     SenderConfig
 }
 
+// spooledBlock is one §6 replay spool entry: an encoded wire frame (a
+// block, or a single v1 row frame) plus its row count, so retry attempts
+// resend and account it without re-decoding.
+type spooledBlock struct {
+	frame []byte
+	rows  int64
+}
+
 // sendSource tracks where an attempt's rows come from. The first attempt
-// consumes the streaming input, encoding each row once and (unless replay
-// is disabled) spooling the encoded frames per slot; later attempts resend
-// the unconfirmed slots from the spool. The input is consumed exactly once
-// even when targets fail mid-stream.
+// consumes the streaming input, encoding rows into block frames once and
+// (unless replay is disabled) spooling the encoded blocks per slot; later
+// attempts resend the unconfirmed slots from the spool — one spool entry
+// and one resend enqueue per block, not per row. The input is consumed
+// exactly once even when targets fail mid-stream.
 type sendSource struct {
 	input  sqlengine.Iterator // nil once consumed
-	spool  [][][]byte         // [slot][frame]; nil until k is known
+	spool  [][]spooledBlock   // [slot][block]; nil until k is known
 	replay bool
 }
 
@@ -197,6 +230,15 @@ func Send(req SendRequest) (*SenderStats, error) {
 	}
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = DefaultSenderConfig().DialTimeout
+	}
+	if cfg.BlockRows <= 0 {
+		cfg.BlockRows = DefaultSenderConfig().BlockRows
+	}
+	if cfg.BlockBytes <= 0 {
+		cfg.BlockBytes = DefaultSenderConfig().BlockBytes
+	}
+	if cfg.Proto <= 0 {
+		cfg.Proto = row.WireProtoLatest
 	}
 	src := &sendSource{input: req.Input, replay: !cfg.DisableReplay}
 	if src.input == nil {
@@ -249,6 +291,7 @@ func sendOnce(req SendRequest, cfg SenderConfig, stats *SenderStats, completed m
 		Command:    req.Command,
 		Args:       req.Args,
 		K:          req.K,
+		Proto:      cfg.Proto,
 	}); err != nil {
 		return false, fmt.Errorf("stream: register: %w", err)
 	}
@@ -264,6 +307,16 @@ func sendOnce(req SendRequest, cfg SenderConfig, stats *SenderStats, completed m
 	if len(targets) == 0 {
 		return false, fmt.Errorf("stream: empty match set")
 	}
+	// The coordinator replies with the job's negotiated wire protocol: the
+	// minimum across every registered sender and reader, so one v1 peer
+	// pins the whole job to per-row frames.
+	proto := reply.Proto
+	if proto <= 0 {
+		proto = row.WireProtoRow
+	}
+	if proto > cfg.Proto {
+		proto = cfg.Proto
+	}
 
 	// Slot j of this worker is split worker*k + j; rows are assigned
 	// round-robin by slot so the mapping is stable across attempts.
@@ -273,7 +326,7 @@ func sendOnce(req SendRequest, cfg SenderConfig, stats *SenderStats, completed m
 		bySplit[t.Split] = t
 	}
 	if src.input != nil && src.replay && src.spool == nil {
-		src.spool = make([][][]byte, k)
+		src.spool = make([][]spooledBlock, k)
 	}
 
 	// Step 7: connect to the ML workers of the still-incomplete slots.
@@ -301,7 +354,7 @@ func sendOnce(req SendRequest, cfg SenderConfig, stats *SenderStats, completed m
 		if src.input != nil && src.spool != nil {
 			// The upstream pipeline is one-shot: drain it into the spool now
 			// so the retry attempt has the rows.
-			if err := src.consumeInput(k, nil); err != nil {
+			if err := src.consumeInput(k, nil, cfg, proto); err != nil {
 				return false, &fatalError{err}
 			}
 		}
@@ -310,9 +363,12 @@ func sendOnce(req SendRequest, cfg SenderConfig, stats *SenderStats, completed m
 
 	// Step 8: round-robin the partition across the slots, sending only the
 	// incomplete ones. The first attempt streams the input as it is
-	// produced; retries resend unconfirmed slots from the spool.
+	// produced; retries resend unconfirmed slots from the spool, one
+	// enqueue per block. Spooled frames keep whatever encoding the attempt
+	// that built them negotiated — both framings stay decodable on every
+	// reader, so a renegotiated retry never re-encodes.
 	if src.input != nil {
-		if err := src.consumeInput(k, chans); err != nil {
+		if err := src.consumeInput(k, chans, cfg, proto); err != nil {
 			// The pipeline feeding the sender failed: unsent rows are gone,
 			// no restart can recover them.
 			closeAll(chans)
@@ -323,8 +379,8 @@ func sendOnce(req SendRequest, cfg SenderConfig, stats *SenderStats, completed m
 			if tc == nil || tc.aborted {
 				continue
 			}
-			for _, frame := range src.spool[j] {
-				if err := tc.enqueue(frame); err != nil {
+			for _, sb := range src.spool[j] {
+				if err := tc.enqueue(sb.frame, sb.rows); err != nil {
 					// Keep streaming the healthy slots; this one retries
 					// next attempt.
 					tc.abort()
@@ -351,6 +407,7 @@ func sendOnce(req SendRequest, cfg SenderConfig, stats *SenderStats, completed m
 		stats.RowsSent += tc.rows
 		stats.BytesSent += tc.bytes
 		stats.SpilledBytes += tc.spilledBytes
+		stats.FramesSent += tc.frames
 	}
 	if firstErr != nil {
 		return false, firstErr
@@ -358,13 +415,42 @@ func sendOnce(req SendRequest, cfg SenderConfig, stats *SenderStats, completed m
 	return true, nil
 }
 
-// consumeInput drains the streaming input exactly once, encoding each row
-// into its slot's frame, spooling it (when replay is enabled) and fanning
-// it out to the live channels (chans is nil when a dial failure means this
-// attempt only spools). The input is consumed afterwards.
-func (s *sendSource) consumeInput(k int, chans []*targetChannel) error {
+// consumeInput drains the streaming input exactly once, packing each
+// slot's rows into block frames built on pooled buffers (or per-row v1
+// frames when the job negotiated down), spooling each finished block
+// (when replay is enabled) and fanning it out to the live channels (chans
+// is nil when a dial failure means this attempt only spools). A slot's
+// block flushes on the row/byte budget and at end of stream, so channel
+// operations, spool entries, and wire writes are O(blocks), not O(rows).
+// The input is consumed afterwards.
+func (s *sendSource) consumeInput(k int, chans []*targetChannel, cfg SenderConfig, proto int) error {
 	in := s.input
 	s.input = nil
+	flush := func(j int, frame []byte, rows int64) error {
+		if frame == nil {
+			return nil
+		}
+		if s.spool != nil {
+			s.spool[j] = append(s.spool[j], spooledBlock{frame: frame, rows: rows})
+		}
+		if chans == nil {
+			return nil
+		}
+		tc := chans[j]
+		if tc == nil || tc.aborted {
+			if s.spool == nil {
+				row.RecycleBlockBuffer(frame)
+			}
+			return nil
+		}
+		if err := tc.enqueue(frame, rows); err != nil {
+			// Keep streaming the healthy slots; this one retries next
+			// attempt (or fails the transfer when replay is off).
+			tc.abort()
+		}
+		return nil
+	}
+	encoders := make([]row.BlockEncoder, k)
 	i := 0
 	for {
 		r, ok, err := in.Next()
@@ -372,27 +458,34 @@ func (s *sendSource) consumeInput(k int, chans []*targetChannel) error {
 			return err
 		}
 		if !ok {
-			return nil
+			break
 		}
 		j := i % k
 		i++
-		frame := row.AppendBinary(nil, r)
-		if s.spool != nil {
-			s.spool[j] = append(s.spool[j], frame)
-		}
-		if chans == nil {
+		if proto < row.WireProtoBlock {
+			// v1 fallback: one frame per row, exactly the old wire format.
+			if err := flush(j, row.AppendBinary(nil, r), 1); err != nil {
+				return err
+			}
 			continue
 		}
-		tc := chans[j]
-		if tc == nil || tc.aborted {
-			continue
-		}
-		if err := tc.enqueue(frame); err != nil {
-			// Keep streaming the healthy slots; this one retries next
-			// attempt (or fails the transfer when replay is off).
-			tc.abort()
+		enc := &encoders[j]
+		enc.Append(r)
+		if enc.Rows() >= cfg.BlockRows || enc.Len() >= cfg.BlockBytes {
+			rows := int64(enc.Rows())
+			if err := flush(j, enc.Finish(), rows); err != nil {
+				return err
+			}
 		}
 	}
+	// End of stream: flush every slot's partial block.
+	for j := range encoders {
+		rows := int64(encoders[j].Rows())
+		if err := flush(j, encoders[j].Finish(), rows); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func nodeAddr(n *cluster.Node) string {
@@ -437,7 +530,15 @@ type targetChannel struct {
 	spilledBytes int64
 	rows         int64
 	bytes        int64
+	frames       int64
 	aborted      bool
+
+	// recycle marks frames as pool-owned: with replay disabled nothing
+	// retains a frame after it leaves the process, so the writer returns
+	// its buffer to the block pool once written (to the socket or the
+	// spill file). With replay enabled the spool owns the frames and they
+	// must never be recycled mid-transfer.
+	recycle bool
 }
 
 func dialTarget(req SendRequest, cfg SenderConfig, t Target) (*targetChannel, error) {
@@ -455,6 +556,7 @@ func dialTarget(req SendRequest, cfg SenderConfig, t Target) (*targetChannel, er
 		cfg:     cfg,
 		target:  t,
 		cost:    req.Cost,
+		recycle: cfg.DisableReplay,
 	}
 	tc.fromNode = req.Node
 	if req.Topo != nil {
@@ -496,15 +598,21 @@ func (tc *targetChannel) creditLoop() {
 	}
 }
 
-// enqueue hands one encoded frame to the writer, taking ownership of it
-// (callers must not reuse the slice). When the queue is full it blocks up
-// to SpillWait for the consumer to catch up, then spills to disk (the
-// paper's producer/consumer synchronization for slow ML workers).
-func (tc *targetChannel) enqueue(f []byte) error {
+// enqueue hands one encoded block frame (rows rows) to the writer, taking
+// ownership of the slice (callers must not reuse it). When the queue is
+// full it blocks up to SpillWait for the consumer to catch up, then
+// spills the whole block to disk in one write (the paper's
+// producer/consumer synchronization for slow ML workers, at block
+// granularity).
+func (tc *targetChannel) enqueue(f []byte, rows int64) error {
+	account := func() {
+		tc.rows += rows
+		tc.bytes += int64(len(f))
+		tc.frames++
+	}
 	select {
 	case tc.queue <- f:
-		tc.rows++
-		tc.bytes += int64(len(f))
+		account()
 		return nil
 	default:
 	}
@@ -519,13 +627,14 @@ func (tc *targetChannel) enqueue(f []byte) error {
 		if !tc.spillTimer.Stop() {
 			<-tc.spillTimer.C
 		}
-		tc.rows++
-		tc.bytes += int64(len(f))
+		account()
 		return nil
 	case <-tc.spillTimer.C:
 	}
 	// Queue full: spill. The writer drains the spill file after the
-	// in-memory queue closes, preserving at-least-once delivery.
+	// in-memory queue closes, preserving at-least-once delivery. The frame
+	// goes to disk byte-identical — the file is a concatenation of wire
+	// frames, replayed as raw bytes.
 	if tc.spill == nil {
 		sp, err := os.CreateTemp(tc.cfg.SpillDir, "sqlml-spill-*")
 		if err != nil {
@@ -537,10 +646,14 @@ func (tc *targetChannel) enqueue(f []byte) error {
 		return fmt.Errorf("stream: spill write: %w", err)
 	}
 	tc.spilledBytes += int64(len(f))
-	tc.rows++
-	tc.bytes += int64(len(f))
+	account()
 	if tc.cost != nil && tc.fromNode != nil {
 		tc.cost.ChargeDiskWrite(tc.fromNode, len(f))
+	}
+	// Spilled frames never reach the writer goroutine; their only other
+	// owner is the replay spool.
+	if tc.recycle {
+		row.RecycleBlockBuffer(f)
 	}
 	return nil
 }
@@ -563,14 +676,19 @@ func (tc *targetChannel) writeLoop() {
 	writeChunk := func(chunk []byte) error {
 		// Flow control: wait for credits while a full window is in flight.
 		// Everything buffered locally must be flushed first — the reader
-		// can only grant credits for bytes it can actually see.
-		if inflight > 0 && inflight+len(chunk) > window {
+		// can only grant credits for bytes it can actually see. A chunk is
+		// written whole once there is *any* window room (not only when it
+		// fits entirely): a block frame can exceed the window on its own,
+		// and since the receiver credits a block's bytes only after serving
+		// its last row, requiring the whole frame to fit would deadlock.
+		// In-flight bytes stay bounded by one window plus one frame.
+		if inflight >= window {
 			if err := tc.w.Flush(); err != nil {
 				return err
 			}
 			charge()
 		}
-		for inflight > 0 && inflight+len(chunk) > window {
+		for inflight >= window {
 			credit, ok := <-tc.credits
 			if !ok {
 				return fmt.Errorf("stream: receiver %s gone", tc.target.Listen)
@@ -585,50 +703,62 @@ func (tc *targetChannel) writeLoop() {
 		return err
 	}
 	for frame := range tc.queue {
-		if err := writeChunk(frame); err != nil {
+		err := writeChunk(frame)
+		n := len(frame)
+		if tc.recycle {
+			row.RecycleBlockBuffer(frame)
+		}
+		if err != nil {
 			tc.done <- err
-			drain(tc.queue)
+			tc.drain()
 			return
 		}
-		pending += len(frame)
+		pending += n
 		if pending >= tc.cfg.BufferSize {
 			if err := tc.w.Flush(); err != nil {
 				tc.done <- err
-				drain(tc.queue)
+				tc.drain()
 				return
 			}
 			charge()
 		}
 	}
-	// Replay the spill file, if any.
+	// Replay the spill file, if any — frame-aligned: the flow-control
+	// window assumes every write is a whole frame (a partial frame can
+	// never earn credits, since the reader only credits bytes it has
+	// decoded and served), so the replay re-frames the raw file instead of
+	// streaming fixed-size chunks.
 	if tc.spill != nil {
 		if _, err := tc.spill.Seek(0, 0); err != nil {
 			tc.done <- err
 			return
 		}
 		r := bufio.NewReader(tc.spill)
-		buf := make([]byte, tc.cfg.BufferSize)
+		var buf []byte
 		for {
-			n, err := r.Read(buf)
-			if n > 0 {
-				if tc.cost != nil && tc.fromNode != nil {
-					tc.cost.ChargeDiskRead(tc.fromNode, n)
-				}
-				if werr := writeChunk(buf[:n]); werr != nil {
+			frame, err := row.ReadRawFrame(r, buf[:0])
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				tc.done <- err
+				return
+			}
+			buf = frame
+			if tc.cost != nil && tc.fromNode != nil {
+				tc.cost.ChargeDiskRead(tc.fromNode, len(frame))
+			}
+			if werr := writeChunk(frame); werr != nil {
+				tc.done <- werr
+				return
+			}
+			pending += len(frame)
+			if pending >= tc.cfg.BufferSize {
+				if werr := tc.w.Flush(); werr != nil {
 					tc.done <- werr
 					return
 				}
-				pending += n
-				if pending >= tc.cfg.BufferSize {
-					if werr := tc.w.Flush(); werr != nil {
-						tc.done <- werr
-						return
-					}
-					charge()
-				}
-			}
-			if err != nil {
-				break
+				charge()
 			}
 		}
 	}
@@ -654,8 +784,13 @@ func (tc *targetChannel) writeLoop() {
 	}
 }
 
-func drain(ch chan []byte) {
-	for range ch {
+// drain discards queued frames after a write failure, recycling their
+// buffers when nothing else (the replay spool) owns them.
+func (tc *targetChannel) drain() {
+	for f := range tc.queue {
+		if tc.recycle {
+			row.RecycleBlockBuffer(f)
+		}
 	}
 }
 

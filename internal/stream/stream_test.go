@@ -148,6 +148,10 @@ func TestTransferEndToEnd(t *testing.T) {
 		if s.Restarts != 0 {
 			t.Errorf("unexpected restarts: %+v", s)
 		}
+		// Block framing coalesces rows into multi-row frames.
+		if s.FramesSent == 0 || s.FramesSent >= s.RowsSent {
+			t.Errorf("block framing inactive: frames=%d rows=%d", s.FramesSent, s.RowsSent)
+		}
 	}
 	if totalSent != 800 {
 		t.Errorf("rows sent = %d", totalSent)
@@ -237,15 +241,21 @@ func TestSlowConsumerSpillsToDisk(t *testing.T) {
 	}
 	cfg := DefaultSenderConfig()
 	cfg.QueueFrames = 2                   // tiny in-flight window
+	cfg.BlockRows = 16                    // many small blocks, so the queue can fill
 	cfg.SpillWait = 20 * time.Microsecond // far below the consumer's pace
 	cfg.SpillDir = t.TempDir()
 	// Enough volume to saturate the kernel socket buffers, so backpressure
 	// reaches the sender's queue and the spill path engages.
 	d, stats := env.runTransfer(t, "jspill", 2, 1, 1500, f, cfg)
+	// checkExactlyOnce validates content, so spilled blocks round-tripped
+	// through the disk file intact.
 	checkExactlyOnce(t, d, 2, 1500)
 	var spilled int64
 	for _, s := range stats {
 		spilled += s.SpilledBytes
+		if s.FramesSent == 0 || s.FramesSent >= s.RowsSent {
+			t.Errorf("spill path lost block framing: frames=%d rows=%d", s.FramesSent, s.RowsSent)
+		}
 	}
 	if spilled == 0 {
 		t.Error("slow consumer did not trigger spilling")
@@ -274,6 +284,7 @@ func TestMLWorkerFailureRestartsExactlyOnce(t *testing.T) {
 	}
 	cfg := DefaultSenderConfig()
 	cfg.MaxRestarts = 8
+	cfg.BlockRows = 64 // several blocks per slot, so replay spans frames
 	d, stats := env.runTransfer(t, "jfail", 2, 2, 300, f, cfg)
 	if !fail {
 		t.Fatal("injection never fired")
@@ -362,12 +373,16 @@ func TestEngineUDFStreamsQueryResult(t *testing.T) {
 	if res.NumRows() != 4 {
 		t.Errorf("sender summary rows = %d, want 4 (one per SQL worker)", res.NumRows())
 	}
-	var sent int64
+	var sent, frames int64
 	for _, r := range res.Rows() {
 		sent += r[1].AsInt()
+		frames += r[5].AsInt() // frames_sent
 	}
 	if sent != 120 {
 		t.Errorf("rows sent = %d, want 120", sent)
+	}
+	if frames == 0 || frames >= sent {
+		t.Errorf("frames_sent = %d (rows_sent %d); UDF schema should surface block coalescing", frames, sent)
 	}
 
 	mlRes := <-resCh

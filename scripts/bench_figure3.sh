@@ -1,0 +1,44 @@
+#!/bin/sh
+# Runs BenchmarkFigure3 and dumps the per-approach results as JSON.
+#
+#   scripts/bench_figure3.sh [output.json]
+#
+# Output: one object per sub-benchmark (naive / insql / insql+stream) with
+# ns/op, B/op, allocs/op, sim-ms/op, and peak-heap-B — the numbers the
+# block-oriented-transfer work tracks across PRs.
+set -eu
+
+out="${1:-BENCH_figure3.json}"
+cd "$(dirname "$0")/.."
+
+raw=$(go test -run '^$' -bench 'BenchmarkFigure3' -benchmem -benchtime 1x .)
+
+echo "$raw" | awk -v out="$out" '
+/^BenchmarkFigure3\// {
+    name = $1
+    sub(/^BenchmarkFigure3\//, "", name)
+    sub(/-[0-9]+$/, "", name)
+    delete m
+    m["iterations"] = $2
+    for (i = 3; i < NF; i += 2) m[$(i + 1)] = $i
+    line = sprintf("  {\"benchmark\": \"%s\"", name)
+    order = "iterations ns/op B/op allocs/op sim-ms/op peak-heap-B"
+    split(order, keys, " ")
+    for (k = 1; k <= 6; k++)
+        if (keys[k] in m)
+            line = line sprintf(", \"%s\": %s", keys[k], m[keys[k]])
+    for (key in m) {
+        if (index(order, key) == 0 && index(key, "sim-ms-") == 1)
+            line = line sprintf(", \"%s\": %s", key, m[key])
+    }
+    lines[n++] = line "}"
+}
+END {
+    if (n == 0) { print "no BenchmarkFigure3 results parsed" > "/dev/stderr"; exit 1 }
+    print "[" > out
+    for (i = 0; i < n; i++) print lines[i] (i < n - 1 ? "," : "") >> out
+    print "]" >> out
+}
+'
+echo "wrote $out:"
+cat "$out"
