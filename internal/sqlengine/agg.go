@@ -287,11 +287,17 @@ func (e *Engine) execAggregate(sel *SelectStmt, in *dataset) (row.Schema, [][]ro
 	}
 
 	// Streaming partial aggregation per partition: consume the input
-	// pipeline batch-by-batch, accumulating only per-group state.
-	partials := make([]map[string]*group, len(in.iters))
+	// pipeline batch-by-batch, accumulating only per-group state. The
+	// arena hash table maps each row's key bytes (encoded into a reused
+	// scratch buffer) to a dense group index; the key values are
+	// materialized into a row only when a new group is created.
+	partials := make([][]*group, len(in.iters))
 	err := forEachPart(len(in.iters), func(i int) error {
 		defer in.iters[i].Close()
-		m := make(map[string]*group)
+		ht := NewHashTable(0)
+		var groups []*group
+		var keyBuf []byte
+		keyVals := make(row.Row, len(keyFns))
 		it := &batchRows{in: in.iters[i]}
 		for {
 			r, ok, err := it.Next()
@@ -301,19 +307,22 @@ func (e *Engine) execAggregate(sel *SelectStmt, in *dataset) (row.Schema, [][]ro
 			if !ok {
 				break
 			}
-			keys := make(row.Row, len(keyFns))
+			keyBuf = keyBuf[:0]
 			for ki, fn := range keyFns {
 				v, err := fn(r)
 				if err != nil {
 					return err
 				}
-				keys[ki] = v
+				keyVals[ki] = v
+				keyBuf = row.AppendKeyValue(keyBuf, v)
 			}
-			k := encodeKey(keys)
-			g, ok := m[k]
-			if !ok {
-				g = newGroup(keys)
-				m[k] = g
+			idx, added := ht.Insert(keyBuf)
+			var g *group
+			if added {
+				g = newGroup(append(row.Row(nil), keyVals...))
+				groups = append(groups, g)
+			} else {
+				g = groups[idx]
 			}
 			for si, s := range specs {
 				var v row.Value
@@ -327,7 +336,7 @@ func (e *Engine) execAggregate(sel *SelectStmt, in *dataset) (row.Schema, [][]ro
 				g.aggs[si].add(v, s.star)
 			}
 		}
-		partials[i] = m
+		partials[i] = groups
 		return nil
 	})
 	if err != nil {
@@ -336,24 +345,27 @@ func (e *Engine) execAggregate(sel *SelectStmt, in *dataset) (row.Schema, [][]ro
 	}
 
 	// Merge at the head node (charge moving the partial states, approximated
-	// by their key bytes plus a fixed accumulator size).
-	merged := make(map[string]*group)
-	var order []string
-	for i, m := range partials {
-		if e.workers[i] != e.head && len(m) > 0 {
+	// by their key bytes plus a fixed accumulator size). Groups come out in
+	// deterministic order: partials in partition order, first-seen within.
+	mergedHT := NewHashTable(0)
+	var merged []*group
+	var keyBuf []byte
+	for i, groups := range partials {
+		if e.workers[i] != e.head && len(groups) > 0 {
 			bytes := 0
-			for _, g := range m {
+			for _, g := range groups {
 				bytes += rowBytes(g.keys) + 24*len(specs)
 			}
 			e.cost.ChargeNet(e.workers[i], e.head, bytes)
 		}
-		for k, g := range m {
-			mg, ok := merged[k]
-			if !ok {
-				merged[k] = g
-				order = append(order, k)
+		for _, g := range groups {
+			keyBuf = row.AppendKey(keyBuf[:0], g.keys)
+			idx, added := mergedHT.Insert(keyBuf)
+			if added {
+				merged = append(merged, g)
 				continue
 			}
+			mg := merged[idx]
 			for si := range specs {
 				mg.aggs[si].merge(g.aggs[si])
 			}
@@ -362,9 +374,7 @@ func (e *Engine) execAggregate(sel *SelectStmt, in *dataset) (row.Schema, [][]ro
 
 	// A global aggregate (no GROUP BY) over zero rows yields one row.
 	if len(sel.GroupBy) == 0 && len(merged) == 0 {
-		g := newGroup(row.Row{})
-		merged[""] = g
-		order = append(order, "")
+		merged = append(merged, newGroup(row.Row{}))
 	}
 
 	names := make([]string, len(cols))
@@ -379,8 +389,7 @@ func (e *Engine) execAggregate(sel *SelectStmt, in *dataset) (row.Schema, [][]ro
 	}
 
 	var out []row.Row
-	for _, k := range order {
-		g := merged[k]
+	for _, g := range merged {
 		r := make(row.Row, len(cols))
 		for i, c := range cols {
 			if c.keyIdx >= 0 {

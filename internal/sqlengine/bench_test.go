@@ -85,6 +85,32 @@ func BenchmarkEngineOrderByLimit(b *testing.B) {
 	runQuery(b, e, "SELECT id, v FROM fact ORDER BY v DESC LIMIT 10")
 }
 
+// The four hot-path benchmarks below isolate the hash/sort operators the
+// arena hash-table work targets: multi-key grouping, a selective equi-join,
+// a wide DISTINCT (local pass + repartition + final pass), and a full
+// ORDER BY with no LIMIT (per-partition sorts + k-way merge at the head).
+// scripts/bench_hotpath.sh dumps their numbers as BENCH_hotpath.json.
+
+func BenchmarkGroupBy(b *testing.B) {
+	e := benchEngine(b, 50_000, 100)
+	runQuery(b, e, "SELECT cat, dimid, COUNT(*), SUM(v), MIN(v), MAX(v) FROM fact GROUP BY cat, dimid")
+}
+
+func BenchmarkHashJoin(b *testing.B) {
+	e := benchEngine(b, 50_000, 100)
+	runQuery(b, e, "SELECT f.id, f.v, d.name FROM fact f, dim d WHERE f.dimid = d.id AND f.v > 250")
+}
+
+func BenchmarkDistinct(b *testing.B) {
+	e := benchEngine(b, 50_000, 100)
+	runQuery(b, e, "SELECT DISTINCT cat, dimid FROM fact")
+}
+
+func BenchmarkOrderBy(b *testing.B) {
+	e := benchEngine(b, 50_000, 100)
+	runQuery(b, e, "SELECT id, v FROM fact ORDER BY v DESC, id")
+}
+
 func BenchmarkEngineParse(b *testing.B) {
 	const sql = `
 		SELECT U.age, Mg.recodeVal AS gender, C.amount, Ma.recodeVal AS abandoned

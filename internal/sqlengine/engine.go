@@ -2,7 +2,6 @@ package sqlengine
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sync"
 
 	"sqlml/internal/cluster"
@@ -359,18 +358,31 @@ func forEachPart(n int, f func(i int) error) error {
 	return nil
 }
 
-// hashKey hashes a composite key built from the given values.
-func hashKey(vals []row.Value) uint64 {
-	h := fnv.New64a()
-	var buf []byte
-	for _, v := range vals {
-		buf = row.AppendBinary(buf[:0], row.Row{v})
-		h.Write(buf)
-	}
-	return h.Sum64()
+// hashKey appends r's canonical key encoding to scratch and returns the
+// grown buffer along with its 64-bit hash. Callers thread the returned
+// buffer back in across rows, so repartitioning hashes without a per-row
+// allocation (the old implementation built a new fnv.New64a and re-encoded
+// every value into a fresh buffer per call).
+func hashKey(scratch []byte, r row.Row) ([]byte, uint64) {
+	scratch = row.AppendKey(scratch[:0], r)
+	return scratch, row.Hash64(scratch)
 }
 
-// encodeKey produces a map key string from values (binary, collision-free).
-func encodeKey(vals row.Row) string {
-	return string(row.AppendBinary(nil, vals))
+// appendEvalKey evaluates the key expressions over r and appends their
+// canonical encoding to dst (numerics normalized so BIGINT 2 joins DOUBLE
+// 2.0). nullKey reports a NULL component, which never matches. The caller
+// owns dst and reuses it row after row — this replaces evalKey's per-row
+// values slice + string conversion.
+func appendEvalKey(dst []byte, fns []evalFn, r row.Row) (key []byte, nullKey bool, err error) {
+	for _, fn := range fns {
+		v, err := fn(r)
+		if err != nil {
+			return dst, false, err
+		}
+		if v.Null {
+			return dst, true, nil
+		}
+		dst = row.AppendNormKeyValue(dst, v)
+	}
+	return dst, false, nil
 }

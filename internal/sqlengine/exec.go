@@ -2,7 +2,6 @@ package sqlengine
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"sqlml/internal/cluster"
@@ -740,23 +739,33 @@ func (e *Engine) hashJoin(left, right *dataset, leftKeys, rightKeys []Expr) (*da
 		}
 	}
 
-	// Build the hash table (shared read-only across probe workers).
-	table := make(map[string][]row.Row)
+	// Build the hash table (shared read-only across probe workers): the
+	// arena table maps key bytes to dense bucket indices, the buckets slice
+	// holds the build rows per key. One scratch buffer serves every build
+	// row — no per-row key allocation.
+	table := NewHashTable(0)
+	var buckets [][]row.Row
 	var buildAll []row.Row
+	var keyBuf []byte
 	for _, bp := range buildParts {
 		for _, r := range bp {
 			if len(buildKeyFns) == 0 {
 				buildAll = append(buildAll, r)
 				continue
 			}
-			key, nullKey, err := evalKey(buildKeyFns, r)
+			key, nullKey, err := appendEvalKey(keyBuf[:0], buildKeyFns, r)
+			keyBuf = key
 			if err != nil {
 				return nil, err
 			}
 			if nullKey {
 				continue
 			}
-			table[key] = append(table[key], r)
+			idx, added := table.Insert(key)
+			if added {
+				buckets = append(buckets, nil)
+			}
+			buckets[idx] = append(buckets[idx], r)
 		}
 	}
 
@@ -776,6 +785,7 @@ func (e *Engine) hashJoin(left, right *dataset, leftKeys, rightKeys []Expr) (*da
 			in:       left.iters[i],
 			keyFns:   probeKeyFns,
 			table:    table,
+			buckets:  buckets,
 			buildAll: buildAll,
 			concat:   concat,
 			cost:     e.cost,
@@ -795,25 +805,6 @@ func compileKeys(keys []Expr, sc *scope, reg *Registry) ([]evalFn, error) {
 		fns[i] = fn
 	}
 	return fns, nil
-}
-
-func evalKey(fns []evalFn, r row.Row) (string, bool, error) {
-	vals := make(row.Row, len(fns))
-	for i, fn := range fns {
-		v, err := fn(r)
-		if err != nil {
-			return "", false, err
-		}
-		if v.Null {
-			return "", true, nil
-		}
-		// Normalize numerics so BIGINT 2 joins DOUBLE 2.0.
-		if v.Kind == row.TypeInt {
-			v = row.Float(v.AsFloat())
-		}
-		vals[i] = v
-	}
-	return encodeKey(vals), false, nil
 }
 
 // execProject compiles the select list into streaming projection operators.
@@ -902,62 +893,69 @@ func makeOutputSchema(names []string, types []row.Type) (row.Schema, error) {
 
 // distinct de-duplicates rows (pipeline breaker): a streaming local pass
 // holding only distinct rows, hash repartition so equal rows colocate,
-// then a second local pass.
+// then a second local pass. Both passes share the arena hash table and
+// the key codec's scratch buffer — no per-row key allocation.
 func (e *Engine) distinct(iters []BatchIterator) ([][]row.Row, error) {
-	local := make([][]row.Row, len(iters))
-	err := forEachPart(len(iters), func(i int) error {
-		defer iters[i].Close()
-		seen := make(map[string]bool)
+	dedup := func(next func() (row.Row, bool, error), hint int) ([]row.Row, error) {
+		seen := NewHashTable(hint)
+		var keyBuf []byte
 		var out []row.Row
-		it := &batchRows{in: iters[i]}
 		for {
-			r, ok, err := it.Next()
+			r, ok, err := next()
 			if err != nil {
-				return err
+				return nil, err
 			}
 			if !ok {
-				break
+				return out, nil
 			}
-			k := encodeKey(r)
-			if !seen[k] {
-				seen[k] = true
+			keyBuf = row.AppendKey(keyBuf[:0], r)
+			if _, added := seen.Insert(keyBuf); added {
 				out = append(out, r)
 			}
 		}
+	}
+	local := make([][]row.Row, len(iters))
+	err := forEachPart(len(iters), func(i int) error {
+		defer iters[i].Close()
+		it := &batchRows{in: iters[i]}
+		out, err := dedup(it.Next, 0)
 		local[i] = out
-		return nil
+		return err
 	})
 	if err != nil {
 		closeAllIters(iters)
 		return nil, err
 	}
-	shuffled := e.repartitionByKey(local, func(r row.Row) uint64 { return hashKey(r) })
+	shuffled := e.repartitionByKey(local)
 	final := make([][]row.Row, len(shuffled))
 	err = forEachPart(len(shuffled), func(i int) error {
-		seen := make(map[string]bool, len(shuffled[i]))
-		var out []row.Row
-		for _, r := range shuffled[i] {
-			k := encodeKey(r)
-			if !seen[k] {
-				seen[k] = true
-				out = append(out, r)
+		rows, j := shuffled[i], 0
+		out, err := dedup(func() (row.Row, bool, error) {
+			if j >= len(rows) {
+				return nil, false, nil
 			}
-		}
+			r := rows[j]
+			j++
+			return r, true, nil
+		}, len(rows))
 		final[i] = out
-		return nil
+		return err
 	})
 	return final, err
 }
 
-// repartitionByKey moves rows so that equal hashes colocate, charging
-// network for cross-worker movement.
-func (e *Engine) repartitionByKey(parts [][]row.Row, h func(row.Row) uint64) [][]row.Row {
+// repartitionByKey moves rows so that equal rows colocate (hashing each
+// row's canonical key bytes), charging network for cross-worker movement.
+func (e *Engine) repartitionByKey(parts [][]row.Row) [][]row.Row {
 	n := len(parts)
 	buckets := make([][][]row.Row, n) // [src][dst]rows
 	forEachPart(n, func(i int) error {
 		b := make([][]row.Row, n)
+		var scratch []byte
+		var h uint64
 		for _, r := range parts[i] {
-			d := int(h(r) % uint64(n))
+			scratch, h = hashKey(scratch, r)
+			d := int(h % uint64(n))
 			b[d] = append(b[d], r)
 		}
 		buckets[i] = b
@@ -979,67 +977,46 @@ func (e *Engine) repartitionByKey(parts [][]row.Row, h func(row.Row) uint64) [][
 	return out
 }
 
-// orderBy drains the pipeline (breaker), gathers all rows to the head node
-// and sorts them; the sorted result occupies partition 0.
+// orderBy drains the pipeline (breaker), sorts every partition locally in
+// parallel (sort keys evaluated once per row, not once per comparison),
+// then gathers the sorted runs to the head node and merges them with a
+// stable loser tree; the merged result occupies partition 0. Tie order is
+// identical to the old gather-then-sort.SliceStable implementation.
 func (e *Engine) orderBy(items []OrderItem, schema row.Schema, iters []BatchIterator) ([][]row.Row, error) {
 	sc := newScope()
 	if err := sc.add("", schema); err != nil {
 		closeAllIters(iters)
 		return nil, err
 	}
-	type key struct {
-		fn   evalFn
-		desc bool
-	}
-	keys := make([]key, len(items))
+	specs := make([]orderSpec, len(items))
 	for i, it := range items {
 		fn, _, err := compile(it.Expr, sc, e.registry)
 		if err != nil {
 			closeAllIters(iters)
 			return nil, err
 		}
-		keys[i] = key{fn: fn, desc: it.Desc}
+		specs[i] = orderSpec{fn: fn, desc: it.Desc}
 	}
 	parts, err := drainAll(iters)
 	if err != nil {
 		return nil, err
 	}
-	var all []row.Row
+	runs := make([]*sortedRun, len(parts))
+	err = forEachPart(len(parts), func(i int) error {
+		run, err := sortRun(specs, parts[i])
+		runs[i] = run
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
 	for i, p := range parts {
 		if i < len(e.workers) && e.workers[i] != e.head {
 			e.cost.ChargeNet(e.workers[i], e.head, partBytes(p))
 		}
-		all = append(all, p...)
-	}
-	var sortErr error
-	sort.SliceStable(all, func(a, b int) bool {
-		for _, k := range keys {
-			va, err := k.fn(all[a])
-			if err != nil {
-				sortErr = err
-				return false
-			}
-			vb, err := k.fn(all[b])
-			if err != nil {
-				sortErr = err
-				return false
-			}
-			c := va.Compare(vb)
-			if c == 0 {
-				continue
-			}
-			if k.desc {
-				return c > 0
-			}
-			return c < 0
-		}
-		return false
-	})
-	if sortErr != nil {
-		return nil, sortErr
 	}
 	out := make([][]row.Row, len(parts))
-	out[0] = all
+	out[0] = mergeRuns(specs, runs)
 	return out, nil
 }
 

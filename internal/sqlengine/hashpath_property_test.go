@@ -1,0 +1,286 @@
+package sqlengine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"sqlml/internal/cluster"
+	"sqlml/internal/row"
+)
+
+// These properties pin the arena hash-table paths to the semantics of the
+// old map[string]-based operators: for every consumer (join, GROUP BY,
+// DISTINCT) the engine's output must match an oracle computed in plain Go
+// with string-keyed maps over the same raw rows.
+
+// sortedFingerprints renders rows as strings and sorts them, for
+// order-insensitive comparison.
+func sortedFingerprints(rows []row.Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func fingerprintsEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPropertyJoinMatchesMapOracle: the arena-table hash join returns
+// exactly the multiset a map[string][]row build+probe over the raw rows
+// produces (numeric-normalized keys, NULL keys never match).
+func TestPropertyJoinMatchesMapOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e, left, right := randomTables(t, rng)
+		res, err := e.Query("SELECT l.v, l.cat, r.w FROM l, r WHERE l.k = r.k")
+		if err != nil {
+			return false
+		}
+		// Map-based oracle, the pre-arena implementation verbatim: build
+		// side keyed by the normalized binary key string.
+		normKey := func(v row.Value) string {
+			if v.Kind == row.TypeInt {
+				v = row.Float(v.AsFloat())
+			}
+			return string(row.AppendBinary(nil, row.Row{v}))
+		}
+		table := make(map[string][]row.Row)
+		for _, rr := range right {
+			if rr[0].Null {
+				continue
+			}
+			k := normKey(rr[0])
+			table[k] = append(table[k], rr)
+		}
+		var oracle []row.Row
+		for _, lr := range left {
+			if lr[0].Null {
+				continue
+			}
+			for _, rr := range table[normKey(lr[0])] {
+				oracle = append(oracle, row.Row{lr[1], lr[2], rr[1]})
+			}
+		}
+		return fingerprintsEqual(sortedFingerprints(res.Rows()), sortedFingerprints(oracle))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyGroupByMatchesMapOracle: multi-key GROUP BY aggregates
+// match a map[string]-keyed oracle over the raw rows.
+func TestPropertyGroupByMatchesMapOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e, left, _ := randomTables(t, rng)
+		res, err := e.Query("SELECT cat, k, COUNT(*), SUM(v), MIN(v), MAX(v) FROM l GROUP BY cat, k")
+		if err != nil {
+			return false
+		}
+		type acc struct {
+			n        int64
+			sum      int64
+			min, max int64
+		}
+		oracle := make(map[string]*acc)
+		for _, r := range left {
+			k := string(row.AppendBinary(nil, row.Row{r[2], r[0]}))
+			a, ok := oracle[k]
+			if !ok {
+				a = &acc{min: r[1].AsInt(), max: r[1].AsInt()}
+				oracle[k] = a
+			}
+			v := r[1].AsInt()
+			a.n++
+			a.sum += v
+			if v < a.min {
+				a.min = v
+			}
+			if v > a.max {
+				a.max = v
+			}
+		}
+		if res.NumRows() != len(oracle) {
+			return false
+		}
+		for _, r := range res.Rows() {
+			k := string(row.AppendBinary(nil, row.Row{r[0], r[1]}))
+			a, ok := oracle[k]
+			if !ok {
+				return false
+			}
+			if r[2].AsInt() != a.n || r[3].AsInt() != a.sum ||
+				r[4].AsInt() != a.min || r[5].AsInt() != a.max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyDistinctMatchesMapOracle: multi-column DISTINCT returns
+// exactly the rows a map[string]bool oracle keeps, each exactly once.
+func TestPropertyDistinctMatchesMapOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e, left, _ := randomTables(t, rng)
+		res, err := e.Query("SELECT DISTINCT k, cat FROM l")
+		if err != nil {
+			return false
+		}
+		oracle := make(map[string]bool)
+		var want []row.Row
+		for _, r := range left {
+			k := string(row.AppendBinary(nil, row.Row{r[0], r[2]}))
+			if !oracle[k] {
+				oracle[k] = true
+				want = append(want, row.Row{r[0], r[2]})
+			}
+		}
+		return fingerprintsEqual(sortedFingerprints(res.Rows()), sortedFingerprints(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOrderByStableMergePreservesTieOrder: for rows with duplicate sort
+// keys, the parallel sort-merge emits ties in exactly the order a stable
+// sort of the concatenated partitions produces — the old sequential
+// implementation's contract. Partitions are loaded explicitly so the
+// expected concatenation order is known.
+func TestOrderByStableMergePreservesTieOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		workers := 1 + rng.Intn(5)
+		topo := cluster.NewTopology(workers + 1)
+		ids := make([]int, workers)
+		for i := range ids {
+			ids[i] = i + 1
+		}
+		e, err := New(topo, nil, Config{HeadNodeID: 0, WorkerNodeIDs: ids})
+		if err != nil {
+			return false
+		}
+		// Low-cardinality sort key + unique serial so ties are plentiful
+		// and every row is identifiable.
+		parts := make([][]row.Row, workers)
+		serial := int64(0)
+		for w := range parts {
+			for i := 0; i < rng.Intn(40); i++ {
+				parts[w] = append(parts[w], row.Row{row.Int(int64(rng.Intn(4))), row.Int(serial)})
+				serial++
+			}
+		}
+		schema := row.MustSchema(
+			row.Column{Name: "k", Type: row.TypeInt},
+			row.Column{Name: "id", Type: row.TypeInt},
+		)
+		if err := e.LoadPartitionedTable("t", schema, parts); err != nil {
+			return false
+		}
+		res, err := e.Query("SELECT k, id FROM t ORDER BY k DESC")
+		if err != nil {
+			return false
+		}
+		var concat []row.Row
+		for _, p := range parts {
+			concat = append(concat, p...)
+		}
+		want := append([]row.Row(nil), concat...)
+		sort.SliceStable(want, func(a, b int) bool { return want[a][0].AsInt() > want[b][0].AsInt() })
+		got := res.Rows()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i][0].AsInt() != want[i][0].AsInt() || got[i][1].AsInt() != want[i][1].AsInt() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMergeRunsEdgeCases exercises the loser tree directly: empty runs,
+// a single run, and run counts around power-of-two boundaries.
+func TestMergeRunsEdgeCases(t *testing.T) {
+	specs := []orderSpec{{desc: false}}
+	mkRun := func(keys ...int64) *sortedRun {
+		r := &sortedRun{}
+		for _, k := range keys {
+			r.rows = append(r.rows, row.Row{row.Int(k)})
+			r.keys = append(r.keys, row.Row{row.Int(k)})
+		}
+		return r
+	}
+	for _, tc := range []struct {
+		name string
+		runs []*sortedRun
+		want []int64
+	}{
+		{"single", []*sortedRun{mkRun(1, 2, 3)}, []int64{1, 2, 3}},
+		{"two", []*sortedRun{mkRun(1, 3), mkRun(2, 4)}, []int64{1, 2, 3, 4}},
+		{"empty-runs", []*sortedRun{mkRun(), mkRun(5), mkRun(), mkRun(1)}, []int64{1, 5}},
+		{"all-empty", []*sortedRun{mkRun(), mkRun(), mkRun()}, nil},
+		{"three", []*sortedRun{mkRun(2, 2), mkRun(1, 2), mkRun(2, 3)}, []int64{1, 2, 2, 2, 2, 3}},
+		{"five", []*sortedRun{mkRun(9), mkRun(1, 8), mkRun(4), mkRun(2, 7), mkRun(3)}, []int64{1, 2, 3, 4, 7, 8, 9}},
+	} {
+		got := mergeRuns(specs, tc.runs)
+		if len(got) != len(tc.want) {
+			t.Fatalf("%s: got %d rows, want %d", tc.name, len(got), len(tc.want))
+		}
+		for i, r := range got {
+			if r[0].AsInt() != tc.want[i] {
+				t.Fatalf("%s: row %d = %d, want %d (%v)", tc.name, i, r[0].AsInt(), tc.want[i], got)
+			}
+		}
+	}
+}
+
+// TestMergeRunsStableAcrossRunIndex: equal keys come out in run order.
+func TestMergeRunsStableAcrossRunIndex(t *testing.T) {
+	specs := []orderSpec{{desc: false}}
+	runs := make([]*sortedRun, 4)
+	for i := range runs {
+		r := &sortedRun{}
+		// every run holds the same keys; payload identifies (run, pos)
+		for j := 0; j < 3; j++ {
+			r.rows = append(r.rows, row.Row{row.Int(int64(j)), row.String_(fmt.Sprintf("r%d-%d", i, j))})
+			r.keys = append(r.keys, row.Row{row.Int(int64(j))})
+		}
+		runs[i] = r
+	}
+	got := mergeRuns(specs, runs)
+	k := 0
+	for j := 0; j < 3; j++ {
+		for i := 0; i < 4; i++ {
+			want := fmt.Sprintf("r%d-%d", i, j)
+			if got[k][1].AsString() != want {
+				t.Fatalf("pos %d: got %s, want %s", k, got[k][1].AsString(), want)
+			}
+			k++
+		}
+	}
+}

@@ -105,16 +105,20 @@ func (p *projectIter) Close() {
 }
 
 // probeIter is the streaming probe side of a hash join: the build side has
-// been drained into table/buildAll, probing is one pipelined pass. Each
-// consumed input batch is charged as processing work on the probe worker.
+// been drained into table/buckets (or buildAll for a key-less join),
+// probing is one pipelined pass. Each consumed input batch is charged as
+// processing work on the probe worker. Probe keys are encoded into a
+// per-iterator scratch buffer, so probing allocates only for output rows.
 type probeIter struct {
 	in       BatchIterator
 	keyFns   []evalFn // empty => broadcast nested-loop join
-	table    map[string][]row.Row
+	table    *HashTable
+	buckets  [][]row.Row // build rows per dense table index
 	buildAll []row.Row
 	concat   func(probeRow, buildRow row.Row) row.Row
 	cost     *cluster.CostModel
 	node     *cluster.Node
+	keyBuf   []byte
 	buf      RowBatch
 	done     bool
 }
@@ -140,7 +144,8 @@ func (p *probeIter) Next() (RowBatch, bool, error) {
 				}
 				continue
 			}
-			key, nullKey, err := evalKey(p.keyFns, r)
+			key, nullKey, err := appendEvalKey(p.keyBuf[:0], p.keyFns, r)
+			p.keyBuf = key
 			if err != nil {
 				p.done = true
 				return nil, false, err
@@ -148,8 +153,10 @@ func (p *probeIter) Next() (RowBatch, bool, error) {
 			if nullKey {
 				continue
 			}
-			for _, br := range p.table[key] {
-				out = append(out, p.concat(r, br))
+			if idx, ok := p.table.Lookup(key); ok {
+				for _, br := range p.buckets[idx] {
+					out = append(out, p.concat(r, br))
+				}
 			}
 		}
 		p.buf = out

@@ -1,0 +1,181 @@
+package sqlengine
+
+import "sqlml/internal/row"
+
+// Parallel sort-merge ORDER BY: each partition evaluates its sort keys
+// once per row and stable-sorts locally (in parallel, one goroutine per
+// partition like every other per-partition pass), then the head node
+// merges the sorted runs with a stable k-way loser tree. Ties break
+// toward the lower partition index and, within a partition, toward the
+// earlier row — exactly the order the old gather-then-sort.SliceStable
+// implementation produced over the concatenated partitions.
+
+// sortedRun is one partition's sorted output: rows and their precomputed
+// sort-key rows, aligned index-for-index, plus the merge cursor.
+type sortedRun struct {
+	rows []row.Row
+	keys []row.Row
+	pos  int
+}
+
+// orderSpec is one ORDER BY item: a compiled key expression and its
+// direction.
+type orderSpec struct {
+	fn   evalFn
+	desc bool
+}
+
+// compareKeyRows orders two precomputed key rows under the ORDER BY
+// directions.
+func compareKeyRows(specs []orderSpec, a, b row.Row) int {
+	for i, s := range specs {
+		c := a[i].Compare(b[i])
+		if c == 0 {
+			continue
+		}
+		if s.desc {
+			return -c
+		}
+		return c
+	}
+	return 0
+}
+
+// sortRun evaluates the sort keys for every row of part (one evaluation
+// per row, not one per comparison) and returns the stably sorted run.
+func sortRun(specs []orderSpec, part []row.Row) (*sortedRun, error) {
+	keys := make([]row.Row, len(part))
+	flat := make(row.Row, len(part)*len(specs)) // one backing array for all key rows
+	for j, r := range part {
+		kr := flat[j*len(specs) : (j+1)*len(specs) : (j+1)*len(specs)]
+		for ki, s := range specs {
+			v, err := s.fn(r)
+			if err != nil {
+				return nil, err
+			}
+			kr[ki] = v
+		}
+		keys[j] = kr
+	}
+	ord := make([]int, len(part))
+	for j := range ord {
+		ord[j] = j
+	}
+	stableSortBy(ord, func(a, b int) int { return compareKeyRows(specs, keys[a], keys[b]) })
+	rows := make([]row.Row, len(part))
+	sortedKeys := make([]row.Row, len(part))
+	for j, o := range ord {
+		rows[j] = part[o]
+		sortedKeys[j] = keys[o]
+	}
+	return &sortedRun{rows: rows, keys: sortedKeys}, nil
+}
+
+// stableSortBy stably sorts ord under cmp applied to its elements — a
+// bottom-up merge sort (merges prefer the left half on ties, which makes
+// stability structural) with a single scratch slice instead of
+// sort.SliceStable's comparator indirection and block rotations.
+func stableSortBy(ord []int, cmp func(a, b int) int) {
+	n := len(ord)
+	if n < 2 {
+		return
+	}
+	buf := make([]int, n)
+	src, dst := ord, buf
+	for width := 1; width < n; width *= 2 {
+		for lo := 0; lo < n; lo += 2 * width {
+			mid := lo + width
+			hi := mid + width
+			if mid > n {
+				mid = n
+			}
+			if hi > n {
+				hi = n
+			}
+			i, j, k := lo, mid, lo
+			for i < mid && j < hi {
+				if cmp(src[i], src[j]) <= 0 {
+					dst[k] = src[i]
+					i++
+				} else {
+					dst[k] = src[j]
+					j++
+				}
+				k++
+			}
+			copy(dst[k:hi], src[i:mid])
+			copy(dst[k+(mid-i):hi], src[j:hi])
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &ord[0] {
+		copy(ord, src)
+	}
+}
+
+// mergeRuns merges the sorted runs into one slice with a loser tree:
+// k-1 internal nodes each hold the loser of their subtree's match, the
+// root's winner is the next row to emit, and replacing the emitted run's
+// head replays only its leaf-to-root path — O(log k) comparisons per row.
+func mergeRuns(specs []orderSpec, runs []*sortedRun) []row.Row {
+	total := 0
+	for _, r := range runs {
+		total += len(r.rows)
+	}
+	out := make([]row.Row, 0, total)
+	k := len(runs)
+	if k == 1 {
+		return append(out, runs[0].rows...)
+	}
+
+	// beats reports whether run a's head must be emitted before run b's:
+	// exhausted runs lose to everything, equal keys break toward the lower
+	// partition index (stability across partitions).
+	beats := func(a, b int) bool {
+		ra, rb := runs[a], runs[b]
+		if ra.pos >= len(ra.rows) {
+			return false
+		}
+		if rb.pos >= len(rb.rows) {
+			return true
+		}
+		c := compareKeyRows(specs, ra.keys[ra.pos], rb.keys[rb.pos])
+		if c != 0 {
+			return c < 0
+		}
+		return a < b
+	}
+
+	// tree[1..k-1] are internal nodes (losers); leaves live implicitly at
+	// positions k..2k-1, leaf k+i holding run i. Build bottom-up.
+	tree := make([]int, k)
+	var build func(node int) int
+	build = func(node int) int {
+		if node >= k {
+			return node - k
+		}
+		l := build(2 * node)
+		r := build(2*node + 1)
+		if beats(l, r) {
+			tree[node] = r
+			return l
+		}
+		tree[node] = l
+		return r
+	}
+	winner := build(1)
+
+	for range total {
+		r := runs[winner]
+		out = append(out, r.rows[r.pos])
+		r.pos++
+		// Replay the winner's path: at each ancestor, the stored loser
+		// challenges; the new winner continues up.
+		for node := (k + winner) / 2; node >= 1; node /= 2 {
+			if beats(tree[node], winner) {
+				winner, tree[node] = tree[node], winner
+			}
+		}
+	}
+	return out
+}

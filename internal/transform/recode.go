@@ -27,6 +27,8 @@ import (
 
 // RecodeMap maps each categorical column's string values to consecutive
 // integer codes starting at 1 (the encoding SystemML-style engines require).
+// Column names are normalized to lower case once, when a column is added,
+// so the per-row ID lookups in the recode join stay allocation-free.
 type RecodeMap struct {
 	cols map[string]map[string]int64
 }
@@ -55,11 +57,17 @@ func (m *RecodeMap) AddColumn(col string, values []string) {
 	m.cols[col] = codes
 }
 
-// ID returns the code of a value, reporting whether it is known.
+// ID returns the code of a value, reporting whether it is known. Map keys
+// are stored lower-cased at construction, so the already-lower names the
+// per-row recode paths pass hit directly, with no per-lookup
+// normalization; mixed-case callers fall back to one ToLower.
 func (m *RecodeMap) ID(col, val string) (int64, bool) {
-	codes, ok := m.cols[strings.ToLower(col)]
+	codes, ok := m.cols[col]
 	if !ok {
-		return 0, false
+		codes, ok = m.cols[strings.ToLower(col)]
+		if !ok {
+			return 0, false
+		}
 	}
 	id, ok := codes[val]
 	return id, ok
@@ -67,7 +75,11 @@ func (m *RecodeMap) ID(col, val string) (int64, bool) {
 
 // Cardinality returns the number of distinct values of a column.
 func (m *RecodeMap) Cardinality(col string) int {
-	return len(m.cols[strings.ToLower(col)])
+	codes, ok := m.cols[col]
+	if !ok {
+		codes = m.cols[strings.ToLower(col)]
+	}
+	return len(codes)
 }
 
 // Columns returns the mapped column names, sorted.
@@ -204,7 +216,12 @@ func distinctValuesUDF() *sqlengine.TableUDF {
 				idx[i] = ctx.InSchema.ColIndex(c)
 				names[i] = strings.ToLower(c)
 			}
-			seen := make(map[string]bool)
+			// The engine's arena hash table de-duplicates (column, value)
+			// pairs: the key is the column's ordinal plus the value,
+			// encoded into one reused scratch buffer — the same
+			// allocation-free key path the engine's own DISTINCT uses.
+			seen := sqlengine.NewHashTable(0)
+			var keyBuf []byte
 			for {
 				r, ok, err := in.Next()
 				if err != nil {
@@ -218,11 +235,11 @@ func distinctValuesUDF() *sqlengine.TableUDF {
 					if v.Null {
 						continue
 					}
-					key := names[i] + "\x00" + v.AsString()
-					if seen[key] {
+					keyBuf = row.AppendKeyValue(keyBuf[:0], row.Int(int64(i)))
+					keyBuf = row.AppendKeyValue(keyBuf, v)
+					if _, added := seen.Insert(keyBuf); !added {
 						continue
 					}
-					seen[key] = true
 					if err := emit(row.Row{row.String_(names[i]), v}); err != nil {
 						return err
 					}

@@ -1,0 +1,43 @@
+#!/bin/sh
+# Runs the engine hot-path benchmarks (GroupBy / HashJoin / Distinct /
+# OrderBy — the arena hash-table + parallel sort-merge paths) and dumps
+# the results as JSON.
+#
+#   scripts/bench_hotpath.sh [output.json]
+#
+# Output: one object per benchmark with ns/op, B/op and allocs/op — the
+# numbers the allocation-free hash-path work tracks across PRs.
+set -eu
+
+out="${1:-BENCH_hotpath.json}"
+cd "$(dirname "$0")/.."
+
+raw=$(go test -run '^$' \
+    -bench 'BenchmarkGroupBy$|BenchmarkHashJoin$|BenchmarkDistinct$|BenchmarkOrderBy$' \
+    -benchmem -benchtime 1x ./internal/sqlengine/)
+
+echo "$raw" | awk -v out="$out" '
+/^Benchmark(GroupBy|HashJoin|Distinct|OrderBy)/ {
+    name = $1
+    sub(/^Benchmark/, "", name)
+    sub(/-[0-9]+$/, "", name)
+    delete m
+    m["iterations"] = $2
+    for (i = 3; i < NF; i += 2) m[$(i + 1)] = $i
+    line = sprintf("  {\"benchmark\": \"%s\"", name)
+    order = "iterations ns/op B/op allocs/op"
+    split(order, keys, " ")
+    for (k = 1; k <= 4; k++)
+        if (keys[k] in m)
+            line = line sprintf(", \"%s\": %s", keys[k], m[keys[k]])
+    lines[n++] = line "}"
+}
+END {
+    if (n == 0) { print "no hot-path benchmark results parsed" > "/dev/stderr"; exit 1 }
+    print "[" > out
+    for (i = 0; i < n; i++) print lines[i] (i < n - 1 ? "," : "") >> out
+    print "]" >> out
+}
+'
+echo "wrote $out:"
+cat "$out"
