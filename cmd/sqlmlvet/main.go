@@ -1,0 +1,30 @@
+// Command sqlmlvet is the repository's analysis suite: a vet-compatible
+// multichecker enforcing the engine's sharp-edged conventions — batch
+// reuse, pooled-buffer discipline, lock/goroutine hygiene, and error
+// discard on the transfer paths. Run it through the build tool:
+//
+//	go build -o sqlmlvet ./cmd/sqlmlvet
+//	go vet -vettool=$(pwd)/sqlmlvet ./...
+//
+// or directly (`sqlmlvet ./...`), which re-execs through go vet.
+// Individual passes can be disabled with -<analyzer>=false; deliberate
+// violations are suppressed in source with `//lint:allow <analyzer>
+// <reason>`, and stale suppressions are themselves diagnosed.
+package main
+
+import (
+	"sqlml/internal/analyzers/batchretain"
+	"sqlml/internal/analyzers/errdiscard"
+	"sqlml/internal/analyzers/lockhygiene"
+	"sqlml/internal/analyzers/poolreturn"
+	"sqlml/internal/analyzers/unitchecker"
+)
+
+func main() {
+	unitchecker.Main(
+		batchretain.Analyzer,
+		errdiscard.Analyzer,
+		lockhygiene.Analyzer,
+		poolreturn.Analyzer,
+	)
+}

@@ -1,0 +1,201 @@
+// Package analyzertest runs a framework.Analyzer over fixture packages and
+// checks its diagnostics against `// want "regex"` comments, in the style
+// of golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live under <testdata>/src/<importpath>/*.go. Imports inside a
+// fixture resolve against <testdata>/src first — so a fixture that needs
+// sync.Pool or net.Conn imports a small stub package named "sync" or
+// "net" (the analyzers match by package name, exactly so that fixtures
+// don't depend on compiled standard-library export data).
+//
+// A want comment names every diagnostic expected on its line:
+//
+//	pool.Put(&b) // want `already released`
+//	x.f = b      // want `stored in a struct field` `second regex`
+//
+// Diagnostics from the allowstale pseudo-analyzer participate too, which
+// is how stale-suppression detection is itself tested.
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"sqlml/internal/analyzers/framework"
+)
+
+// Run loads <testdata>/src/<pkgpath>, applies a, and reports every
+// mismatch between emitted diagnostics and want comments as a test error.
+func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgpath string) {
+	t.Helper()
+	ld := newLoader(filepath.Join(testdata, "src"))
+	lp, err := ld.load(pkgpath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgpath, err)
+	}
+	entries, err := framework.RunAnalyzers(ld.fset, lp.files, lp.pkg, lp.info, []*framework.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	wants := collectWants(t, ld.fset, lp.files)
+	for _, e := range entries {
+		pos := ld.fset.Position(e.Pos)
+		if !wants.match(pos.Filename, pos.Line, e.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", pos, e.Message, e.Analyzer)
+		}
+	}
+	for _, w := range wants.unmatched() {
+		t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re.String())
+	}
+}
+
+// --- fixture loading ----------------------------------------------------
+
+type loaded struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+type loader struct {
+	fset   *token.FileSet
+	srcdir string
+	pkgs   map[string]*loaded
+	std    types.Importer
+}
+
+func newLoader(srcdir string) *loader {
+	ld := &loader{fset: token.NewFileSet(), srcdir: srcdir, pkgs: make(map[string]*loaded)}
+	// Fallback for fixture imports with no stub: type-check the standard
+	// library from source, sharing the FileSet.
+	ld.std = importer.ForCompiler(ld.fset, "source", nil)
+	return ld
+}
+
+// Import implements types.Importer: testdata stubs first, std second.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if fi, err := os.Stat(filepath.Join(ld.srcdir, path)); err == nil && fi.IsDir() {
+		lp, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return lp.pkg, nil
+	}
+	return ld.std.Import(path)
+}
+
+func (ld *loader) load(path string) (*loaded, error) {
+	if lp, ok := ld.pkgs[path]; ok {
+		return lp, nil
+	}
+	dir := filepath.Join(ld.srcdir, path)
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: ld}
+	pkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	lp := &loaded{pkg: pkg, files: files, info: info}
+	ld.pkgs[path] = lp
+	return lp, nil
+}
+
+// --- want comments ------------------------------------------------------
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+type wantSet struct{ wants []*want }
+
+// wantRe matches the expectation list after the want keyword: a sequence
+// of double-quoted Go strings or backquoted raw strings.
+var wantArgRe = regexp.MustCompile("`[^`]*`" + `|"(?:[^"\\]|\\.)*"`)
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) *wantSet {
+	t.Helper()
+	ws := &wantSet{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				idx := strings.Index(text, "want ")
+				if !strings.HasPrefix(text, "//") || idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range wantArgRe.FindAllString(text[idx+len("want "):], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					ws.wants = append(ws.wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return ws
+}
+
+// match consumes the first unmatched want on (file, line) whose regexp
+// matches msg.
+func (ws *wantSet) match(file string, line int, msg string) bool {
+	for _, w := range ws.wants {
+		if !w.matched && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func (ws *wantSet) unmatched() []*want {
+	var out []*want
+	for _, w := range ws.wants {
+		if !w.matched {
+			out = append(out, w)
+		}
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package batchretain_test
+
+import (
+	"testing"
+
+	"sqlml/internal/analyzers/analyzertest"
+	"sqlml/internal/analyzers/batchretain"
+)
+
+func TestFixtures(t *testing.T) {
+	analyzertest.Run(t, "../testdata", batchretain.Analyzer, "batchretain")
+}

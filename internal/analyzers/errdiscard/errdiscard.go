@@ -1,0 +1,121 @@
+// Package errdiscard flags silently discarded errors from resource
+// releases and durability points: methods named Close, CloseWrite, Flush,
+// or Sync whose only result is an error, and the spill-file cleanup
+// functions os.Remove / os.RemoveAll.
+//
+// On the streaming transfer and spool paths a swallowed Close or Sync
+// error breaks the §6 exactly-once-after-crash story: a spill file whose
+// final write never hit the disk looks delivered. The check therefore
+// flags bare call statements and bare `defer x.Close()` forms. Assigning
+// the error explicitly (`_ = x.Close()`) is accepted as a visible,
+// greppable acknowledgment, and deliberate discards can carry a
+// `//lint:allow errdiscard <reason>` directive.
+package errdiscard
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sqlml/internal/analyzers/framework"
+)
+
+// Analyzer is the errdiscard pass.
+var Analyzer = &framework.Analyzer{
+	Name: "errdiscard",
+	Doc:  "flags discarded errors from Close/Flush/Sync and spill cleanup calls",
+	Run:  run,
+}
+
+// releaseMethods are the method names whose error result must not be
+// dropped on the floor.
+var releaseMethods = map[string]bool{
+	"Close":      true,
+	"CloseWrite": true,
+	"Flush":      true,
+	"Sync":       true,
+}
+
+// releaseFuncs are package-level functions treated the same way, keyed by
+// package path then function name (spill-file cleanup).
+var releaseFuncs = map[string]map[string]bool{
+	"os": {"Remove": true, "RemoveAll": true},
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = s.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = s.Call
+			case *ast.GoStmt:
+				return true // the goroutine body is inspected on its own
+			}
+			if call == nil {
+				return true
+			}
+			if name := discardedErrorCall(pass.TypesInfo, call); name != "" {
+				pass.Reportf(call.Pos(), "error returned by %s is silently discarded", name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// discardedErrorCall reports the display name of the callee when call is
+// a release call whose sole error result this statement discards, or ""
+// otherwise.
+func discardedErrorCall(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj := info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || !returnsOnlyError(sig) {
+		return ""
+	}
+	if sig.Recv() != nil {
+		if !releaseMethods[fn.Name()] {
+			return ""
+		}
+		return recvName(sig) + "." + fn.Name()
+	}
+	if pkg := fn.Pkg(); pkg != nil {
+		if names, ok := releaseFuncs[pkg.Path()]; ok && names[fn.Name()] {
+			return pkg.Name() + "." + fn.Name()
+		}
+	}
+	return ""
+}
+
+// returnsOnlyError reports whether sig's results are exactly (error).
+func returnsOnlyError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() != 1 {
+		return false
+	}
+	named, ok := res.At(0).Type().(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// recvName renders a method's receiver type compactly for the message.
+func recvName(sig *types.Signature) string {
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	switch t := t.(type) {
+	case *types.Named:
+		return t.Obj().Name()
+	default:
+		return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+	}
+}

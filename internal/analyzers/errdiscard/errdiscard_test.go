@@ -1,0 +1,12 @@
+package errdiscard_test
+
+import (
+	"testing"
+
+	"sqlml/internal/analyzers/analyzertest"
+	"sqlml/internal/analyzers/errdiscard"
+)
+
+func TestFixtures(t *testing.T) {
+	analyzertest.Run(t, "../testdata", errdiscard.Analyzer, "errdiscard")
+}

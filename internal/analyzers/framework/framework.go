@@ -1,0 +1,192 @@
+// Package framework is a dependency-free miniature of the
+// golang.org/x/tools/go/analysis API: just enough Analyzer/Pass/Diagnostic
+// surface for the sqlmlvet suite to be written in the upstream idiom, so
+// the analyzers can be ported onto the real module wholesale if it ever
+// lands in the build. It exists because this repository builds with the
+// standard library only.
+//
+// On top of the x/tools shape it adds one repo-specific mechanism: the
+// `//lint:allow <analyzer> <reason>` suppression directive. A diagnostic is
+// suppressed when an allow directive for its analyzer sits on the same
+// source line or on the line directly above, and the directive carries a
+// non-empty reason. Directives are themselves checked: an allow that
+// matches no diagnostic is reported as stale (analyzer name "allowstale"),
+// and an allow without a reason is reported as malformed, so suppressions
+// cannot rot silently.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the pass in diagnostics and in allow directives.
+	// It must be a valid Go identifier.
+	Name string
+	// Doc is the one-paragraph description shown by help output.
+	Doc string
+	// Run applies the pass to one package and reports findings via
+	// pass.Report/Reportf.
+	Run func(*Pass) error
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass carries one package's parsed and type-checked state to an
+// Analyzer's Run function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Report emits one diagnostic.
+func (p *Pass) Report(d Diagnostic) { p.report(d) }
+
+// Reportf emits one formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// An Entry is one diagnostic tagged with the analyzer that produced it.
+type Entry struct {
+	Analyzer string
+	Diagnostic
+}
+
+// AllowStaleName is the pseudo-analyzer name under which stale or
+// malformed //lint:allow directives are reported. It cannot itself be
+// suppressed.
+const AllowStaleName = "allowstale"
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	pos      token.Pos // of the comment
+	file     string
+	line     int
+	analyzer string
+	reason   string
+	used     bool
+}
+
+const allowPrefix = "//lint:allow"
+
+// parseAllows extracts every //lint:allow directive from the files.
+func parseAllows(fset *token.FileSet, files []*ast.File) []*allowDirective {
+	var out []*allowDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				fields := strings.Fields(rest)
+				d := &allowDirective{pos: c.Pos()}
+				pos := fset.Position(c.Pos())
+				d.file, d.line = pos.Filename, pos.Line
+				if len(fields) > 0 {
+					d.analyzer = fields[0]
+				}
+				if len(fields) > 1 {
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// RunAnalyzers runs each analyzer over one type-checked package, applies
+// //lint:allow filtering, and returns the surviving diagnostics (stale and
+// malformed allow directives included) sorted by position.
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Entry, error) {
+	var entries []Entry
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		name := a.Name
+		pass.report = func(d Diagnostic) {
+			entries = append(entries, Entry{Analyzer: name, Diagnostic: d})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+
+	allows := parseAllows(fset, files)
+	kept := entries[:0]
+	for _, e := range entries {
+		if !suppress(fset, allows, e) {
+			kept = append(kept, e)
+		}
+	}
+	entries = kept
+
+	for _, d := range allows {
+		switch {
+		case d.analyzer == "":
+			entries = append(entries, Entry{Analyzer: AllowStaleName, Diagnostic: Diagnostic{
+				Pos: d.pos, Message: "malformed //lint:allow: missing analyzer name",
+			}})
+		case d.reason == "":
+			entries = append(entries, Entry{Analyzer: AllowStaleName, Diagnostic: Diagnostic{
+				Pos:     d.pos,
+				Message: fmt.Sprintf("//lint:allow %s needs a reason", d.analyzer),
+			}})
+		case !d.used:
+			entries = append(entries, Entry{Analyzer: AllowStaleName, Diagnostic: Diagnostic{
+				Pos:     d.pos,
+				Message: fmt.Sprintf("stale //lint:allow %s: no %s diagnostic here to suppress", d.analyzer, d.analyzer),
+			}})
+		}
+	}
+
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].Pos < entries[j].Pos })
+	return entries, nil
+}
+
+// suppress reports whether an allow directive covers e, marking the
+// directive used. A directive covers diagnostics from its analyzer on its
+// own line (end-of-line comment) or on the following line (comment above
+// the statement). Directives without a reason never suppress — they are
+// reported as malformed instead, so a reason cannot be omitted to dodge
+// the check.
+func suppress(fset *token.FileSet, allows []*allowDirective, e Entry) bool {
+	if e.Analyzer == AllowStaleName {
+		return false
+	}
+	pos := fset.Position(e.Pos)
+	for _, d := range allows {
+		if d.analyzer != e.Analyzer || d.reason == "" || d.file != pos.Filename {
+			continue
+		}
+		if d.line == pos.Line || d.line == pos.Line-1 {
+			d.used = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,94 @@
+package framework_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"sqlml/internal/analyzers/framework"
+)
+
+// src exercises every allow-directive outcome: an unsuppressed
+// diagnostic, a suppressed one (line-above directive with a reason), a
+// reason-less directive (malformed, diagnostic kept), and a stale
+// directive with nothing to suppress.
+const src = `package p
+
+func target() {}
+
+func a() {
+	target()
+	//lint:allow fake covered by design
+	target()
+	//lint:allow fake
+	target()
+}
+
+//lint:allow fake nothing on this line is diagnosed
+var x = 1
+`
+
+// fake flags every call to target.
+var fake = &framework.Analyzer{
+	Name: "fake",
+	Doc:  "test analyzer",
+	Run: func(pass *framework.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "target" {
+						pass.Reportf(call.Pos(), "flagged call")
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestAllowDirectives(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := framework.RunAnalyzers(fset, []*ast.File{f}, nil, nil, []*framework.Analyzer{fake})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type wantEntry struct {
+		analyzer string
+		line     int
+		contains string
+	}
+	wants := []wantEntry{
+		{"fake", 6, "flagged call"}, // no directive: reported
+		{framework.AllowStaleName, 9, "needs a reason"},
+		{"fake", 10, "flagged call"}, // reason-less directive does not suppress
+		{framework.AllowStaleName, 13, "stale //lint:allow fake"},
+	}
+	// Line 8's diagnostic is suppressed by the directive on line 7.
+	for _, e := range entries {
+		if fset.Position(e.Pos).Line == 8 {
+			t.Errorf("line 8 should be suppressed, got %q (%s)", e.Message, e.Analyzer)
+		}
+	}
+	if len(entries) != len(wants) {
+		for _, e := range entries {
+			t.Logf("got %s:%d %s (%s)", "p.go", fset.Position(e.Pos).Line, e.Message, e.Analyzer)
+		}
+		t.Fatalf("got %d entries, want %d", len(entries), len(wants))
+	}
+	for i, w := range wants {
+		e := entries[i]
+		pos := fset.Position(e.Pos)
+		if e.Analyzer != w.analyzer || pos.Line != w.line || !strings.Contains(e.Message, w.contains) {
+			t.Errorf("entry %d = %s:%d %q (%s); want line %d containing %q (%s)",
+				i, pos.Filename, pos.Line, e.Message, e.Analyzer, w.line, w.contains, w.analyzer)
+		}
+	}
+}

@@ -1,0 +1,395 @@
+// Package lockhygiene enforces two concurrency conventions the streaming
+// engine depends on:
+//
+//  1. No blocking operation while holding a sync.Mutex/RWMutex. A channel
+//     send, channel receive, blocking select, time.Sleep, WaitGroup.Wait,
+//     net dial, or a read/write on a net connection inside a critical
+//     section turns a slow peer into a coordinator-wide stall — the
+//     coordinator's handlers deliberately copy state out under the lock
+//     and perform network writes after Unlock, and this pass keeps it
+//     that way. (sync.Cond.Wait is exempt: it releases the mutex.)
+//
+//  2. Every goroutine launched in non-test code must have a visible
+//     lifecycle: the spawned body signals completion over a channel,
+//     closes one, or calls WaitGroup.Done — something a joiner can wait
+//     on. Fire-and-forget goroutines leak under restart churn; the
+//     goroutine-leak tests only sample the paths they drive, so the
+//     structural check runs everywhere. Deliberate fire-and-forget
+//     launches carry a //lint:allow lockhygiene directive with a reason.
+//
+// Both checks are intraprocedural; the goroutine check resolves callees
+// declared in the same package and inspects their bodies.
+package lockhygiene
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"sqlml/internal/analyzers/framework"
+)
+
+// Analyzer is the lockhygiene pass.
+var Analyzer = &framework.Analyzer{
+	Name: "lockhygiene",
+	Doc:  "flags blocking operations under a held mutex and goroutines with no lifecycle",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	decls := packageFuncBodies(pass)
+	for _, f := range pass.Files {
+		isTest := strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkLocks(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkLocks(pass, fn.Body)
+			case *ast.GoStmt:
+				if !isTest {
+					checkGoroutine(pass, decls, fn)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// --- check 1: blocking under a held mutex -------------------------------
+
+// checkLocks walks one function body tracking which mutexes are held.
+// Nested function literals are separate execution contexts and are
+// checked on their own (the run loop reaches them).
+func checkLocks(pass *framework.Pass, body *ast.BlockStmt) {
+	walkHeld(pass, body.List, map[string]bool{})
+}
+
+// walkHeld threads the held-mutex set (keyed by the receiver expression's
+// source text) through a statement list.
+func walkHeld(pass *framework.Pass, stmts []ast.Stmt, held map[string]bool) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if key, op, ok := mutexOp(pass.TypesInfo, call); ok {
+					switch op {
+					case "Lock", "RLock":
+						held[key] = true
+					case "Unlock", "RUnlock":
+						delete(held, key)
+					}
+					continue
+				}
+			}
+			reportBlocking(pass, s.X, held)
+		case *ast.DeferStmt:
+			// defer mu.Unlock(): the lock stays held for the rest of the
+			// function, so later blocking operations are still flagged.
+			// Any other defer is not executed here.
+			continue
+		case *ast.SendStmt:
+			reportHeld(pass, s.Pos(), held, "channel send")
+		case *ast.AssignStmt:
+			for _, r := range s.Rhs {
+				reportBlocking(pass, r, held)
+			}
+		case *ast.IfStmt:
+			if s.Init != nil {
+				walkHeld(pass, []ast.Stmt{s.Init}, held)
+			}
+			reportBlocking(pass, s.Cond, held)
+			walkHeld(pass, s.Body.List, copyHeld(held))
+			if s.Else != nil {
+				walkHeld(pass, []ast.Stmt{s.Else}, copyHeld(held))
+			}
+		case *ast.BlockStmt:
+			walkHeld(pass, s.List, held)
+		case *ast.ForStmt:
+			walkHeld(pass, s.Body.List, copyHeld(held))
+		case *ast.RangeStmt:
+			walkHeld(pass, s.Body.List, copyHeld(held))
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+			var caseBody *ast.BlockStmt
+			if sw, ok := s.(*ast.SwitchStmt); ok {
+				caseBody = sw.Body
+			} else {
+				caseBody = s.(*ast.TypeSwitchStmt).Body
+			}
+			for _, c := range caseBody.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkHeld(pass, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.SelectStmt:
+			if len(held) > 0 && !hasDefaultClause(s) {
+				reportHeld(pass, s.Pos(), held, "blocking select")
+			}
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					walkHeld(pass, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				reportBlocking(pass, r, held)
+			}
+			return
+		case *ast.LabeledStmt:
+			walkHeld(pass, []ast.Stmt{s.Stmt}, held)
+		case *ast.GoStmt:
+			// The new goroutine does not hold this function's locks.
+			continue
+		}
+	}
+}
+
+// reportBlocking flags blocking expressions (receives, blocking calls)
+// inside e while any mutex is held. It does not descend into function
+// literals: those run later, in their own context.
+func reportBlocking(pass *framework.Pass, e ast.Expr, held map[string]bool) {
+	if e == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				reportHeld(pass, x.Pos(), held, "channel receive")
+			}
+		case *ast.CallExpr:
+			if what, ok := blockingCall(pass.TypesInfo, x); ok {
+				reportHeld(pass, x.Pos(), held, what)
+			}
+		}
+		return true
+	})
+}
+
+// reportHeld emits one diagnostic naming the held mutexes.
+func reportHeld(pass *framework.Pass, pos token.Pos, held map[string]bool, what string) {
+	if len(held) == 0 {
+		return
+	}
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	pass.Reportf(pos, "%s while holding %s; move it outside the critical section", what, strings.Join(names, ", "))
+}
+
+// blockingCall classifies calls that can block indefinitely.
+func blockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := objOf(info, sel.Sel).(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	recv := ""
+	if sig != nil && sig.Recv() != nil {
+		recv = pkgPathOf(sig.Recv().Type())
+	}
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Name()
+	}
+	switch {
+	case pkg == "time" && fn.Name() == "Sleep" && sig != nil && sig.Recv() == nil:
+		return "time.Sleep", true
+	case recv == "sync" && fn.Name() == "Wait" && recvTypeName(sig) == "WaitGroup":
+		return "WaitGroup.Wait", true
+	case pkg == "net" && sig != nil && sig.Recv() == nil && strings.HasPrefix(fn.Name(), "Dial"):
+		return "net." + fn.Name(), true
+	case recv == "net" && (fn.Name() == "Read" || fn.Name() == "Write" || fn.Name() == "Accept"):
+		return "network " + strings.ToLower(fn.Name()), true
+	}
+	return "", false
+}
+
+// --- check 2: goroutine lifecycle ---------------------------------------
+
+// packageFuncBodies indexes every function and method declared in the
+// package by its types.Func object, so `go obj.method()` launches can be
+// resolved to a body.
+func packageFuncBodies(pass *framework.Pass) map[*types.Func]*ast.BlockStmt {
+	out := make(map[*types.Func]*ast.BlockStmt)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					out[fn] = fd.Body
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkGoroutine flags go statements whose spawned body has no visible
+// completion signal.
+func checkGoroutine(pass *framework.Pass, decls map[*types.Func]*ast.BlockStmt, g *ast.GoStmt) {
+	var body *ast.BlockStmt
+	switch fun := unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		var id *ast.Ident
+		switch f := fun.(type) {
+		case *ast.Ident:
+			id = f
+		case *ast.SelectorExpr:
+			id = f.Sel
+		}
+		if id != nil {
+			if fn, ok := objOf(pass.TypesInfo, id).(*types.Func); ok {
+				body = decls[fn]
+			}
+		}
+	}
+	if body == nil {
+		// A function value (field, parameter): no body to inspect, so no
+		// evidence of a lifecycle. Deliberate fire-and-forget launches
+		// carry an allow directive.
+		pass.Reportf(g.Pos(), "goroutine launches a function value with no visible lifecycle (no join, no completion signal)")
+		return
+	}
+	if !hasLifecycleSignal(pass.TypesInfo, body) {
+		pass.Reportf(g.Pos(), "goroutine body has no completion signal (channel send/close or WaitGroup.Done); nothing can join it")
+	}
+}
+
+// hasLifecycleSignal reports whether a goroutine body contains anything a
+// joiner can synchronize on: a channel send, close(ch), WaitGroup.Done,
+// or Cond.Signal/Broadcast (including deferred ones).
+func hasLifecycleSignal(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.CallExpr:
+			if id, ok := unparen(x.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					found = true
+				}
+			}
+			if sel, ok := unparen(x.Fun).(*ast.SelectorExpr); ok {
+				if fn, ok := objOf(info, sel.Sel).(*types.Func); ok {
+					sig, _ := fn.Type().(*types.Signature)
+					if sig != nil && sig.Recv() != nil && pkgPathOf(sig.Recv().Type()) == "sync" {
+						switch fn.Name() {
+						case "Done", "Signal", "Broadcast":
+							found = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// --- shared helpers -----------------------------------------------------
+
+// mutexOp recognizes mu.Lock/Unlock/RLock/RUnlock on sync mutexes and
+// returns a stable key for the receiver expression.
+func mutexOp(info *types.Info, call *ast.CallExpr) (key, op string, ok bool) {
+	sel, isSel := unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := objOf(info, sel.Sel).(*types.Func)
+	if !isFn {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil || pkgPathOf(sig.Recv().Type()) != "sync" {
+		return "", "", false
+	}
+	name := recvTypeName(sig)
+	if name != "Mutex" && name != "RWMutex" {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), fn.Name(), true
+}
+
+func recvTypeName(sig *types.Signature) string {
+	if sig == nil || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// pkgPathOf returns the package name of a (possibly pointer) named type.
+func pkgPathOf(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return ""
+	}
+	return n.Obj().Pkg().Name()
+}
+
+func hasDefaultClause(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}

@@ -1,0 +1,12 @@
+package lockhygiene_test
+
+import (
+	"testing"
+
+	"sqlml/internal/analyzers/analyzertest"
+	"sqlml/internal/analyzers/lockhygiene"
+)
+
+func TestFixtures(t *testing.T) {
+	analyzertest.Run(t, "../testdata", lockhygiene.Analyzer, "lockhygiene")
+}

@@ -1,0 +1,12 @@
+package poolreturn_test
+
+import (
+	"testing"
+
+	"sqlml/internal/analyzers/analyzertest"
+	"sqlml/internal/analyzers/poolreturn"
+)
+
+func TestFixtures(t *testing.T) {
+	analyzertest.Run(t, "../testdata", poolreturn.Analyzer, "poolreturn")
+}

@@ -1,0 +1,40 @@
+// Fixture for the errdiscard analyzer.
+package errdiscard
+
+import "os"
+
+type closer struct{}
+
+func (c *closer) Close() error { return nil }
+func (c *closer) Flush() error { return nil }
+func (c *closer) Sync() error  { return nil }
+
+// Close without an error result must not be flagged (e.g. the engine's
+// BatchIterator.Close).
+type noError struct{}
+
+func (n *noError) Close() {}
+
+// Close with extra results is not the release signature.
+type twoResults struct{}
+
+func (t *twoResults) Close() (int, error) { return 0, nil }
+
+func bad(c *closer, f *os.File) {
+	c.Close()       // want `error returned by closer.Close is silently discarded`
+	defer c.Flush() // want `error returned by closer.Flush is silently discarded`
+	f.Sync()        // want `error returned by File.Sync is silently discarded`
+	os.Remove("x")  // want `error returned by os.Remove is silently discarded`
+}
+
+func good(c *closer, n *noError, t2 *twoResults, f *os.File) error {
+	_ = c.Close() // explicit discard is a visible acknowledgment
+	n.Close()
+	t2.Close()
+	//lint:allow errdiscard teardown on this path is best-effort by design
+	c.Close()
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return c.Flush()
+}

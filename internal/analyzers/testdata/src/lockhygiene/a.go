@@ -1,0 +1,91 @@
+// Fixture for the lockhygiene analyzer.
+package lockhygiene
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type srv struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// Bad: a slow receiver stalls every other lock holder.
+func badSend(s *srv) {
+	s.mu.Lock()
+	s.ch <- 1 // want `channel send while holding s.mu`
+	s.mu.Unlock()
+}
+
+// Bad: a dial can block for the full timeout under the lock.
+func badDial(s *srv) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	conn, err := net.DialTimeout("tcp", "127.0.0.1:1", 1) // want `net.DialTimeout while holding s.mu`
+	_, _ = conn, err
+}
+
+// Bad: sleeping inside the critical section.
+func badSleep(s *srv) {
+	s.mu.Lock()
+	time.Sleep(1) // want `time.Sleep while holding s.mu`
+	s.mu.Unlock()
+}
+
+// Bad: a receive blocks until a peer acts.
+func badRecv(s *srv) {
+	s.mu.Lock()
+	v := <-s.ch // want `channel receive while holding s.mu`
+	_ = v
+	s.mu.Unlock()
+}
+
+// Good: copy state under the lock, talk to the network after Unlock.
+func goodUnlockFirst(s *srv, conn *net.Conn) {
+	s.mu.Lock()
+	v := 1
+	s.mu.Unlock()
+	s.ch <- v
+	if _, err := conn.Write([]byte{byte(v)}); err != nil {
+		return
+	}
+}
+
+// Good: the goroutine signals completion by closing a channel.
+func goodGoClose() {
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	<-done
+}
+
+// Good: WaitGroup.Done is a joinable lifecycle.
+func goodGoWG() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// Bad: an opaque function value — nothing proves it can be joined.
+func badGoValue(fn func()) {
+	go fn() // want `goroutine launches a function value with no visible lifecycle`
+}
+
+func work() {}
+
+// Bad: the resolved body has no completion signal.
+func badGoDecl() {
+	go work() // want `goroutine body has no completion signal`
+}
+
+// Suppressed: deliberate fire-and-forget with a recorded reason.
+func allowedFireAndForget(fn func()) {
+	//lint:allow lockhygiene launcher hook is fire-and-forget by design; its lifecycle belongs to the task layer
+	go fn()
+}

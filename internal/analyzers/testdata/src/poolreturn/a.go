@@ -1,0 +1,77 @@
+// Fixture for the poolreturn analyzer.
+package poolreturn
+
+import (
+	"row"
+	"sync"
+)
+
+var pool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+func use(b *[]byte) {}
+func send(b []byte) {}
+
+// Bad: the error path returns without putting the buffer back.
+func leakOnEarlyReturn(fail bool) bool {
+	b := pool.Get().(*[]byte)
+	if fail {
+		return false // want `b acquired from sync.Pool.Get leaks here`
+	}
+	pool.Put(b)
+	return true
+}
+
+// Bad: released twice — the pool would hand the same buffer to two owners.
+func doublePut() {
+	b := pool.Get().(*[]byte)
+	pool.Put(b)
+	pool.Put(b) // want `pooled buffer b returned to the pool twice`
+}
+
+// Bad: the block buffer leaks when the caller bails before recycling.
+func blockLeak(fail bool) []byte {
+	buf := row.NewBlockBuffer()
+	buf = append(buf, 1)
+	if fail {
+		return nil // want `buf acquired from row.NewBlockBuffer leaks here`
+	}
+	return buf // returning transfers ownership to the caller
+}
+
+// Good: deferred Put covers every exit.
+func deferPut(fail bool) bool {
+	b := pool.Get().(*[]byte)
+	defer pool.Put(b)
+	if fail {
+		return false
+	}
+	use(b)
+	return true
+}
+
+// Good: every path recycles.
+func recycleAll(fail bool) {
+	buf := row.NewBlockBuffer()
+	if fail {
+		row.RecycleBlockBuffer(buf)
+		return
+	}
+	buf = append(buf, 2)
+	row.RecycleBlockBuffer(buf)
+}
+
+// Good: passing the buffer to a callee transfers ownership.
+func escapeToCallee() {
+	buf := row.NewBlockBuffer()
+	send(buf)
+}
+
+// Suppressed: a deliberate drop with a recorded reason.
+func allowedLeak(fail bool) []byte {
+	buf := row.NewBlockBuffer()
+	if fail {
+		//lint:allow poolreturn deliberate drop: the GC reclaims it and the pool refills on demand
+		return nil
+	}
+	return buf
+}

@@ -1,0 +1,35 @@
+// Package sync is a fixture stub. The analyzers match sync.Pool, the
+// mutexes, and WaitGroup by package NAME precisely so fixtures can use
+// this stub instead of compiled standard-library export data.
+package sync
+
+type Pool struct {
+	New func() any
+}
+
+func (p *Pool) Get() any {
+	if p.New != nil {
+		return p.New()
+	}
+	return nil
+}
+
+func (p *Pool) Put(x any) {}
+
+type Mutex struct{ locked bool }
+
+func (m *Mutex) Lock()   { m.locked = true }
+func (m *Mutex) Unlock() { m.locked = false }
+
+type RWMutex struct{ locked bool }
+
+func (m *RWMutex) Lock()    { m.locked = true }
+func (m *RWMutex) Unlock()  { m.locked = false }
+func (m *RWMutex) RLock()   { m.locked = true }
+func (m *RWMutex) RUnlock() { m.locked = false }
+
+type WaitGroup struct{ n int }
+
+func (wg *WaitGroup) Add(delta int) { wg.n += delta }
+func (wg *WaitGroup) Done()         { wg.n-- }
+func (wg *WaitGroup) Wait()         {}

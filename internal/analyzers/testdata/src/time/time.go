@@ -1,0 +1,6 @@
+// Package time is a fixture stub, matched by lockhygiene by package name.
+package time
+
+type Duration int64
+
+func Sleep(d Duration) {}

@@ -1,0 +1,306 @@
+// Package unitchecker implements the command-line protocol that
+// `go vet -vettool=...` speaks to an analysis driver, against the
+// standard library only (the x/tools unitchecker is not vendored here).
+//
+// The build tool invokes the driver three ways:
+//
+//	driver -V=full    print a versioning line used as the build-cache key
+//	driver -flags     print the driver's analyzer flags as JSON
+//	driver foo.cfg    analyze the one compilation unit described by the
+//	                  JSON config file, printing diagnostics to stderr and
+//	                  exiting non-zero if there are any
+//
+// The .cfg file names the unit's Go files, its import map, and the
+// compiler-produced export data of every dependency, so each package is
+// type-checked exactly once per build, from export data — no go/packages,
+// no second type-check of the dependency graph.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"sqlml/internal/analyzers/framework"
+)
+
+// Config mirrors the JSON compilation-unit description `go vet` writes
+// next to each package's build artifacts. Field names must match cmd/go.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point of a vettool built on this driver. It never
+// returns: it exits 0 on a clean run, 1 on a driver error, and non-zero
+// with diagnostics on stderr when any analyzer reports.
+func Main(analyzers ...*framework.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	printVersion := flag.String("V", "", "print version and exit (-V=full for the build tool)")
+	printFlags := flag.Bool("flags", false, "print analyzer flags in JSON and exit")
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i > 0 {
+			doc = doc[:i]
+		}
+		enabled[a.Name] = flag.Bool(a.Name, true, doc)
+	}
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: go vet -vettool=%s [-<analyzer>=false] ./...\n\nanalyzers:\n", progname)
+		for _, a := range analyzers {
+			doc := a.Doc
+			if i := strings.IndexByte(doc, '\n'); i > 0 {
+				doc = doc[:i]
+			}
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, doc)
+		}
+		os.Exit(2)
+	}
+	flag.Parse()
+
+	if *printVersion != "" {
+		// The build tool parses this line as the tool's cache key; the
+		// executable hash makes rebuilt analyzers bust stale vet results.
+		fmt.Printf("%s version devel comments-go-here buildID=%s\n", progname, selfHash())
+		os.Exit(0)
+	}
+	if *printFlags {
+		describeFlags(analyzers)
+		os.Exit(0)
+	}
+
+	args := flag.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		// Not under `go vet`: re-exec through it so `sqlmlvet ./...` works
+		// directly (the driver needs go vet to plan builds and export data).
+		reexecThroughGoVet(args)
+	}
+
+	var active []*framework.Analyzer
+	for _, a := range analyzers {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+	Run(args[0], active)
+}
+
+// describeFlags prints the flag descriptions `go vet` queries before a
+// run, in the JSON shape cmd/go/internal/vet expects.
+func describeFlags(analyzers []*framework.Analyzer) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []jsonFlag
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i > 0 {
+			doc = doc[:i]
+		}
+		out = append(out, jsonFlag{Name: a.Name, Bool: true, Usage: doc})
+	}
+	data, err := json.Marshal(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+// selfHash hashes the running executable, so the -V=full line (and with
+// it go vet's result cache) changes whenever the tool is rebuilt.
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer func() { _ = f.Close() }() // read-only; the hash is unaffected
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}
+
+// reexecThroughGoVet turns a direct `sqlmlvet ./...` invocation into
+// `go vet -vettool=<self> ./...` and never returns.
+func reexecThroughGoVet(args []string) {
+	self, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	argv := append([]string{"vet", "-vettool=" + self}, args...)
+	cmd := exec.Command("go", argv...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if cmd.ProcessState != nil {
+			if code := cmd.ProcessState.ExitCode(); code > 0 {
+				os.Exit(code)
+			}
+		}
+		log.Fatal(err)
+	}
+	os.Exit(0)
+}
+
+// Run analyzes the unit described by configFile and exits.
+func Run(configFile string, analyzers []*framework.Analyzer) {
+	cfg, err := readConfig(configFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Facts are not implemented: in fact-only mode there is nothing to
+	// compute, but the (empty) facts file must still exist for the build
+	// tool to cache.
+	if cfg.VetxOnly {
+		writeVetx(cfg)
+		os.Exit(0)
+	}
+
+	fset := token.NewFileSet()
+	entries, err := analyze(fset, cfg, analyzers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	writeVetx(cfg)
+
+	if len(entries) == 0 {
+		os.Exit(0)
+	}
+	for _, e := range entries {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", fset.Position(e.Pos), e.Message, e.Analyzer)
+	}
+	os.Exit(2)
+}
+
+func writeVetx(cfg *Config) {
+	if cfg.VetxOutput == "" {
+		return
+	}
+	if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+		log.Fatalf("writing facts output: %v", err)
+	}
+}
+
+func readConfig(filename string) (*Config, error) {
+	data, err := os.ReadFile(filename)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode JSON config file %s: %v", filename, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return nil, fmt.Errorf("package has no files: %s", cfg.ImportPath)
+	}
+	return cfg, nil
+}
+
+// analyze parses and type-checks the unit, then runs the analyzers.
+func analyze(fset *token.FileSet, cfg *Config, analyzers []*framework.Analyzer) ([]framework.Entry, error) {
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				os.Exit(0) // the compiler reports the parse error
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	tc := &types.Config{
+		Importer:  makeImporter(cfg, fset),
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0) // the compiler reports the type error
+		}
+		return nil, err
+	}
+	return framework.RunAnalyzers(fset, files, pkg, info, analyzers)
+}
+
+// makeImporter resolves imports through the vet config: source-level
+// import paths map through ImportMap to package paths, whose compiler
+// export data is listed in PackageFile.
+func makeImporter(cfg *Config, fset *token.FileSet) types.Importer {
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	return importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
