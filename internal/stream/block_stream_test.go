@@ -62,7 +62,11 @@ func drainSplits(f *InputFormat) error {
 				errs[i] = err
 				return
 			}
-			defer rr.Close()
+			defer func() {
+				if cerr := rr.Close(); cerr != nil && errs[i] == nil {
+					errs[i] = cerr
+				}
+			}()
 			var buf []row.Row
 			for {
 				batch, ok, err := hadoopfmt.ReadBatch(rr, buf[:0])

@@ -3,6 +3,7 @@ package stream
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -67,35 +68,58 @@ func (s *Split) String() string {
 }
 
 // fetch retrieves (once) the split list and schema from the coordinator.
+// The coordinator exchange runs outside f.mu — holding a mutex across a
+// dial would stall every other InputFormat method for the full network
+// timeout. Two racing callers may both fetch; the exchange is a pure
+// read, and the second publisher finds fetched already set and drops its
+// copy.
 func (f *InputFormat) fetch() error {
 	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.fetched {
+	fetched := f.fetched
+	f.mu.Unlock()
+	if fetched {
 		return nil
 	}
+	schema, splits, err := f.fetchSplits()
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.fetched {
+		f.schema = schema
+		f.splits = splits
+		f.fetched = true
+	}
+	return nil
+}
+
+// fetchSplits performs the get_splits exchange with the coordinator.
+func (f *InputFormat) fetchSplits() (_ row.Schema, _ []SplitInfo, err error) {
 	conn, err := net.DialTimeout("tcp", f.CoordAddr, 10*time.Second)
 	if err != nil {
-		return fmt.Errorf("stream: dial coordinator: %w", err)
+		return row.Schema{}, nil, fmt.Errorf("stream: dial coordinator: %w", err)
 	}
-	defer conn.Close()
+	defer func() {
+		if cerr := conn.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	if err := json.NewEncoder(conn).Encode(message{Type: "get_splits", Job: f.Job}); err != nil {
-		return err
+		return row.Schema{}, nil, err
 	}
 	var reply message
 	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&reply); err != nil {
-		return fmt.Errorf("stream: get_splits: %w", err)
+		return row.Schema{}, nil, fmt.Errorf("stream: get_splits: %w", err)
 	}
 	if reply.Type != "splits" {
-		return fmt.Errorf("stream: get_splits failed: %s", reply.Error)
+		return row.Schema{}, nil, fmt.Errorf("stream: get_splits failed: %s", reply.Error)
 	}
 	schema, err := row.ParseSchema(reply.Schema)
 	if err != nil {
-		return err
+		return row.Schema{}, nil, err
 	}
-	f.schema = schema
-	f.splits = reply.Splits
-	f.fetched = true
-	return nil
+	return schema, reply.Splits, nil
 }
 
 // Schema implements hadoopfmt.InputFormat.
@@ -137,7 +161,9 @@ func (f *InputFormat) Open(split hadoopfmt.InputSplit, node *cluster.Node) (hado
 		addr = node.Addr
 	}
 	if err := f.registerML(ssplit.Info.ID, ln.Addr().String(), addr); err != nil {
-		ln.Close()
+		if cerr := ln.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
 		return nil, err
 	}
 	timeout := f.AcceptTimeout
@@ -157,12 +183,16 @@ func (f *InputFormat) Open(split hadoopfmt.InputSplit, node *cluster.Node) (hado
 	}, nil
 }
 
-func (f *InputFormat) registerML(split int, listen, nodeAddr string) error {
+func (f *InputFormat) registerML(split int, listen, nodeAddr string) (err error) {
 	conn, err := net.DialTimeout("tcp", f.CoordAddr, 10*time.Second)
 	if err != nil {
 		return fmt.Errorf("stream: dial coordinator: %w", err)
 	}
-	defer conn.Close()
+	defer func() {
+		if cerr := conn.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	proto := f.Proto
 	if proto <= 0 {
 		proto = row.WireProtoLatest
@@ -199,6 +229,7 @@ type streamReader struct {
 	credited int64
 	done     bool
 	failed   bool
+	closed   bool
 }
 
 // Next implements hadoopfmt.RecordReader. The frame reader underneath is
@@ -265,8 +296,7 @@ func (r *streamReader) finish() error {
 	if _, werr := r.conn.Write([]byte{ackByte}); werr != nil {
 		return r.fail(fmt.Errorf("stream: ack write: %w", werr))
 	}
-	r.Close()
-	return nil
+	return r.Close()
 }
 
 // consumed runs the per-row bookkeeping: the slow-consumer delay, credit
@@ -315,8 +345,11 @@ func (r *streamReader) connect() error {
 		}
 		r.conn = res.conn
 	case <-time.After(r.timeout):
-		r.ln.Close()
-		return fmt.Errorf("stream: split %d: no connection within %v", r.split, r.timeout)
+		err := fmt.Errorf("stream: split %d: no connection within %v", r.split, r.timeout)
+		if cerr := r.ln.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
+		return err
 	}
 	br := bufio.NewReaderSize(r.conn, r.bufSize)
 	if _, err := row.ReadSchema(br); err != nil {
@@ -330,14 +363,23 @@ func (r *streamReader) connect() error {
 // retryable so the task layer re-executes the split.
 func (r *streamReader) fail(err error) error {
 	r.failed = true
-	r.Close()
+	// Best-effort teardown: the split is already failing with err, and the
+	// retry layer matches on that error, so close noise is dropped.
+	_ = r.Close()
 	return &hadoopfmt.RetryableError{Err: err}
 }
 
-// Close implements hadoopfmt.RecordReader.
+// Close implements hadoopfmt.RecordReader. It is idempotent: finish and
+// the task layer's teardown both call it, and only the first close's
+// outcome is meaningful.
 func (r *streamReader) Close() error {
-	if r.conn != nil {
-		r.conn.Close()
+	if r.closed {
+		return nil
 	}
-	return r.ln.Close()
+	r.closed = true
+	var err error
+	if r.conn != nil {
+		err = r.conn.Close()
+	}
+	return errors.Join(err, r.ln.Close())
 }

@@ -278,6 +278,7 @@ func sendOnce(req SendRequest, cfg SenderConfig, stats *SenderStats, completed m
 	if err != nil {
 		return false, fmt.Errorf("stream: dial coordinator: %w", err)
 	}
+	//lint:allow errdiscard control-connection teardown is best-effort; delivery is confirmed by the data-channel ACK, not this Close
 	defer coord.Close()
 	enc := json.NewEncoder(coord)
 	dec := json.NewDecoder(bufio.NewReader(coord))
@@ -295,7 +296,9 @@ func sendOnce(req SendRequest, cfg SenderConfig, stats *SenderStats, completed m
 	}); err != nil {
 		return false, fmt.Errorf("stream: register: %w", err)
 	}
-	coord.SetReadDeadline(time.Now().Add(cfg.DialTimeout))
+	if err := coord.SetReadDeadline(time.Now().Add(cfg.DialTimeout)); err != nil {
+		return false, fmt.Errorf("stream: set coordinator deadline: %w", err)
+	}
 	var reply message
 	if err := dec.Decode(&reply); err != nil {
 		return false, fmt.Errorf("stream: awaiting matches: %w", err)
@@ -563,7 +566,9 @@ func dialTarget(req SendRequest, cfg SenderConfig, t Target) (*targetChannel, er
 		tc.toNode = req.Topo.ByAddr(t.Addr)
 	}
 	if err := row.WriteSchema(tc.w, req.Schema); err != nil {
-		conn.Close()
+		if cerr := conn.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
 		return nil, err
 	}
 	go tc.creditLoop()
@@ -638,11 +643,17 @@ func (tc *targetChannel) enqueue(f []byte, rows int64) error {
 	if tc.spill == nil {
 		sp, err := os.CreateTemp(tc.cfg.SpillDir, "sqlml-spill-*")
 		if err != nil {
+			if tc.recycle {
+				row.RecycleBlockBuffer(f)
+			}
 			return fmt.Errorf("stream: create spill file: %w", err)
 		}
 		tc.spill = sp
 	}
 	if _, err := tc.spill.Write(f); err != nil {
+		if tc.recycle {
+			row.RecycleBlockBuffer(f)
+		}
 		return fmt.Errorf("stream: spill write: %w", err)
 	}
 	tc.spilledBytes += int64(len(f))
@@ -794,14 +805,19 @@ func (tc *targetChannel) drain() {
 	}
 }
 
-// finish closes the queue and waits for the writer's outcome.
+// finish closes the queue and waits for the writer's outcome. Teardown
+// errors (connection close, spill close/remove) are joined into the
+// result: a spill file that cannot be closed or removed is a durability
+// leak the caller must hear about, even when delivery itself succeeded.
 func (tc *targetChannel) finish() error {
 	if tc.aborted {
 		return fmt.Errorf("stream: channel aborted")
 	}
 	close(tc.queue)
 	err := <-tc.done
-	tc.cleanup()
+	if cerr := tc.cleanup(); cerr != nil {
+		err = errors.Join(err, cerr)
+	}
 	return err
 }
 
@@ -811,19 +827,29 @@ func (tc *targetChannel) abort() {
 		return
 	}
 	tc.aborted = true
-	tc.conn.Close()
+	// Closing the connection first unblocks a writer stuck in Write; the
+	// duplicate Close inside cleanup then reports "use of closed", which
+	// is expected and irrelevant on this already-failed path.
+	_ = tc.conn.Close()
 	close(tc.queue)
 	<-tc.done
-	tc.cleanup()
+	_ = tc.cleanup()
 }
 
-func (tc *targetChannel) cleanup() {
-	tc.conn.Close()
+// cleanup releases the connection and the spill spool, reporting every
+// failure so callers on the success path can surface them.
+func (tc *targetChannel) cleanup() error {
+	err := tc.conn.Close()
 	if tc.spill != nil {
 		name := tc.spill.Name()
-		tc.spill.Close()
-		os.Remove(name)
+		if cerr := tc.spill.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
+		if rerr := os.Remove(name); rerr != nil {
+			err = errors.Join(err, rerr)
+		}
 	}
+	return err
 }
 
 // ackByte is the end-of-stream acknowledgement the ML reader returns;

@@ -497,7 +497,9 @@ func TestMessageLogReplayFromCommitted(t *testing.T) {
 			t.Fatal("short read")
 		}
 	}
-	rr.Close()
+	if err := rr.Close(); err != nil {
+		t.Fatalf("close reader: %v", err)
+	}
 	if off, _ := l.Committed("r", 0); off != 8 {
 		t.Fatalf("committed = %d", off)
 	}
