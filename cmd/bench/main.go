@@ -84,7 +84,9 @@ func runFigure3(scale experiments.Scale) error {
 		}
 		fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", r.Approach, stages, ms(r.TotalSim), r.Wall.Round(time.Millisecond))
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
 	if len(rows) == 3 && rows[1].TotalSim > 0 && rows[2].TotalSim > 0 {
 		fmt.Printf("speedups: naive/insql = %.2fx (paper: 1.7x), insql/insql+stream = %.2fx\n\n",
 			float64(rows[0].TotalSim)/float64(rows[1].TotalSim),
@@ -114,7 +116,9 @@ func runFigure4(scale experiments.Scale) error {
 		for _, r := range rows {
 			fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", r.Tier, r.Hit, ms(r.TotalSim), r.Wall.Round(time.Millisecond))
 		}
-		w.Flush()
+		if err := w.Flush(); err != nil {
+			return err
+		}
 		if len(rows) == 3 && rows[1].TotalSim > 0 && rows[2].TotalSim > 0 {
 			fmt.Printf("speedups vs no cache: recode maps = %.2fx (paper: 1.5x), full result = %.2fx (paper: 2.2x)\n\n",
 				float64(rows[0].TotalSim)/float64(rows[1].TotalSim),
@@ -228,7 +232,9 @@ func runAblations(experiments.Scale) error {
 		}
 		report("message log (§8)", "kafka-style", rep)
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
 	fmt.Println()
 	return nil
 }

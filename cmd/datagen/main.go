@@ -43,12 +43,16 @@ func main() {
 	fmt.Printf("carts schema: %s\n", datagen.CartsSchema())
 }
 
-func writeTable(path string, rows []row.Row) error {
+func writeTable(path string, rows []row.Row) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	w := bufio.NewWriter(f)
 	var buf []byte
 	for _, r := range rows {

@@ -128,5 +128,7 @@ func printResult(schema row.Schema, rows []row.Row, maxRows int) {
 		}
 		fmt.Fprintln(w, strings.Join(cells, "\t"))
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "flush: %v\n", err)
+	}
 }

@@ -542,12 +542,16 @@ func (fs *FileSystem) WriteFile(path string, data []byte, node *cluster.Node) er
 }
 
 // ReadFile reads the whole file in one call.
-func (fs *FileSystem) ReadFile(path string, node *cluster.Node) ([]byte, error) {
+func (fs *FileSystem) ReadFile(path string, node *cluster.Node) (_ []byte, err error) {
 	r, err := fs.Open(path, node)
 	if err != nil {
 		return nil, err
 	}
-	defer r.Close()
+	defer func() {
+		if cerr := r.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	return io.ReadAll(r)
 }
 

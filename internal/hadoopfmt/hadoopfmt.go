@@ -198,7 +198,9 @@ func (f *TextTableFormat) Open(split InputSplit, readerNode *cluster.Node) (Reco
 		if err == io.EOF {
 			lr.done = true
 		} else if err != nil {
-			rd.Close()
+			if cerr := rd.Close(); cerr != nil {
+				err = errors.Join(err, cerr)
+			}
 			return nil, err
 		}
 		lr.consumed += int64(len(skipped))
@@ -331,7 +333,9 @@ func ReadAll(f InputFormat, node *cluster.Node) ([]row.Row, error) {
 		for {
 			batch, ok, err := ReadBatch(rr, buf[:0])
 			if err != nil {
-				rr.Close()
+				if cerr := rr.Close(); cerr != nil {
+					err = errors.Join(err, cerr)
+				}
 				return nil, err
 			}
 			if !ok {

@@ -57,7 +57,9 @@ func collect(t testing.TB, f InputFormat, splits []InputSplit, node *cluster.Nod
 			}
 			out = append(out, r)
 		}
-		rr.Close()
+		if err := rr.Close(); err != nil {
+			t.Fatalf("close reader: %v", err)
+		}
 	}
 	return out
 }
@@ -210,7 +212,9 @@ func TestPartitionProperty(t *testing.T) {
 				}
 				got = append(got, r)
 			}
-			rr.Close()
+			if err := rr.Close(); err != nil {
+				return false
+			}
 		}
 		ids := idsOf(got)
 		if len(ids) != n {

@@ -148,7 +148,11 @@ func Run(job *Job) (*Stats, error) {
 				errs[i] = err
 				return
 			}
-			defer rr.Close()
+			defer func() {
+				if cerr := rr.Close(); cerr != nil && errs[i] == nil {
+					errs[i] = cerr
+				}
+			}()
 			emit := func(key string, value row.Row) error {
 				mapOutputs.add(1)
 				b := 0

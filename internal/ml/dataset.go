@@ -142,12 +142,16 @@ func Ingest(f hadoopfmt.InputFormat, opts IngestOptions) (*Dataset, error) {
 // append into out. Batch-capable readers (the streaming transfer's) are
 // drained a wire block at a time; the batch buffer is recycled across
 // iterations since converted points don't retain the rows.
-func readSplit(f hadoopfmt.InputFormat, split hadoopfmt.InputSplit, node *cluster.Node, conv *converter, out *[]LabeledPoint) error {
+func readSplit(f hadoopfmt.InputFormat, split hadoopfmt.InputSplit, node *cluster.Node, conv *converter, out *[]LabeledPoint) (err error) {
 	rr, err := f.Open(split, node)
 	if err != nil {
 		return err
 	}
-	defer rr.Close()
+	defer func() {
+		if cerr := rr.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	var buf []row.Row
 	for {
 		batch, ok, err := hadoopfmt.ReadBatch(rr, buf[:0])

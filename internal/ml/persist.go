@@ -92,12 +92,16 @@ func SaveModel(fs *dfs.FileSystem, path string, model any, node *cluster.Node) e
 
 // LoadModel reads a model back from the DFS; the concrete type depends on
 // the stored kind.
-func LoadModel(fs *dfs.FileSystem, path string, node *cluster.Node) (any, error) {
+func LoadModel(fs *dfs.FileSystem, path string, node *cluster.Node) (_ any, err error) {
 	r, err := fs.Open(path, node)
 	if err != nil {
 		return nil, err
 	}
-	defer r.Close()
+	defer func() {
+		if cerr := r.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, err

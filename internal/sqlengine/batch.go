@@ -60,6 +60,7 @@ func (a *batchRows) Next() (row.Row, bool, error) {
 		if err != nil || !ok {
 			return nil, false, err
 		}
+		//lint:allow batchretain cursor parks the batch only until its own Next exhausts it, which is exactly the validity window the contract grants
 		a.cur, a.i = b, 0
 	}
 	r := a.cur[a.i]

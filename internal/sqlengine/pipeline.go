@@ -333,7 +333,8 @@ func (s *externalScan) Next() (RowBatch, bool, error) {
 		}
 		r, ok, err := s.rr.Next()
 		if err != nil {
-			s.rr.Close()
+			// The read error is what the caller needs; teardown is best-effort.
+			_ = s.rr.Close()
 			s.rr = nil
 			s.done = true
 			return nil, false, err
@@ -360,7 +361,8 @@ func (s *externalScan) Next() (RowBatch, bool, error) {
 func (s *externalScan) Close() {
 	s.done = true
 	if s.rr != nil {
-		s.rr.Close()
+		// BatchIterator.Close has no error to carry it up.
+		_ = s.rr.Close()
 		s.rr = nil
 	}
 	s.idx = len(s.assigned)
