@@ -247,7 +247,9 @@ func TestBlockBufferPoolReuse(t *testing.T) {
 	RecycleBlockBuffer(b)
 	// A recycled buffer must come back empty (the pool may also hand out a
 	// fresh one; either way the contract is len==0).
-	if b2 := NewBlockBuffer(); len(b2) != 0 {
+	b2 := NewBlockBuffer()
+	if len(b2) != 0 {
 		t.Fatalf("reused buffer not reset: %d", len(b2))
 	}
+	RecycleBlockBuffer(b2)
 }
