@@ -1,0 +1,47 @@
+#!/bin/sh
+# Reproduces the CI lint job locally in one command:
+#
+#   scripts/lint.sh
+#
+# Builds the sqlmlvet vettool (the engine's invariant analyzers:
+# batchretain, poolreturn, lockhygiene, errdiscard), runs it over the
+# whole tree through `go vet -vettool`, and runs gofmt and staticcheck.
+# staticcheck and govulncheck are skipped with a note when not installed,
+# so the script works in a stdlib-only sandbox; CI always runs them.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+out=$(gofmt -l .)
+if [ -n "$out" ]; then
+    echo "files need gofmt:"
+    echo "$out"
+    exit 1
+fi
+
+echo "== go vet (standard analyzers)"
+go vet ./...
+
+echo "== sqlmlvet (batchretain poolreturn lockhygiene errdiscard)"
+tool="${TMPDIR:-/tmp}/sqlmlvet"
+go build -o "$tool" ./cmd/sqlmlvet
+go vet -vettool="$tool" ./...
+
+echo "== staticcheck"
+if command -v staticcheck >/dev/null 2>&1; then
+    staticcheck ./...
+else
+    echo "skipped: staticcheck not installed" \
+        "(go install honnef.co/go/tools/cmd/staticcheck@latest)"
+fi
+
+echo "== govulncheck"
+if command -v govulncheck >/dev/null 2>&1; then
+    govulncheck ./...
+else
+    echo "skipped: govulncheck not installed" \
+        "(go install golang.org/x/vuln/cmd/govulncheck@latest)"
+fi
+
+echo "lint OK"
