@@ -25,6 +25,14 @@
 // for its own copying. The one legitimate cursor (batchRows, which parks
 // a batch precisely until the next Next) carries a //lint:allow with its
 // reason.
+//
+// The columnar pipeline (internal/sqlengine/colpipe.go) has the same
+// contract: a *ColBatch returned by NextCol or NextColBatch is recycled by
+// the following call, and so is every view handed out by its accessors.
+// Births from Next-shaped methods returning *ColBatch are tracked like
+// RowBatch ones, and the view accessors — Col, Sel, Bytes, NullWords,
+// StringSlab — keep the alias alive instead of transferring ownership the
+// way Rows (which copies) does.
 package batchretain
 
 import (
@@ -38,7 +46,7 @@ import (
 // Analyzer is the batchretain pass.
 var Analyzer = &framework.Analyzer{
 	Name: "batchretain",
-	Doc:  "flags RowBatches (or rows sliced from them) retained past the next Next call",
+	Doc:  "flags RowBatches and ColBatches (or views sliced from them) retained past the next Next call",
 	Run:  run,
 }
 
@@ -347,10 +355,31 @@ func (c *checker) aliasOf(e ast.Expr) (*types.Var, token.Pos) {
 			e = x.X
 		case *ast.IndexExpr:
 			e = x.X
+		case *ast.CallExpr:
+			// Columnar view accessors hand out slices of the batch's own
+			// storage: b.Col(i) is a vector header over it, b.Sel() the
+			// selection vector, Bytes/NullWords/StringSlab the raw slabs.
+			// Any other call (Rows, ValueAt, Clone, …) copies and breaks
+			// the alias chain.
+			sel, ok := unparen(x.Fun).(*ast.SelectorExpr)
+			if !ok || !isViewAccessor(sel.Sel.Name) {
+				return nil, token.NoPos
+			}
+			e = sel.X
 		default:
 			return nil, token.NoPos
 		}
 	}
+}
+
+// isViewAccessor reports whether a method name returns a view aliasing a
+// columnar batch's recycled storage rather than an owning copy.
+func isViewAccessor(name string) bool {
+	switch name {
+	case "Col", "Sel", "Bytes", "NullWords", "StringSlab":
+		return true
+	}
+	return false
 }
 
 // untrack removes a variable from the batch set when it is overwritten.
@@ -398,11 +427,17 @@ func (c *checker) line(pos token.Pos) int {
 	return c.pass.Fset.Position(pos).Line
 }
 
-// isBatchNext reports whether call invokes a method named Next whose
-// first result is a named RowBatch type — the BatchIterator contract.
+// isBatchNext reports whether call invokes a Next-shaped method whose
+// first result is a named RowBatch or *ColBatch type — the BatchIterator
+// contract and its columnar twin.
 func isBatchNext(info *types.Info, call *ast.CallExpr) bool {
 	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != "Next" {
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Next", "NextCol", "NextColBatch":
+	default:
 		return false
 	}
 	fn, ok := objOf(info, sel.Sel).(*types.Func)
@@ -413,8 +448,19 @@ func isBatchNext(info *types.Info, call *ast.CallExpr) bool {
 	if !ok || sig.Results().Len() == 0 {
 		return false
 	}
-	named, ok := sig.Results().At(0).Type().(*types.Named)
-	return ok && named.Obj().Name() == "RowBatch"
+	t := sig.Results().At(0).Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	switch named.Obj().Name() {
+	case "RowBatch", "ColBatch":
+		return true
+	}
+	return false
 }
 
 func isBuiltinCall(info *types.Info, call *ast.CallExpr, name string) bool {

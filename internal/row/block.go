@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"sync"
 )
 
@@ -43,10 +44,11 @@ const (
 	blockHeaderLen = 4 + blockTailLen
 
 	// BlockTargetRows and BlockTargetBytes are the default flush budgets:
-	// a block is emitted when it reaches either. ~1k rows matches the
-	// engine's RowBatch granularity; ~64 KB keeps a block inside a few
+	// a block is emitted when it reaches either. The row budget IS the
+	// engine's batch granularity (DefaultBatchSize), so one pipeline batch
+	// fills exactly one wire block; ~64 KB keeps a block inside a few
 	// socket buffers.
-	BlockTargetRows  = 1024
+	BlockTargetRows  = DefaultBatchSize
 	BlockTargetBytes = 64 << 10
 )
 
@@ -101,6 +103,49 @@ func (e *BlockEncoder) Append(r Row) {
 		e.buf = append(NewBlockBuffer(), make([]byte, blockHeaderLen)...)
 	}
 	e.buf = AppendBinary(e.buf, r)
+	e.rows++
+}
+
+// AppendBatchRow encodes physical row p of a column-major batch into the
+// current block, byte-identical to Append of the materialized row but
+// straight off the vectors — the sender's columnar fast path, skipping the
+// per-row Value materialization entirely.
+func (e *BlockEncoder) AppendBatchRow(b *ColBatch, p int) {
+	if e.buf == nil {
+		e.buf = append(NewBlockBuffer(), make([]byte, blockHeaderLen)...)
+	}
+	dst := e.buf
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	for c := 0; c < b.NumCols(); c++ {
+		col := b.Col(c)
+		if col.Null(p) {
+			dst = append(dst, byte(tagNullBase+int(col.typ)))
+			continue
+		}
+		switch col.typ {
+		case TypeInt:
+			dst = append(dst, tagIntV)
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(col.Ints[p]))
+		case TypeFloat:
+			dst = append(dst, tagFloatV)
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(col.Floats[p]))
+		case TypeString:
+			s := col.Bytes(p)
+			dst = append(dst, tagStringV)
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(s)))
+			dst = append(dst, s...)
+		case TypeBool:
+			dst = append(dst, tagBoolV)
+			if col.Bools[p] {
+				dst = append(dst, 1)
+			} else {
+				dst = append(dst, 0)
+			}
+		}
+	}
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
+	e.buf = dst
 	e.rows++
 }
 

@@ -73,6 +73,46 @@ func AppendNormKeyValue(dst []byte, v Value) []byte {
 	return AppendKeyValue(dst, v)
 }
 
+// AppendVectorKey appends the canonical key encoding of slot p of a
+// column vector — byte-identical to AppendKeyValue(dst, v.ValueAt(p)), but
+// without materializing the Value. The columnar GROUP BY/DISTINCT paths
+// encode group keys cell-by-cell with it.
+func AppendVectorKey(dst []byte, v *Vector, p int) []byte {
+	if v.Null(p) {
+		return append(dst, byte(keyTagNullBase+int(v.typ)))
+	}
+	switch v.typ {
+	case TypeInt:
+		dst = append(dst, keyTagInt)
+		return binary.LittleEndian.AppendUint64(dst, uint64(v.Ints[p]))
+	case TypeFloat:
+		dst = append(dst, keyTagFloat)
+		return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.Floats[p]))
+	case TypeString:
+		s := v.Bytes(p)
+		dst = append(dst, keyTagString)
+		dst = binary.AppendUvarint(dst, uint64(len(s)))
+		return append(dst, s...)
+	default: // TypeBool
+		dst = append(dst, keyTagBool)
+		if v.Bools[p] {
+			return append(dst, 1)
+		}
+		return append(dst, 0)
+	}
+}
+
+// AppendNormVectorKey is AppendVectorKey with the join-key numeric
+// normalization of AppendNormKeyValue: non-null BIGINT cells encode as the
+// DOUBLE of the same magnitude.
+func AppendNormVectorKey(dst []byte, v *Vector, p int) []byte {
+	if v.typ == TypeInt && !v.Null(p) {
+		dst = append(dst, keyTagFloat)
+		return binary.LittleEndian.AppendUint64(dst, math.Float64bits(float64(v.Ints[p])))
+	}
+	return AppendVectorKey(dst, v, p)
+}
+
 // AppendKey appends the canonical key encoding of every value of r.
 func AppendKey(dst []byte, r Row) []byte {
 	for _, v := range r {

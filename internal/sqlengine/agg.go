@@ -221,6 +221,7 @@ func (e *Engine) execAggregate(sel *SelectStmt, in *dataset) (row.Schema, [][]ro
 	// Classify select items.
 	var cols []outputCol
 	var specs []*aggSpec
+	var argExprs []Expr // aligned with specs; nil for COUNT(*)
 	for _, item := range sel.Items {
 		if item.Star {
 			return row.Schema{}, nil, fmt.Errorf("sql: * not allowed with GROUP BY / aggregates")
@@ -253,6 +254,11 @@ func (e *Engine) execAggregate(sel *SelectStmt, in *dataset) (row.Schema, [][]ro
 				spec.outType = spec.argType
 			}
 			specs = append(specs, spec)
+			if fc.Star {
+				argExprs = append(argExprs, nil)
+			} else {
+				argExprs = append(argExprs, fc.Args[0])
+			}
 			cols = append(cols, outputCol{keyIdx: -1, aggIdx: len(specs) - 1, name: outputName(item), typ: spec.outType})
 			continue
 		}
@@ -286,6 +292,39 @@ func (e *Engine) execAggregate(sel *SelectStmt, in *dataset) (row.Schema, [][]ro
 		return g
 	}
 
+	// Columnar accumulation kernels: group keys and aggregate arguments are
+	// evaluated column-wise per batch, keys encoded cell-by-cell with the
+	// vector key codec (byte-identical to the row codec, so partials merge
+	// regardless of which path produced them) and inserted through the
+	// column-at-a-time InsertKeys entry point.
+	var vecKeyFns, vecArgFns []vecFn
+	useVec := e.columnar
+	if useVec {
+		for _, g := range sel.GroupBy {
+			fn, _, err := compileVec(g, in.sc, e.registry)
+			if err != nil {
+				useVec = false
+				break
+			}
+			vecKeyFns = append(vecKeyFns, fn)
+		}
+	}
+	if useVec {
+		for _, ex := range argExprs {
+			if ex == nil {
+				vecArgFns = append(vecArgFns, nil)
+				continue
+			}
+			fn, _, err := compileVec(ex, in.sc, e.registry)
+			if err != nil {
+				useVec = false
+				break
+			}
+			vecArgFns = append(vecArgFns, fn)
+		}
+	}
+	inTypes := row.SchemaTypes(in.sc.combined())
+
 	// Streaming partial aggregation per partition: consume the input
 	// pipeline batch-by-batch, accumulating only per-group state. The
 	// arena hash table maps each row's key bytes (encoded into a reused
@@ -296,6 +335,77 @@ func (e *Engine) execAggregate(sel *SelectStmt, in *dataset) (row.Schema, [][]ro
 		defer in.iters[i].Close()
 		ht := NewHashTable(0)
 		var groups []*group
+		if useVec {
+			cit := asColIterator(in.iters[i], inTypes)
+			defer cit.Close()
+			var ctx vecCtx
+			kvecs := make([]*row.Vector, len(vecKeyFns))
+			avecs := make([]*row.Vector, len(specs))
+			var flat []byte
+			var offs []uint32
+			var idxs []uint32
+			for {
+				b, ok, err := cit.NextCol()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					break
+				}
+				ctx.reclaim()
+				for ki, fn := range vecKeyFns {
+					v, err := fn(&ctx, b, b.Sel())
+					if err != nil {
+						return err
+					}
+					kvecs[ki] = v
+				}
+				for ai, fn := range vecArgFns {
+					if fn == nil {
+						continue
+					}
+					v, err := fn(&ctx, b, b.Sel())
+					if err != nil {
+						return err
+					}
+					avecs[ai] = v
+				}
+				k := b.Len()
+				flat = flat[:0]
+				offs = append(offs[:0], 0)
+				for si := 0; si < k; si++ {
+					p := b.SelPos(si)
+					for _, kv := range kvecs {
+						flat = row.AppendVectorKey(flat, kv, p)
+					}
+					offs = append(offs, uint32(len(flat)))
+				}
+				idxs = ht.InsertKeys(flat, offs, idxs[:0])
+				for si := 0; si < k; si++ {
+					p := b.SelPos(si)
+					var g *group
+					if int(idxs[si]) == len(groups) {
+						gk := make(row.Row, len(kvecs))
+						for ki, kv := range kvecs {
+							gk[ki] = kv.ValueAt(p)
+						}
+						g = newGroup(gk)
+						groups = append(groups, g)
+					} else {
+						g = groups[idxs[si]]
+					}
+					for ai, s := range specs {
+						var v row.Value
+						if !s.star {
+							v = avecs[ai].ValueAt(p)
+						}
+						g.aggs[ai].add(v, s.star)
+					}
+				}
+			}
+			partials[i] = groups
+			return nil
+		}
 		var keyBuf []byte
 		keyVals := make(row.Row, len(keyFns))
 		it := &batchRows{in: in.iters[i]}

@@ -2,10 +2,10 @@ package sqlengine
 
 import "sqlml/internal/row"
 
-// DefaultBatchSize is how many rows flow through the pipeline per batch.
-// Large enough to amortize per-batch overhead, small enough that a full
-// pipeline holds O(batch × depth) rows instead of O(dataset).
-const DefaultBatchSize = 1024
+// DefaultBatchSize is how many rows flow through the pipeline per batch —
+// the single sizing constant shared with the wire layer (one pipeline
+// batch fills one v2 block frame; see row.DefaultBatchSize).
+const DefaultBatchSize = row.DefaultBatchSize
 
 // RowBatch is the unit of data flowing between pipelined operators.
 type RowBatch []row.Row

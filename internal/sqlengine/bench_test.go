@@ -11,9 +11,15 @@ import (
 
 // benchEngine loads a mid-size fact/dimension pair for operator benchmarks.
 func benchEngine(b *testing.B, facts, dims int) *Engine {
+	return benchEngineMode(b, facts, dims, false)
+}
+
+// benchEngineMode is benchEngine with the columnar path toggled — the
+// row-vs-columnar benchmarks measure the same query on both executors.
+func benchEngineMode(b *testing.B, facts, dims int, disableColumnar bool) *Engine {
 	b.Helper()
 	topo := cluster.NewTopology(5)
-	e, err := New(topo, nil, Config{HeadNodeID: 0, WorkerNodeIDs: []int{1, 2, 3, 4}})
+	e, err := New(topo, nil, Config{HeadNodeID: 0, WorkerNodeIDs: []int{1, 2, 3, 4}, DisableColumnar: disableColumnar})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -109,6 +115,33 @@ func BenchmarkDistinct(b *testing.B) {
 func BenchmarkOrderBy(b *testing.B) {
 	e := benchEngine(b, 50_000, 100)
 	runQuery(b, e, "SELECT id, v FROM fact ORDER BY v DESC, id")
+}
+
+// The Filter and Project pairs below measure the columnar tentpole
+// directly: the identical query on the row-at-a-time executor
+// (DisableColumnar) and on the vectorized one. Filter is
+// selection-vector refinement vs. per-row predicate closures; Project is
+// typed arithmetic kernels vs. per-row output allocation.
+// scripts/bench_hotpath.sh folds their numbers into BENCH_hotpath.json.
+
+func benchModes(b *testing.B, sql string) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"Row", true}, {"Columnar", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			e := benchEngineMode(b, 50_000, 100, mode.disable)
+			runQuery(b, e, sql)
+		})
+	}
+}
+
+func BenchmarkFilter(b *testing.B) {
+	benchModes(b, "SELECT id FROM fact WHERE v > 250.0 AND v < 750.0")
+}
+
+func BenchmarkProject(b *testing.B) {
+	benchModes(b, "SELECT v * 2.0 - 1.0, id + dimid, v / 4.0 FROM fact WHERE v > 100.0")
 }
 
 func BenchmarkEngineParse(b *testing.B) {

@@ -1,0 +1,466 @@
+package sqlengine
+
+import (
+	"strings"
+
+	"sqlml/internal/cluster"
+	"sqlml/internal/row"
+)
+
+// Columnar operator pipeline. Operators exchange *row.ColBatch through
+// NextCol under the same validity contract as row batches: a batch (and
+// every vector aliasing it) is valid only until the following NextCol.
+// Filters refine the batch's selection vector in place — zero copies —
+// and projections assemble output batches from kernel result vectors.
+// colToRows materializes owning rows at the boundary, so every existing
+// row consumer keeps working unchanged.
+
+// colIterator is the column-major twin of BatchIterator.
+type colIterator interface {
+	NextCol() (b *row.ColBatch, ok bool, err error)
+	Close()
+}
+
+// colScanIter transposes a row iterator's batches into a reused pooled
+// ColBatch — the row→column boundary at the bottom of a columnar chain.
+type colScanIter struct {
+	in    BatchIterator
+	types []row.Type
+	buf   *row.ColBatch
+	done  bool
+}
+
+func (s *colScanIter) NextCol() (*row.ColBatch, bool, error) {
+	if s.done {
+		return nil, false, nil
+	}
+	b, ok, err := s.in.Next()
+	if err != nil || !ok {
+		s.done = true
+		return nil, false, err
+	}
+	if s.buf == nil {
+		s.buf = row.GetColBatch(s.types)
+	}
+	s.buf.FromRows(s.types, b)
+	return s.buf, true, nil
+}
+
+func (s *colScanIter) Close() {
+	s.done = true
+	s.in.Close()
+	if s.buf != nil {
+		row.PutColBatch(s.buf)
+		s.buf = nil
+	}
+}
+
+// colFilterIter evaluates a boolean kernel over each batch and narrows the
+// selection vector to the surviving positions; no rows move. Batches left
+// with zero live rows are skipped, like the row filter's empty batches.
+type colFilterIter struct {
+	in   colIterator
+	pred vecFn
+	ctx  vecCtx
+	sel  []int32
+	done bool
+}
+
+func newColFilterIter(in colIterator, pred vecFn) *colFilterIter {
+	return &colFilterIter{in: in, pred: pred}
+}
+
+func (f *colFilterIter) NextCol() (*row.ColBatch, bool, error) {
+	if f.done {
+		return nil, false, nil
+	}
+	for {
+		b, ok, err := f.in.NextCol()
+		if err != nil || !ok {
+			f.done = true
+			return nil, false, err
+		}
+		f.ctx.reclaim()
+		v, err := f.pred(&f.ctx, b, b.Sel())
+		if err != nil {
+			f.done = true
+			return nil, false, err
+		}
+		sel := f.sel[:0]
+		vnull := v.HasNulls()
+		if cur := b.Sel(); cur != nil {
+			for _, pp := range cur {
+				p := int(pp)
+				if (!vnull || !v.Null(p)) && v.Bools[p] {
+					sel = append(sel, pp)
+				}
+			}
+		} else {
+			for p := 0; p < b.FullLen(); p++ {
+				if (!vnull || !v.Null(p)) && v.Bools[p] {
+					sel = append(sel, int32(p))
+				}
+			}
+		}
+		f.sel = sel
+		if len(sel) == 0 {
+			continue
+		}
+		b.SetSel(sel)
+		return b, true, nil
+	}
+}
+
+func (f *colFilterIter) Close() {
+	f.done = true
+	f.in.Close()
+}
+
+// colProjectIter evaluates the compiled select-list kernels over each
+// batch and assembles the output batch from the result vectors (zero-copy
+// struct-header adoption; the selection vector carries through).
+type colProjectIter struct {
+	in    colIterator
+	fns   []vecFn
+	types []row.Type
+	ctx   vecCtx
+	out   *row.ColBatch
+	done  bool
+}
+
+func newColProjectIter(in colIterator, fns []vecFn, types []row.Type) *colProjectIter {
+	return &colProjectIter{in: in, fns: fns, types: types}
+}
+
+func (p *colProjectIter) NextCol() (*row.ColBatch, bool, error) {
+	if p.done {
+		return nil, false, nil
+	}
+	b, ok, err := p.in.NextCol()
+	if err != nil || !ok {
+		p.done = true
+		return nil, false, err
+	}
+	p.ctx.reclaim()
+	if p.out == nil {
+		p.out = row.NewColBatch(p.types)
+	}
+	for i, fn := range p.fns {
+		v, err := fn(&p.ctx, b, b.Sel())
+		if err != nil {
+			p.done = true
+			return nil, false, err
+		}
+		p.out.SetCol(i, v)
+	}
+	p.out.SetFullLen(b.FullLen())
+	p.out.SetSel(b.Sel())
+	return p.out, true, nil
+}
+
+func (p *colProjectIter) Close() {
+	p.done = true
+	p.in.Close()
+}
+
+// vecPredicate compiles the columnar twin of a boolean predicate when the
+// engine runs columnar; ok=false keeps the row-at-a-time filter.
+func (e *Engine) vecPredicate(ex Expr, sc *scope) (vecFn, bool) {
+	if !e.columnar {
+		return nil, false
+	}
+	fn, t, err := compileVec(ex, sc, e.registry)
+	if err != nil || t != row.TypeBool {
+		return nil, false
+	}
+	return fn, true
+}
+
+// vecExprs compiles a kernel per expression, or reports false when the
+// engine runs row-at-a-time (compileVec itself never rejects an expression
+// the row compiler accepts — unvectorizable shapes get fallback bodies).
+func (e *Engine) vecExprs(exprs []Expr, sc *scope) ([]vecFn, bool) {
+	if !e.columnar || len(exprs) == 0 {
+		return nil, false
+	}
+	fns := make([]vecFn, len(exprs))
+	for i, ex := range exprs {
+		fn, _, err := compileVec(ex, sc, e.registry)
+		if err != nil {
+			return nil, false
+		}
+		fns[i] = fn
+	}
+	return fns, true
+}
+
+// vecSelectList compiles the columnar twin of a select list, mirroring
+// compileSelectList's star expansion with column-passthrough kernels
+// (zero-copy: the output batch adopts the input vector header). The caller
+// has already validated the list via compileSelectList, so resolution
+// errors here only demote to the row path.
+func (e *Engine) vecSelectList(items []SelectItem, sc *scope) ([]vecFn, bool) {
+	if !e.columnar {
+		return nil, false
+	}
+	var fns []vecFn
+	for _, item := range items {
+		if item.Star {
+			q := strings.ToLower(item.StarQualifier)
+			for _, bd := range sc.bindings {
+				if q != "" && bd.name != q {
+					continue
+				}
+				for ci := range bd.schema.Cols {
+					idx := bd.offset + ci
+					fns = append(fns, func(c *vecCtx, b *row.ColBatch, pos []int32) (*row.Vector, error) {
+						return b.Col(idx), nil
+					})
+				}
+			}
+			continue
+		}
+		fn, _, err := compileVec(item.Expr, sc, e.registry)
+		if err != nil {
+			return nil, false
+		}
+		fns = append(fns, fn)
+	}
+	return fns, true
+}
+
+// colProbeIter is the columnar hash-join probe: key kernels run over the
+// whole batch at its live positions, the per-position norm keys probe the
+// build table through the column-at-a-time LookupKeys entry point, and a
+// probe row is materialized only on a match. It produces row batches — the
+// concat closure makes owning output rows, same as the row probe.
+type colProbeIter struct {
+	in      colIterator
+	keyFns  []vecFn
+	ctx     vecCtx
+	table   *HashTable
+	buckets [][]row.Row
+	concat  func(probeRow, buildRow row.Row) row.Row
+	cost    *cluster.CostModel
+	node    *cluster.Node
+
+	kvecs    []*row.Vector
+	keyFlat  []byte
+	keyOffs  []uint32
+	keyIdxs  []uint32
+	nullKey  []bool
+	probeRow row.Row
+	buf      []row.Row
+	done     bool
+}
+
+func (p *colProbeIter) Next() (RowBatch, bool, error) {
+	if p.done {
+		return nil, false, nil
+	}
+	for {
+		b, ok, err := p.in.NextCol()
+		if err != nil || !ok {
+			p.done = true
+			return nil, false, err
+		}
+		// Probing the batch is one pass over it.
+		if p.node != nil {
+			p.cost.ChargeProc(p.node, colBatchBytes(b))
+		}
+		p.ctx.reclaim()
+		p.kvecs = p.kvecs[:0]
+		for _, fn := range p.keyFns {
+			v, err := fn(&p.ctx, b, b.Sel())
+			if err != nil {
+				p.done = true
+				return nil, false, err
+			}
+			p.kvecs = append(p.kvecs, v)
+		}
+		// Pack the live rows' norm keys back-to-back; a NULL component never
+		// matches, so those rows pack an empty key and are skipped below.
+		k := b.Len()
+		p.keyFlat = p.keyFlat[:0]
+		p.keyOffs = append(p.keyOffs[:0], 0)
+		p.nullKey = p.nullKey[:0]
+		for si := 0; si < k; si++ {
+			pp := b.SelPos(si)
+			null := false
+			for _, kv := range p.kvecs {
+				if kv.Null(pp) {
+					null = true
+					break
+				}
+			}
+			p.nullKey = append(p.nullKey, null)
+			if !null {
+				for _, kv := range p.kvecs {
+					p.keyFlat = row.AppendNormVectorKey(p.keyFlat, kv, pp)
+				}
+			}
+			p.keyOffs = append(p.keyOffs, uint32(len(p.keyFlat)))
+		}
+		p.keyIdxs = p.table.LookupKeys(p.keyFlat, p.keyOffs, p.keyIdxs[:0])
+		out := p.buf[:0]
+		for si := 0; si < k; si++ {
+			if p.nullKey[si] || p.keyIdxs[si] == htAbsent {
+				continue
+			}
+			bucket := p.buckets[p.keyIdxs[si]]
+			if len(bucket) == 0 {
+				continue
+			}
+			p.probeRow = b.RowAt(si, p.probeRow)
+			for _, br := range bucket {
+				out = append(out, p.concat(p.probeRow, br))
+			}
+		}
+		p.buf = out
+		if len(out) == 0 {
+			continue
+		}
+		return RowBatch(out), true, nil
+	}
+}
+
+func (p *colProbeIter) Close() {
+	p.done = true
+	p.in.Close()
+}
+
+// colToRows is the row-view shim over a columnar chain: each batch's live
+// rows are materialized as owning copies (flat value backing, one string
+// slab copy per VARCHAR column), so downstream retention — drainBatches,
+// sort runs, result materialization — stays safe while the column vectors
+// recycle underneath.
+type colToRows struct {
+	c    colIterator
+	rows []row.Row
+	done bool
+}
+
+func rowsIter(c colIterator) BatchIterator { return &colToRows{c: c} }
+
+func (a *colToRows) Next() (RowBatch, bool, error) {
+	if a.done {
+		return nil, false, nil
+	}
+	for {
+		b, ok, err := a.c.NextCol()
+		if err != nil || !ok {
+			a.done = true
+			return nil, false, err
+		}
+		if b.Len() == 0 {
+			continue
+		}
+		a.rows = b.Rows(a.rows[:0])
+		return RowBatch(a.rows), true, nil
+	}
+}
+
+func (a *colToRows) Close() {
+	a.done = true
+	a.c.Close()
+}
+
+// asColIterator lifts a row iterator into the columnar world: a colToRows
+// shim unwraps to its columnar core (no materialize→re-transpose bounce);
+// anything else gets a transposing scan.
+func asColIterator(it BatchIterator, types []row.Type) colIterator {
+	if w, ok := it.(*colToRows); ok && len(w.rows) == 0 {
+		return w.c
+	}
+	return &colScanIter{in: it, types: types}
+}
+
+// chargeColIter is chargeIter's columnar twin — cost charging must survive
+// the columnar fast path, so unwrapping a charge wrapper re-wraps its
+// accounting around the columnar core.
+type chargeColIter struct {
+	c    colIterator
+	cost *cluster.CostModel
+	node *cluster.Node
+}
+
+func (c *chargeColIter) NextCol() (*row.ColBatch, bool, error) {
+	b, ok, err := c.c.NextCol()
+	if ok {
+		c.cost.ChargeProc(c.node, colBatchBytes(b))
+	}
+	return b, ok, err
+}
+
+func (c *chargeColIter) Close() { c.c.Close() }
+
+// colBatchBytes estimates the wire bytes of a batch's live rows — the
+// columnar analog of partBytes, using the same per-value estimate.
+func colBatchBytes(b *row.ColBatch) int {
+	k := b.Len()
+	n := k * 4 // frame overhead
+	for c := 0; c < b.NumCols(); c++ {
+		col := b.Col(c)
+		switch col.Type() {
+		case row.TypeString:
+			for si := 0; si < k; si++ {
+				p := b.SelPos(si)
+				if col.Null(p) {
+					n++
+				} else {
+					n += 5 + len(col.Bytes(p))
+				}
+			}
+		case row.TypeBool:
+			n += k * 2
+		default:
+			n += k * 9
+		}
+	}
+	return n
+}
+
+// unwrapColCore finds the columnar core of a row-iterator chain, when one
+// exists and no side effects would be lost: colToRows peels off directly,
+// and a chargeIter re-wraps as chargeColIter so cost accounting continues.
+func unwrapColCore(it BatchIterator) (colIterator, bool) {
+	switch x := it.(type) {
+	case *colToRows:
+		return x.c, true
+	case *chargeIter:
+		if inner, ok := unwrapColCore(x.in); ok {
+			return &chargeColIter{c: inner, cost: x.cost, node: x.node}, true
+		}
+	}
+	return nil, false
+}
+
+// ColBatchSource yields column-major batches under the batch validity
+// contract. It is the exported face of the columnar pipeline for
+// boundary consumers (the stream sender encodes vector runs straight into
+// wire blocks through it).
+type ColBatchSource interface {
+	NextColBatch() (*row.ColBatch, bool, error)
+	Close()
+}
+
+type colSource struct{ c colIterator }
+
+func (s colSource) NextColBatch() (*row.ColBatch, bool, error) { return s.c.NextCol() }
+func (s colSource) Close()                                     { s.c.Close() }
+
+// AsColBatchSource recognizes a row Iterator that is a thin cursor over a
+// columnar pipeline and returns the columnar view, or false when the
+// iterator has already buffered rows or has no columnar core. Callers
+// that get a source must consume it instead of the row iterator.
+func AsColBatchSource(it Iterator) (ColBatchSource, bool) {
+	a, ok := it.(*batchRows)
+	if !ok || a.i < len(a.cur) {
+		return nil, false
+	}
+	c, ok := unwrapColCore(a.in)
+	if !ok {
+		return nil, false
+	}
+	return colSource{c}, true
+}

@@ -1,0 +1,361 @@
+package sqlengine
+
+import (
+	"testing"
+
+	"sqlml/internal/row"
+)
+
+// The columnar twin of residency_test.go: a hostile-but-contract-abiding
+// producer reuses one ColBatch for every NextCol call and, before
+// refilling it, poisons every slot it handed out last time — value arrays,
+// string slab, and selection vector alike. Any operator that kept a
+// vector view or selection alias (instead of copying what it retains
+// before its next pull) reads poison and produces wrong results. The
+// tests drive the retention-critical columnar paths — filter→project,
+// hash probe, sort-run preparation, and grouped-agg key materialization —
+// and check exact outputs.
+
+// recyclingColBatches produces rows in column-major batches through one
+// recycled ColBatch. With junk=true each batch also carries a physical
+// poison row masked off by a selection vector, so consumers must honor
+// SelPos; the selection slice itself is recycled and re-pointed at the
+// poison slot on the following call.
+type recyclingColBatches struct {
+	types  []row.Type
+	rows   []row.Row
+	size   int
+	junk   bool
+	i      int
+	buf    *row.ColBatch
+	sel    []int32
+	poison row.Row
+	prev   int // physical rows handed out by the previous call
+}
+
+func newRecyclingColBatches(types []row.Type, rows []row.Row, size int, junk bool) *recyclingColBatches {
+	poison := make(row.Row, len(types))
+	for i, t := range types {
+		switch t {
+		case row.TypeInt:
+			poison[i] = row.Int(-987654321)
+		case row.TypeFloat:
+			poison[i] = row.Float(-987654321)
+		case row.TypeBool:
+			poison[i] = row.Bool(true)
+		case row.TypeString:
+			poison[i] = row.String_("POISON")
+		}
+	}
+	return &recyclingColBatches{types: types, rows: rows, size: size, junk: junk, poison: poison}
+}
+
+func (rc *recyclingColBatches) NextCol() (*row.ColBatch, bool, error) {
+	if rc.buf == nil {
+		rc.buf = row.NewColBatch(rc.types)
+	} else {
+		// Overwrite last batch's slots in their own backing arrays, and
+		// re-point any retained selection entries at slot 0.
+		rc.buf.Reset(rc.types)
+		for j := 0; j < rc.prev; j++ {
+			rc.buf.AppendRow(rc.poison)
+		}
+		for j := range rc.sel {
+			rc.sel[j] = 0
+		}
+	}
+	if rc.i >= len(rc.rows) {
+		return nil, false, nil
+	}
+	end := min(rc.i+rc.size, len(rc.rows))
+	rc.buf.Reset(rc.types)
+	for _, r := range rc.rows[rc.i:end] {
+		rc.buf.AppendRow(r)
+	}
+	n := end - rc.i
+	rc.i = end
+	rc.prev = n
+	if rc.junk {
+		rc.buf.AppendRow(rc.poison)
+		rc.prev = n + 1
+		rc.sel = rc.sel[:0]
+		for j := 0; j < n; j++ {
+			rc.sel = append(rc.sel, int32(j))
+		}
+		rc.buf.SetSel(rc.sel)
+	}
+	return rc.buf, true, nil
+}
+
+func (rc *recyclingColBatches) Close() { rc.i = len(rc.rows) }
+
+// intColRows builds (v BIGINT) rows.
+func intColRows(vs ...int64) []row.Row {
+	out := make([]row.Row, len(vs))
+	for i, v := range vs {
+		out[i] = row.Row{row.Int(v)}
+	}
+	return out
+}
+
+// oddKernel is a handmade predicate kernel: v at column 0 is odd.
+func oddKernel(c *vecCtx, b *row.ColBatch, pos []int32) (*row.Vector, error) {
+	col := b.Col(0)
+	out := c.get()
+	out.ResetDense(row.TypeBool, b.FullLen())
+	if pos == nil {
+		pos = c.allPos(b.FullLen())
+	}
+	for _, pp := range pos {
+		p := int(pp)
+		if col.Null(p) {
+			out.SetNull(p)
+			continue
+		}
+		out.Bools[p] = col.Ints[p]%2 != 0
+	}
+	return out, nil
+}
+
+// timesTenKernel projects v*10.
+func timesTenKernel(c *vecCtx, b *row.ColBatch, pos []int32) (*row.Vector, error) {
+	col := b.Col(0)
+	out := c.get()
+	out.ResetDense(row.TypeInt, b.FullLen())
+	if pos == nil {
+		pos = c.allPos(b.FullLen())
+	}
+	for _, pp := range pos {
+		p := int(pp)
+		if col.Null(p) {
+			out.SetNull(p)
+			continue
+		}
+		out.Ints[p] = col.Ints[p] * 10
+	}
+	return out, nil
+}
+
+// TestColFilterProjectUnderVectorRecycling pulls a filter→project chain
+// over the poisoning producer, with the producer masking a physical
+// poison row behind the selection vector, and checks the exact surviving
+// values. The row materialization at the end (colToRows) must copy before
+// the chain's next pull recycles the vectors.
+func TestColFilterProjectUnderVectorRecycling(t *testing.T) {
+	for _, junk := range []bool{false, true} {
+		src := newRecyclingColBatches(
+			[]row.Type{row.TypeInt},
+			intColRows(1, 2, 3, 4, 5, 6, 7, 8, 9),
+			4, junk)
+		chain := rowsIter(newColProjectIter(
+			newColFilterIter(src, oddKernel),
+			[]vecFn{timesTenKernel},
+			[]row.Type{row.TypeInt}))
+		got, err := drainBatches(chain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []int64{10, 30, 50, 70, 90}
+		if len(got) != len(want) {
+			t.Fatalf("junk=%v: %d rows, want %d: %v", junk, len(got), len(want), got)
+		}
+		for i, w := range want {
+			if got[i][0].AsInt() != w {
+				t.Errorf("junk=%v: row %d = %v, want %d", junk, i, got[i], w)
+			}
+		}
+	}
+}
+
+// TestColProbeIterUnderVectorRecycling drives the columnar hash-join
+// probe with the poisoning producer, the way hashJoin wires it over an
+// unwrapped columnar core, and checks the exact join output. The probe
+// must materialize its output rows (RowAt + concat copies) before pulling
+// the next batch.
+func TestColProbeIterUnderVectorRecycling(t *testing.T) {
+	table := NewHashTable(0)
+	var buckets [][]row.Row
+	var keyBuf []byte
+	keyFn := func(r row.Row) (row.Value, error) { return r[0], nil }
+	for k := int64(1); k <= 3; k++ {
+		br := row.Row{row.Int(k), row.Int(k * 10)}
+		key, nullKey, err := appendEvalKey(keyBuf[:0], []evalFn{keyFn}, br)
+		keyBuf = key
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nullKey {
+			t.Fatal("unexpected null key")
+		}
+		idx, added := table.Insert(key)
+		if added {
+			buckets = append(buckets, nil)
+		}
+		buckets[idx] = append(buckets[idx], br)
+	}
+
+	colKey := func(c *vecCtx, b *row.ColBatch, pos []int32) (*row.Vector, error) {
+		return b.Col(0), nil
+	}
+	for _, junk := range []bool{false, true} {
+		probe := newRecyclingColBatches(
+			[]row.Type{row.TypeInt}, intColRows(2, 5, 1, 3, 2), 2, junk)
+		p := &colProbeIter{
+			in:     probe,
+			keyFns: []vecFn{colKey},
+			table:  table, buckets: buckets,
+			concat: func(probeRow, buildRow row.Row) row.Row {
+				out := make(row.Row, 0, len(probeRow)+len(buildRow))
+				out = append(out, probeRow...)
+				return append(out, buildRow...)
+			},
+		}
+		got, err := drainBatches(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := [][2]int64{{2, 20}, {1, 10}, {3, 30}, {2, 20}}
+		if len(got) != len(want) {
+			t.Fatalf("junk=%v: join produced %d rows, want %d: %v", junk, len(got), len(want), got)
+		}
+		for i, w := range want {
+			if got[i][0].AsInt() != w[0] || got[i][2].AsInt() != w[1] {
+				t.Errorf("junk=%v: row %d = %v, want (%d, _, %d)", junk, i, got[i], w[0], w[1])
+			}
+		}
+	}
+}
+
+// TestColSortRunsUnderVectorRecycling prepares sort runs the way
+// orderByColumnar does — owning rows via ColBatch.Rows, key rows
+// materialized per batch through Vector.ValueAt (which must copy string
+// payloads out of the recycled slab) — then merges and checks the exact
+// global order, including cross-partition tie-breaking.
+func TestColSortRunsUnderVectorRecycling(t *testing.T) {
+	strRows := func(pairs ...any) []row.Row {
+		var out []row.Row
+		for i := 0; i < len(pairs); i += 2 {
+			out = append(out, row.Row{row.String_(pairs[i].(string)), row.Int(int64(pairs[i+1].(int)))})
+		}
+		return out
+	}
+	parts := [][]row.Row{
+		strRows("mm", 1, "aa", 2, "zz", 3, "mm", 4),
+		strRows("bb", 5, "mm", 6, "aa", 7),
+	}
+	types := []row.Type{row.TypeString, row.TypeInt}
+	specs := []orderSpec{{fn: func(r row.Row) (row.Value, error) { return r[0], nil }}}
+
+	runs := make([]*sortedRun, len(parts))
+	for i, part := range parts {
+		src := newRecyclingColBatches(types, part, 2, true)
+		var rows, keys []row.Row
+		for {
+			b, ok, err := src.NextCol()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			rows = b.Rows(rows)
+			kv := b.Col(0)
+			k := b.Len()
+			flat := make(row.Row, k)
+			for si := 0; si < k; si++ {
+				flat[si] = kv.ValueAt(b.SelPos(si))
+			}
+			for si := 0; si < k; si++ {
+				keys = append(keys, flat[si:si+1])
+			}
+		}
+		runs[i] = sortRunPrepared(specs, rows, keys)
+	}
+	merged := mergeRuns(specs, runs)
+	// Sorted by cat ascending; ties keep partition order, lower partition
+	// first: aa(2) from part 0 before aa(7) from part 1, then the three
+	// mm's as 1, 4 (part 0) then 6 (part 1).
+	want := []int64{2, 7, 5, 1, 4, 6, 3}
+	wantCat := []string{"aa", "aa", "bb", "mm", "mm", "mm", "zz"}
+	if len(merged) != len(want) {
+		t.Fatalf("merged %d rows, want %d", len(merged), len(want))
+	}
+	for i := range want {
+		if merged[i][0].AsString() != wantCat[i] || merged[i][1].AsInt() != want[i] {
+			t.Errorf("merged[%d] = %v, want (%s, %d)", i, merged[i], wantCat[i], want[i])
+		}
+	}
+}
+
+// TestColGroupKeysSurviveVectorRecycling runs the grouped-agg columnar
+// inner loop — vector key packing, column-at-a-time InsertKeys, group-key
+// materialization via ValueAt — over the poisoning producer. String group
+// keys are the dangerous retention: they must be copied out of the slab
+// the producer recycles.
+func TestColGroupKeysSurviveVectorRecycling(t *testing.T) {
+	cats := []string{"alpha", "beta", "gamma"}
+	var rows []row.Row
+	for i := 0; i < 13; i++ {
+		rows = append(rows, row.Row{row.String_(cats[i%3]), row.Int(int64(i))})
+	}
+	types := []row.Type{row.TypeString, row.TypeInt}
+	src := newRecyclingColBatches(types, rows, 4, true)
+
+	type grp struct {
+		key row.Row
+		sum int64
+		n   int64
+	}
+	ht := NewHashTable(0)
+	var groups []*grp
+	var flat []byte
+	var offs, idxs []uint32
+	for {
+		b, ok, err := src.NextCol()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		kv, av := b.Col(0), b.Col(1)
+		k := b.Len()
+		flat = flat[:0]
+		offs = append(offs[:0], 0)
+		for si := 0; si < k; si++ {
+			flat = row.AppendVectorKey(flat, kv, b.SelPos(si))
+			offs = append(offs, uint32(len(flat)))
+		}
+		idxs = ht.InsertKeys(flat, offs, idxs[:0])
+		for si := 0; si < k; si++ {
+			p := b.SelPos(si)
+			if int(idxs[si]) == len(groups) {
+				groups = append(groups, &grp{key: row.Row{kv.ValueAt(p)}})
+			}
+			g := groups[idxs[si]]
+			g.sum += av.Ints[p]
+			g.n++
+		}
+	}
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d, want 3", len(groups))
+	}
+	// 13 rows, i%3 cycling: alpha gets i∈{0,3,6,9,12}, beta {1,4,7,10},
+	// gamma {2,5,8,11}.
+	want := map[string][2]int64{
+		"alpha": {30, 5},
+		"beta":  {22, 4},
+		"gamma": {26, 4},
+	}
+	for _, g := range groups {
+		cat := g.key[0].AsString()
+		w, ok := want[cat]
+		if !ok {
+			t.Errorf("unexpected group key %q (poison leaked into a retained key)", cat)
+			continue
+		}
+		if g.sum != w[0] || g.n != w[1] {
+			t.Errorf("group %q = (sum %d, n %d), want (%d, %d)", cat, g.sum, g.n, w[0], w[1])
+		}
+	}
+}

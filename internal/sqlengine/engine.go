@@ -15,6 +15,13 @@ import (
 type Config struct {
 	WorkerNodeIDs []int
 	HeadNodeID    int
+
+	// DisableColumnar forces every operator onto the row-at-a-time
+	// pipeline. The columnar engine is on by default; the switch exists so
+	// the two paths can be compared — the property tests hold the columnar
+	// operators to the row path as an oracle, and the benchmarks measure
+	// the same query both ways.
+	DisableColumnar bool
 }
 
 // Engine is the MPP SQL engine: a catalog of partitioned tables, a UDF
@@ -28,6 +35,7 @@ type Engine struct {
 
 	catalog  *Catalog
 	registry *Registry
+	columnar bool
 }
 
 // New creates an engine on the given topology. cost may be nil (no
@@ -42,6 +50,7 @@ func New(topo *cluster.Topology, cost *cluster.CostModel, cfg Config) (*Engine, 
 		head:     topo.Node(cfg.HeadNodeID),
 		catalog:  NewCatalog(),
 		registry: NewRegistry(),
+		columnar: !cfg.DisableColumnar,
 	}
 	seen := make(map[int]bool)
 	for _, id := range cfg.WorkerNodeIDs {

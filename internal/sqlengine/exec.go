@@ -290,8 +290,15 @@ func (e *Engine) ExecSelect(sel *SelectStmt) (res *Result, retErr error) {
 		if err != nil {
 			return nil, err
 		}
-		for j := range s.iters {
-			s.iters[j] = newFilterIter(s.iters[j], pred)
+		if vpred, ok := e.vecPredicate(AndAll(push), sc); ok {
+			types := row.SchemaTypes(s.schema)
+			for j := range s.iters {
+				s.iters[j] = rowsIter(newColFilterIter(asColIterator(s.iters[j], types), vpred))
+			}
+		} else {
+			for j := range s.iters {
+				s.iters[j] = newFilterIter(s.iters[j], pred)
+			}
 		}
 		track(s.iters)
 	}
@@ -375,8 +382,15 @@ func (e *Engine) ExecSelect(sel *SelectStmt) (res *Result, retErr error) {
 		if err != nil {
 			return nil, err
 		}
-		for j := range cur.iters {
-			cur.iters[j] = newFilterIter(cur.iters[j], pred)
+		if vpred, ok := e.vecPredicate(AndAll(residual), cur.sc); ok {
+			types := row.SchemaTypes(cur.sc.combined())
+			for j := range cur.iters {
+				cur.iters[j] = rowsIter(newColFilterIter(asColIterator(cur.iters[j], types), vpred))
+			}
+		} else {
+			for j := range cur.iters {
+				cur.iters[j] = newFilterIter(cur.iters[j], pred)
+			}
 		}
 		track(cur.iters)
 	}
@@ -775,11 +789,34 @@ func (e *Engine) hashJoin(left, right *dataset, leftKeys, rightKeys []Expr) (*da
 		return append(out, buildRow...)
 	}
 
+	// A keyed probe over a pipeline with a columnar core runs column-wise:
+	// key kernels over whole batches, LookupKeys against the same table.
+	// Cartesian joins and row-major inputs keep the row probe.
+	var vecKeyFns []vecFn
+	vecOK := len(leftKeys) > 0
+	if vecOK {
+		vecKeyFns, vecOK = e.vecExprs(leftKeys, left.sc)
+	}
+
 	outIters := make([]BatchIterator, len(left.iters))
 	for i := range left.iters {
 		var node *cluster.Node
 		if i < len(e.workers) {
 			node = e.workers[i]
+		}
+		if vecOK {
+			if core, ok := unwrapColCore(left.iters[i]); ok {
+				outIters[i] = &colProbeIter{
+					in:      core,
+					keyFns:  vecKeyFns,
+					table:   table,
+					buckets: buckets,
+					concat:  concat,
+					cost:    e.cost,
+					node:    node,
+				}
+				continue
+			}
 		}
 		outIters[i] = &probeIter{
 			in:       left.iters[i],
@@ -807,11 +844,22 @@ func compileKeys(keys []Expr, sc *scope, reg *Registry) ([]evalFn, error) {
 	return fns, nil
 }
 
-// execProject compiles the select list into streaming projection operators.
+// execProject compiles the select list into streaming projection
+// operators — columnar kernels assembling output batches from result
+// vectors when the engine runs columnar, per-row closures otherwise.
 func (e *Engine) execProject(items []SelectItem, in *dataset) (row.Schema, []BatchIterator, error) {
 	fns, schema, err := compileSelectList(items, in.sc, e.registry)
 	if err != nil {
 		return row.Schema{}, nil, err
+	}
+	if vfns, ok := e.vecSelectList(items, in.sc); ok {
+		inTypes := row.SchemaTypes(in.sc.combined())
+		outTypes := row.SchemaTypes(schema)
+		outIters := make([]BatchIterator, len(in.iters))
+		for i := range in.iters {
+			outIters[i] = rowsIter(newColProjectIter(asColIterator(in.iters[i], inTypes), vfns, outTypes))
+		}
+		return schema, outIters, nil
 	}
 	outIters := make([]BatchIterator, len(in.iters))
 	for i := range in.iters {
@@ -997,6 +1045,20 @@ func (e *Engine) orderBy(items []OrderItem, schema row.Schema, iters []BatchIter
 		}
 		specs[i] = orderSpec{fn: fn, desc: it.Desc}
 	}
+
+	// When the tail pipeline has a columnar core, the drain evaluates the
+	// sort keys column-wise per batch (one kernel pass per key instead of
+	// one closure call per row) and sorts the prepared runs.
+	if cores, ok := e.colSortCores(iters); ok {
+		exprs := make([]Expr, len(items))
+		for i, it := range items {
+			exprs[i] = it.Expr
+		}
+		if keyFns, ok := e.vecExprs(exprs, sc); ok {
+			return e.orderByColumnar(specs, keyFns, iters, cores)
+		}
+	}
+
 	parts, err := drainAll(iters)
 	if err != nil {
 		return nil, err
@@ -1010,6 +1072,83 @@ func (e *Engine) orderBy(items []OrderItem, schema row.Schema, iters []BatchIter
 	if err != nil {
 		return nil, err
 	}
+	for i, p := range parts {
+		if i < len(e.workers) && e.workers[i] != e.head {
+			e.cost.ChargeNet(e.workers[i], e.head, partBytes(p))
+		}
+	}
+	out := make([][]row.Row, len(parts))
+	out[0] = mergeRuns(specs, runs)
+	return out, nil
+}
+
+// colSortCores unwraps every partition's columnar core for the ORDER BY
+// drain. All-or-nothing: a single row-major partition keeps the whole sort
+// on the row path, so no partition pays a transpose just to sort.
+func (e *Engine) colSortCores(iters []BatchIterator) ([]colIterator, bool) {
+	if !e.columnar {
+		return nil, false
+	}
+	cores := make([]colIterator, len(iters))
+	for i := range iters {
+		c, ok := unwrapColCore(iters[i])
+		if !ok {
+			return nil, false
+		}
+		cores[i] = c
+	}
+	return cores, true
+}
+
+// orderByColumnar drains each partition's columnar core, evaluating sort
+// keys kernel-per-key over whole batches and materializing rows and key
+// rows together (both owning), then sorts and merges exactly like the row
+// path. iters are the row shells over the cores, closed per partition.
+func (e *Engine) orderByColumnar(specs []orderSpec, keyFns []vecFn, iters []BatchIterator, cores []colIterator) ([][]row.Row, error) {
+	parts := make([][]row.Row, len(cores))
+	keys := make([][]row.Row, len(cores))
+	err := forEachPart(len(cores), func(i int) error {
+		defer iters[i].Close()
+		var ctx vecCtx
+		kvecs := make([]*row.Vector, len(keyFns))
+		for {
+			b, ok, err := cores[i].NextCol()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			ctx.reclaim()
+			for ki, fn := range keyFns {
+				v, err := fn(&ctx, b, b.Sel())
+				if err != nil {
+					return err
+				}
+				kvecs[ki] = v
+			}
+			parts[i] = b.Rows(parts[i])
+			k := b.Len()
+			flat := make(row.Row, k*len(specs))
+			for si := 0; si < k; si++ {
+				p := b.SelPos(si)
+				kr := flat[si*len(specs) : (si+1)*len(specs) : (si+1)*len(specs)]
+				for ki, kv := range kvecs {
+					kr[ki] = kv.ValueAt(p)
+				}
+				keys[i] = append(keys[i], kr)
+			}
+		}
+	})
+	if err != nil {
+		closeAllIters(iters)
+		return nil, err
+	}
+	runs := make([]*sortedRun, len(parts))
+	forEachPart(len(parts), func(i int) error {
+		runs[i] = sortRunPrepared(specs, parts[i], keys[i])
+		return nil
+	})
 	for i, p := range parts {
 		if i < len(e.workers) && e.workers[i] != e.head {
 			e.cost.ChargeNet(e.workers[i], e.head, partBytes(p))

@@ -106,6 +106,37 @@ func (t *HashTable) Insert(key []byte) (idx uint32, added bool) {
 	}
 }
 
+// InsertKeys is the column-at-a-time Insert: it inserts a run of packed
+// keys — key i is flat[offs[i]:offs[i+1]], offs carrying one trailing
+// bound — appending each key's dense index to out (reused across batches
+// via out[:0]). Indices come out in insertion order, so a caller keeping a
+// dense payload slice detects a new key by out[i] == len(payloads) at the
+// moment it processes entry i.
+func (t *HashTable) InsertKeys(flat []byte, offs []uint32, out []uint32) []uint32 {
+	for i := 0; i+1 < len(offs); i++ {
+		idx, _ := t.Insert(flat[offs[i]:offs[i+1]])
+		out = append(out, idx)
+	}
+	return out
+}
+
+// htAbsent marks a missing key in LookupKeys results.
+const htAbsent = ^uint32(0)
+
+// LookupKeys is the column-at-a-time Lookup over the same packed-key run
+// shape as InsertKeys, appending each key's dense index — or htAbsent — to
+// out.
+func (t *HashTable) LookupKeys(flat []byte, offs []uint32, out []uint32) []uint32 {
+	for i := 0; i+1 < len(offs); i++ {
+		idx, ok := t.Lookup(flat[offs[i]:offs[i+1]])
+		if !ok {
+			idx = htAbsent
+		}
+		out = append(out, idx)
+	}
+	return out
+}
+
 // Lookup returns the dense index of key, if present.
 func (t *HashTable) Lookup(key []byte) (uint32, bool) {
 	h := hashNonZero(key)

@@ -57,6 +57,13 @@ func sortRun(specs []orderSpec, part []row.Row) (*sortedRun, error) {
 		}
 		keys[j] = kr
 	}
+	return sortRunPrepared(specs, part, keys), nil
+}
+
+// sortRunPrepared stably sorts a partition whose sort-key rows are already
+// evaluated and aligned index-for-index with the rows — the columnar drain
+// computes keys column-wise per batch and hands both slices here.
+func sortRunPrepared(specs []orderSpec, part, keys []row.Row) *sortedRun {
 	ord := make([]int, len(part))
 	for j := range ord {
 		ord[j] = j
@@ -68,7 +75,7 @@ func sortRun(specs []orderSpec, part []row.Row) (*sortedRun, error) {
 		rows[j] = part[o]
 		sortedKeys[j] = keys[o]
 	}
-	return &sortedRun{rows: rows, keys: sortedKeys}, nil
+	return &sortedRun{rows: rows, keys: sortedKeys}
 }
 
 // stableSortBy stably sorts ord under cmp applied to its elements — a

@@ -455,6 +455,44 @@ func (s *sendSource) consumeInput(k int, chans []*targetChannel, cfg SenderConfi
 	}
 	encoders := make([]row.BlockEncoder, k)
 	i := 0
+	// Columnar fast path: when the input is a thin cursor over the engine's
+	// columnar pipeline, encode wire frames straight from the batch's
+	// vectors — same round-robin slot assignment, same flush budget, and
+	// AppendBatchRow is byte-identical to Append, so the wire format cannot
+	// differ from the row path.
+	if proto >= row.WireProtoBlock {
+		if cb, ok := sqlengine.AsColBatchSource(in); ok {
+			for {
+				b, ok, err := cb.NextColBatch()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					break
+				}
+				n := b.Len()
+				for si := 0; si < n; si++ {
+					j := i % k
+					i++
+					enc := &encoders[j]
+					enc.AppendBatchRow(b, b.SelPos(si))
+					if enc.Rows() >= cfg.BlockRows || enc.Len() >= cfg.BlockBytes {
+						rows := int64(enc.Rows())
+						if err := flush(j, enc.Finish(), rows); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			for j := range encoders {
+				rows := int64(encoders[j].Rows())
+				if err := flush(j, encoders[j].Finish(), rows); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
 	for {
 		r, ok, err := in.Next()
 		if err != nil {

@@ -199,6 +199,92 @@ func codingUDF(name string, fn codingFn) *sqlengine.TableUDF {
 				}
 				plans[idx] = colPlan{n: n, t: t, encode: encode}
 			}
+			// Columnar fast path: when the partition input is a thin cursor
+			// over a columnar pipeline, expand whole batches — passthrough
+			// columns copy cell-by-cell without boxing into Values, and each
+			// level's coding row is computed once and reused. The emit
+			// boundary stays row-at-a-time so the engine's per-row Conforms
+			// check still guards every output row.
+			if cb, ok := sqlengine.AsColBatchSource(in); ok {
+				var outTypes []row.Type
+				for i, c := range ctx.InSchema.Cols {
+					if plan, coded := plans[i]; coded {
+						for j := 0; j < plan.n; j++ {
+							outTypes = append(outTypes, plan.t)
+						}
+						continue
+					}
+					outTypes = append(outTypes, c.Type)
+				}
+				out := row.NewColBatch(outTypes)
+				levels := make(map[int][]row.Row)
+				var buf []row.Row
+				for {
+					b, ok, err := cb.NextColBatch()
+					if err != nil {
+						return err
+					}
+					if !ok {
+						return nil
+					}
+					k := b.Len()
+					if k == 0 {
+						continue
+					}
+					out.Reset(outTypes)
+					oc := 0
+					for i := 0; i < b.NumCols(); i++ {
+						col := b.Col(i)
+						plan, coded := plans[i]
+						if !coded {
+							ov := out.Col(oc)
+							oc++
+							for si := 0; si < k; si++ {
+								ov.AppendFrom(col, b.SelPos(si))
+							}
+							continue
+						}
+						base := oc
+						oc += plan.n
+						for si := 0; si < k; si++ {
+							p := b.SelPos(si)
+							if col.Null(p) {
+								for j := 0; j < plan.n; j++ {
+									out.Col(base + j).AppendNull()
+								}
+								continue
+							}
+							level := col.Ints[p]
+							var lr row.Row
+							if cache := levels[i]; level >= 1 && int64(len(cache)) >= level && cache[level-1] != nil {
+								lr = cache[level-1]
+							} else {
+								lr, err = plan.encode(level)
+								if err != nil {
+									return fmt.Errorf("column %q: %w", ctx.InSchema.Cols[i].Name, err)
+								}
+								if level >= 1 {
+									for int64(len(cache)) < level {
+										cache = append(cache, nil)
+									}
+									cache[level-1] = lr
+									levels[i] = cache
+								}
+							}
+							for j := 0; j < plan.n; j++ {
+								out.Col(base + j).AppendValue(lr[j])
+							}
+						}
+					}
+					out.SetFullLen(k)
+					buf = out.Rows(buf[:0])
+					for _, r := range buf {
+						if err := emit(r); err != nil {
+							return err
+						}
+					}
+				}
+			}
 			for {
 				r, ok, err := in.Next()
 				if err != nil {

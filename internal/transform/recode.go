@@ -73,6 +73,21 @@ func (m *RecodeMap) ID(col, val string) (int64, bool) {
 	return id, ok
 }
 
+// IDBytes is ID for a byte-sliced value: the columnar recode path looks
+// codes up straight out of a vector's payload slab — the string(val) key
+// conversion inside a map index does not allocate.
+func (m *RecodeMap) IDBytes(col string, val []byte) (int64, bool) {
+	codes, ok := m.cols[col]
+	if !ok {
+		codes, ok = m.cols[strings.ToLower(col)]
+		if !ok {
+			return 0, false
+		}
+	}
+	id, ok := codes[string(val)]
+	return id, ok
+}
+
 // Cardinality returns the number of distinct values of a column.
 func (m *RecodeMap) Cardinality(col string) int {
 	codes, ok := m.cols[col]

@@ -1,0 +1,58 @@
+#!/bin/sh
+# Renders a benchstat-style old-vs-new comparison of two
+# BENCH_hotpath.json files (as written by scripts/bench_hotpath.sh): one
+# line per benchmark and metric with the relative change. Negative deltas
+# mean the new run is cheaper. CI runs this against the committed
+# baseline and archives the table next to the raw numbers.
+#
+#   scripts/bench_compare.sh old.json new.json [report.txt]
+set -eu
+
+old="$1"
+new="$2"
+out="${3:-/dev/stdout}"
+
+awk -v oldf="$old" -v newf="$new" '
+function parse(file, vals,    line, n, parts, i, key, rest, bench) {
+    while ((getline line < file) > 0) {
+        n = split(line, parts, "\"")
+        if (n < 4 || parts[2] != "benchmark") continue
+        bench = parts[4]
+        if (!(bench in seen)) { seen[bench] = 1; ord[++nord] = bench }
+        for (i = 6; i < n; i += 2) {
+            key = parts[i]
+            rest = parts[i + 1]
+            if (match(rest, /[0-9][0-9.]*/))
+                vals[bench SUBSEP key] = substr(rest, RSTART, RLENGTH) + 0
+        }
+    }
+    close(file)
+}
+BEGIN {
+    nm = split("ns/op B/op allocs/op", metrics, " ")
+    parse(oldf, o)
+    parse(newf, w)
+    printf "%-20s %-10s %15s %15s %9s\n", "benchmark", "metric", "old", "new", "delta"
+    for (i = 1; i <= nord; i++) {
+        b = ord[i]
+        for (j = 1; j <= nm; j++) {
+            m = metrics[j]
+            ko = b SUBSEP m
+            if (!(ko in o) && !(ko in w)) continue
+            os = (ko in o) ? sprintf("%d", o[ko]) : "-"
+            ns = (ko in w) ? sprintf("%d", w[ko]) : "-"
+            if ((ko in o) && (ko in w) && o[ko] > 0)
+                d = sprintf("%+.1f%%", (w[ko] - o[ko]) * 100.0 / o[ko])
+            else if (!(ko in w))
+                d = "gone"
+            else
+                d = "new"
+            printf "%-20s %-10s %15s %15s %9s\n", b, m, os, ns, d
+        }
+    }
+}
+' > "$out"
+if [ "$out" != /dev/stdout ]; then
+    echo "wrote $out:"
+    cat "$out"
+fi

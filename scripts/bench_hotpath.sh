@@ -1,23 +1,25 @@
 #!/bin/sh
 # Runs the engine hot-path benchmarks (GroupBy / HashJoin / Distinct /
-# OrderBy — the arena hash-table + parallel sort-merge paths) and dumps
-# the results as JSON.
+# OrderBy — the arena hash-table + parallel sort-merge paths — plus the
+# Filter/Project row-vs-columnar pairs measuring the vectorized executor
+# against the row-at-a-time one) and dumps the results as JSON.
 #
 #   scripts/bench_hotpath.sh [output.json]
 #
 # Output: one object per benchmark with ns/op, B/op and allocs/op — the
-# numbers the allocation-free hash-path work tracks across PRs.
+# numbers the allocation-free hash-path and columnar-kernel work tracks
+# across PRs.
 set -eu
 
 out="${1:-BENCH_hotpath.json}"
 cd "$(dirname "$0")/.."
 
 raw=$(go test -run '^$' \
-    -bench 'BenchmarkGroupBy$|BenchmarkHashJoin$|BenchmarkDistinct$|BenchmarkOrderBy$' \
+    -bench 'BenchmarkGroupBy$|BenchmarkHashJoin$|BenchmarkDistinct$|BenchmarkOrderBy$|BenchmarkFilter/|BenchmarkProject/' \
     -benchmem -benchtime 1x ./internal/sqlengine/)
 
 echo "$raw" | awk -v out="$out" '
-/^Benchmark(GroupBy|HashJoin|Distinct|OrderBy)/ {
+/^Benchmark(GroupBy|HashJoin|Distinct|OrderBy|Filter|Project)/ {
     name = $1
     sub(/^Benchmark/, "", name)
     sub(/-[0-9]+$/, "", name)
