@@ -1,0 +1,40 @@
+// Fixture for the pool-drain patterns of the morsel-driven executor:
+// concurrent workers pulling one partition's batches under a mutex. The
+// copy-out-before-release idiom (pipeCursor) must pass; publishing the
+// batch by reference to a buffer that outlives the next Next must not.
+package batchretain
+
+import "sync"
+
+type partCursor struct {
+	mu   sync.Mutex
+	it   *iter
+	held []RowBatch
+}
+
+// Good: the pipeCursor shape — the batch's row headers are copied into
+// the worker's own buffer while the partition lock pins the producer;
+// nothing aliasing the batch survives the pull.
+func (c *partCursor) goodPull(buf []Row) ([]Row, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, ok, _ := c.it.Next()
+	if !ok {
+		return nil, false
+	}
+	return append(buf[:0], b...), true
+}
+
+// Bad: parking the batch itself in shared state — the next worker's pull
+// recycles the container this slice still points at.
+func (c *partCursor) badPublish() {
+	for {
+		b, ok, _ := c.it.Next()
+		if !ok {
+			return
+		}
+		c.mu.Lock()
+		c.held = append(c.held, b) // want `appended by reference`
+		c.mu.Unlock()
+	}
+}

@@ -202,10 +202,17 @@ type outputCol struct {
 }
 
 // execAggregate evaluates an aggregate query: streaming partial
-// aggregation per partition in parallel (a pipeline breaker, but one that
-// holds O(groups) memory, never the full input), then a merge at the head
-// node. The merged result occupies partition 0.
-func (e *Engine) execAggregate(sel *SelectStmt, in *dataset) (row.Schema, [][]row.Row, error) {
+// aggregation per partition on the query pool (a pipeline breaker, but
+// one that holds O(groups) memory, never the full input), then a merge at
+// the head node. The merged result occupies partition 0.
+//
+// Partials stay partition-scoped rather than worker- or morsel-scoped on
+// purpose: SUM/AVG over DOUBLE accumulate in floating point, where
+// addition order is observable, so the partial boundaries must be a
+// deterministic function of the input for the output to stay
+// byte-identical at any Parallelism — and identical to the pre-pool
+// engine, whose partials were also per partition.
+func (e *Engine) execAggregate(qp *queryPool, sel *SelectStmt, in *dataset) (row.Schema, [][]row.Row, error) {
 	// Compile group keys.
 	keyFns := make([]evalFn, len(sel.GroupBy))
 	keyStrs := make([]string, len(sel.GroupBy))
@@ -330,8 +337,9 @@ func (e *Engine) execAggregate(sel *SelectStmt, in *dataset) (row.Schema, [][]ro
 	// arena hash table maps each row's key bytes (encoded into a reused
 	// scratch buffer) to a dense group index; the key values are
 	// materialized into a row only when a new group is created.
+	primeIters(in.iters)
 	partials := make([][]*group, len(in.iters))
-	err := forEachPart(len(in.iters), func(i int) error {
+	err := qp.forEach(len(in.iters), func(i, _ int) error {
 		defer in.iters[i].Close()
 		ht := NewHashTable(0)
 		var groups []*group
@@ -345,6 +353,9 @@ func (e *Engine) execAggregate(sel *SelectStmt, in *dataset) (row.Schema, [][]ro
 			var offs []uint32
 			var idxs []uint32
 			for {
+				if qp.cancelled() {
+					return errQueryCancelled
+				}
 				b, ok, err := cit.NextCol()
 				if err != nil {
 					return err
@@ -410,6 +421,9 @@ func (e *Engine) execAggregate(sel *SelectStmt, in *dataset) (row.Schema, [][]ro
 		keyVals := make(row.Row, len(keyFns))
 		it := &batchRows{in: in.iters[i]}
 		for {
+			if len(it.cur) == it.i && qp.cancelled() {
+				return errQueryCancelled
+			}
 			r, ok, err := it.Next()
 			if err != nil {
 				return err

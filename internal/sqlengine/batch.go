@@ -85,23 +85,6 @@ func drainBatches(it BatchIterator) ([]row.Row, error) {
 	}
 }
 
-// drainAll materializes every partition of a pipeline in parallel (one
-// goroutine per partition, like every other per-partition pass). On error
-// the remaining iterators are closed.
-func drainAll(iters []BatchIterator) ([][]row.Row, error) {
-	parts := make([][]row.Row, len(iters))
-	err := forEachPart(len(iters), func(i int) error {
-		p, err := drainBatches(iters[i])
-		parts[i] = p
-		return err
-	})
-	if err != nil {
-		closeAllIters(iters)
-		return nil, err
-	}
-	return parts, nil
-}
-
 func closeAllIters(iters []BatchIterator) {
 	for _, it := range iters {
 		if it != nil {

@@ -17,9 +17,17 @@ func benchEngine(b *testing.B, facts, dims int) *Engine {
 // benchEngineMode is benchEngine with the columnar path toggled — the
 // row-vs-columnar benchmarks measure the same query on both executors.
 func benchEngineMode(b *testing.B, facts, dims int, disableColumnar bool) *Engine {
+	return benchEngineCfg(b, facts, dims, Config{DisableColumnar: disableColumnar})
+}
+
+// benchEngineCfg is the fully configurable loader — the morsel-parallelism
+// benchmarks vary Config.Parallelism over the same data.
+func benchEngineCfg(b *testing.B, facts, dims int, cfg Config) *Engine {
 	b.Helper()
 	topo := cluster.NewTopology(5)
-	e, err := New(topo, nil, Config{HeadNodeID: 0, WorkerNodeIDs: []int{1, 2, 3, 4}, DisableColumnar: disableColumnar})
+	cfg.HeadNodeID = 0
+	cfg.WorkerNodeIDs = []int{1, 2, 3, 4}
+	e, err := New(topo, nil, cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -142,6 +150,33 @@ func BenchmarkFilter(b *testing.B) {
 
 func BenchmarkProject(b *testing.B) {
 	benchModes(b, "SELECT v * 2.0 - 1.0, id + dimid, v / 4.0 FROM fact WHERE v > 100.0")
+}
+
+// The P1/P4 pairs below measure the morsel-driven pool directly: the same
+// query with the pool pinned to one worker (the sequential oracle) and to
+// four. Output is byte-identical by construction (the parallelism property
+// tests enforce it); only the wall clock may differ.
+// scripts/bench_hotpath.sh folds their numbers into BENCH_hotpath.json.
+
+func benchParallelism(b *testing.B, sql string) {
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("P%d", par), func(b *testing.B) {
+			e := benchEngineCfg(b, 50_000, 100, Config{Parallelism: par})
+			runQuery(b, e, sql)
+		})
+	}
+}
+
+func BenchmarkParGroupBy(b *testing.B) {
+	benchParallelism(b, "SELECT cat, dimid, COUNT(*), SUM(v), MIN(v), MAX(v) FROM fact GROUP BY cat, dimid")
+}
+
+func BenchmarkParHashJoin(b *testing.B) {
+	benchParallelism(b, "SELECT f.id, f.v, d.name FROM fact f, dim d WHERE f.dimid = d.id AND f.v > 250")
+}
+
+func BenchmarkParOrderBy(b *testing.B) {
+	benchParallelism(b, "SELECT id, v FROM fact ORDER BY v DESC, id")
 }
 
 func BenchmarkEngineParse(b *testing.B) {

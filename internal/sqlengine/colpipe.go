@@ -143,6 +143,10 @@ func (p *colProjectIter) NextCol() (*row.ColBatch, bool, error) {
 	}
 	p.ctx.reclaim()
 	if p.out == nil {
+		// Deliberately NOT pooled: passthrough kernels return input column
+		// headers, so out's vectors can alias the scan's pooled batch —
+		// returning both to the pool would hand the same backing arrays to
+		// two future owners.
 		p.out = row.NewColBatch(p.types)
 	}
 	for i, fn := range p.fns {
@@ -231,23 +235,21 @@ func (e *Engine) vecSelectList(items []SelectItem, sc *scope) ([]vecFn, bool) {
 
 // colProbeIter is the columnar hash-join probe: key kernels run over the
 // whole batch at its live positions, the per-position norm keys probe the
-// build table through the column-at-a-time LookupKeys entry point, and a
-// probe row is materialized only on a match. It produces row batches — the
-// concat closure makes owning output rows, same as the row probe.
+// sharded build table, and a probe row is materialized only on a match.
+// It produces row batches — the concat closure makes owning output rows,
+// same as the row probe.
 type colProbeIter struct {
-	in      colIterator
-	keyFns  []vecFn
-	ctx     vecCtx
-	table   *HashTable
-	buckets [][]row.Row
-	concat  func(probeRow, buildRow row.Row) row.Row
-	cost    *cluster.CostModel
-	node    *cluster.Node
+	in     colIterator
+	keyFns []vecFn
+	ctx    vecCtx
+	build  *buildTable // read-only, shared across probe workers
+	concat func(probeRow, buildRow row.Row) row.Row
+	cost   *cluster.CostModel
+	node   *cluster.Node
 
 	kvecs    []*row.Vector
 	keyFlat  []byte
 	keyOffs  []uint32
-	keyIdxs  []uint32
 	nullKey  []bool
 	probeRow row.Row
 	buf      []row.Row
@@ -301,13 +303,12 @@ func (p *colProbeIter) Next() (RowBatch, bool, error) {
 			}
 			p.keyOffs = append(p.keyOffs, uint32(len(p.keyFlat)))
 		}
-		p.keyIdxs = p.table.LookupKeys(p.keyFlat, p.keyOffs, p.keyIdxs[:0])
 		out := p.buf[:0]
 		for si := 0; si < k; si++ {
-			if p.nullKey[si] || p.keyIdxs[si] == htAbsent {
+			if p.nullKey[si] {
 				continue
 			}
-			bucket := p.buckets[p.keyIdxs[si]]
+			bucket := p.build.bucket(p.keyFlat[p.keyOffs[si]:p.keyOffs[si+1]])
 			if len(bucket) == 0 {
 				continue
 			}

@@ -26,12 +26,22 @@ import (
 // setting, returning the engine.
 func nullableTables(t testing.TB, rng *rand.Rand, workers, nl, nr int, disableColumnar bool) *Engine {
 	t.Helper()
+	return nullableTablesCfg(t, rng, workers, nl, nr, Config{DisableColumnar: disableColumnar})
+}
+
+// nullableTablesCfg is nullableTables with full Config control (the
+// parallelism property tests vary Parallelism alongside the columnar
+// switch). cfg's topology fields are filled in here.
+func nullableTablesCfg(t testing.TB, rng *rand.Rand, workers, nl, nr int, cfg Config) *Engine {
+	t.Helper()
 	topo := cluster.NewTopology(workers + 1)
 	ids := make([]int, workers)
 	for i := range ids {
 		ids[i] = i + 1
 	}
-	e, err := New(topo, nil, Config{HeadNodeID: 0, WorkerNodeIDs: ids, DisableColumnar: disableColumnar})
+	cfg.HeadNodeID = 0
+	cfg.WorkerNodeIDs = ids
+	e, err := New(topo, nil, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -203,7 +203,7 @@ func TestColProbeIterUnderVectorRecycling(t *testing.T) {
 		p := &colProbeIter{
 			in:     probe,
 			keyFns: []vecFn{colKey},
-			table:  table, buckets: buckets,
+			build:  &buildTable{shards: []*HashTable{table}, buckets: [][][]row.Row{buckets}},
 			concat: func(probeRow, buildRow row.Row) row.Row {
 				out := make(row.Row, 0, len(probeRow)+len(buildRow))
 				out = append(out, probeRow...)

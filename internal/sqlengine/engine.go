@@ -22,6 +22,14 @@ type Config struct {
 	// operators to the row path as an oracle, and the benchmarks measure
 	// the same query both ways.
 	DisableColumnar bool
+
+	// Parallelism bounds how many pool workers one query may run
+	// concurrently (morsel dispatch, partition drains, parallel hash
+	// build, sort runs). Zero selects the default, one worker per
+	// available CPU (runtime.GOMAXPROCS). Parallelism: 1 is the
+	// sequential oracle: every parallel schedule must produce output
+	// byte-identical to it, the companion switch to DisableColumnar.
+	Parallelism int
 }
 
 // Engine is the MPP SQL engine: a catalog of partitioned tables, a UDF
@@ -33,9 +41,10 @@ type Engine struct {
 	workers []*cluster.Node
 	head    *cluster.Node
 
-	catalog  *Catalog
-	registry *Registry
-	columnar bool
+	catalog     *Catalog
+	registry    *Registry
+	columnar    bool
+	parallelism int
 }
 
 // New creates an engine on the given topology. cost may be nil (no
@@ -44,13 +53,17 @@ func New(topo *cluster.Topology, cost *cluster.CostModel, cfg Config) (*Engine, 
 	if len(cfg.WorkerNodeIDs) == 0 {
 		return nil, fmt.Errorf("sql: engine needs at least one worker node")
 	}
+	if cfg.Parallelism < 0 {
+		return nil, fmt.Errorf("sql: negative Parallelism %d", cfg.Parallelism)
+	}
 	e := &Engine{
-		topo:     topo,
-		cost:     cost,
-		head:     topo.Node(cfg.HeadNodeID),
-		catalog:  NewCatalog(),
-		registry: NewRegistry(),
-		columnar: !cfg.DisableColumnar,
+		topo:        topo,
+		cost:        cost,
+		head:        topo.Node(cfg.HeadNodeID),
+		catalog:     NewCatalog(),
+		registry:    NewRegistry(),
+		columnar:    !cfg.DisableColumnar,
+		parallelism: cfg.Parallelism,
 	}
 	seen := make(map[int]bool)
 	for _, id := range cfg.WorkerNodeIDs {
@@ -65,6 +78,9 @@ func New(topo *cluster.Topology, cost *cluster.CostModel, cfg Config) (*Engine, 
 
 // NumWorkers returns the number of SQL workers.
 func (e *Engine) NumWorkers() int { return len(e.workers) }
+
+// Parallelism returns the engine's effective per-query worker budget.
+func (e *Engine) Parallelism() int { return resolveParallelism(e.parallelism) }
 
 // WorkerNode returns the node hosting worker i.
 func (e *Engine) WorkerNode(i int) *cluster.Node { return e.workers[i] }
@@ -170,8 +186,9 @@ type Result struct {
 	mu       sync.Mutex
 	stream   []BatchIterator
 	parts    [][]row.Row
-	done     bool // parts is valid
-	consumed bool // stream handed off or drained
+	done     bool       // parts is valid
+	consumed bool       // stream handed off or drained
+	pool     *queryPool // the query's worker pool; nil on ad-hoc results
 }
 
 // NewResult wraps materialized partitions as a result.
@@ -191,28 +208,37 @@ func (r *Result) Streaming() bool {
 	return r.stream != nil
 }
 
-// Materialize drains a streaming result into in-memory partitions, one
-// goroutine per partition (pipelines whose partitions coordinate — like
-// the stream sender — require this parallel drain). It is idempotent; on
-// a materialized result it is a no-op.
+// Materialize drains a streaming result into in-memory partitions on the
+// query's pool (pipelines whose partitions coordinate — like the stream
+// sender — are primed first, so any pool size drains them). It is
+// idempotent; on a materialized result it is a no-op. The drain runs
+// outside the result lock so a concurrent Close can cancel it mid-flight.
 func (r *Result) Materialize() error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.done {
+		r.mu.Unlock()
 		return nil
 	}
 	if r.stream == nil {
+		r.mu.Unlock()
 		return fmt.Errorf("sql: streaming result already consumed")
 	}
 	s := r.stream
 	r.stream = nil
 	r.consumed = true
-	parts, err := drainAll(s)
+	pool := r.pool
+	r.mu.Unlock()
+	if pool == nil {
+		pool = newQueryPool(0)
+	}
+	parts, err := pool.drainAll(s)
 	if err != nil {
 		return err
 	}
+	r.mu.Lock()
 	r.parts = parts
 	r.done = true
+	r.mu.Unlock()
 	return nil
 }
 
@@ -255,8 +281,11 @@ func (r *Result) NumParts() int {
 	return len(r.stream)
 }
 
-// Close releases an unconsumed streaming pipeline without draining it.
-// Safe on any result, any number of times.
+// Close releases an unconsumed streaming pipeline without draining it,
+// and cancels the query's pool so any in-flight parallel pass (a
+// Materialize racing on another goroutine, pool tasks between batches)
+// tears down instead of completing. Safe on any result, any number of
+// times.
 func (r *Result) Close() {
 	r.mu.Lock()
 	s := r.stream
@@ -264,7 +293,11 @@ func (r *Result) Close() {
 	if s != nil {
 		r.consumed = true
 	}
+	pool := r.pool
 	r.mu.Unlock()
+	if pool != nil {
+		pool.Cancel()
+	}
 	closeAllIters(s)
 }
 
@@ -344,27 +377,6 @@ func partBytes(p []row.Row) int {
 		n += rowBytes(r)
 	}
 	return n
-}
-
-// forEachPart runs f(i) for every partition index in parallel and returns
-// the first error.
-func forEachPart(n int, f func(i int) error) error {
-	var wg sync.WaitGroup
-	errs := make([]error, n)
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			errs[i] = f(i)
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // hashKey appends r's canonical key encoding to scratch and returns the

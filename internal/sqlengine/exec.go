@@ -168,6 +168,11 @@ func (e *Engine) ExecSelect(sel *SelectStmt) (res *Result, retErr error) {
 	if len(sel.From) == 0 {
 		return nil, fmt.Errorf("sql: SELECT requires a FROM clause")
 	}
+	// One worker pool per query: every parallel pass of this plan — breaker
+	// drains, partial aggregation, hash build, sort runs, DISTINCT — claims
+	// tasks from it, and it carries the query-wide cancellation that the
+	// returned Result's Close trips.
+	qp := newQueryPool(e.parallelism)
 
 	// Every iterator ever created is recorded here; if planning fails the
 	// whole set is closed (Close is idempotent, and wrappers cascade).
@@ -202,7 +207,7 @@ func (e *Engine) ExecSelect(sel *SelectStmt) (res *Result, retErr error) {
 			err    error
 		)
 		if item.Func != nil {
-			schema, iters, err = e.execTableFunc(item.Func)
+			schema, iters, err = e.execTableFunc(qp, item.Func)
 		} else {
 			var t *Table
 			t, err = e.catalog.Get(item.Table)
@@ -361,7 +366,7 @@ func (e *Engine) ExecSelect(sel *SelectStmt) (res *Result, retErr error) {
 				c.used = true
 			}
 		}
-		joined, err := e.hashJoin(cur, &dataset{sc: nextScope, iters: s.iters}, leftKeys, rightKeys)
+		joined, err := e.hashJoin(qp, cur, &dataset{sc: nextScope, iters: s.iters}, leftKeys, rightKeys)
 		if err != nil {
 			return nil, err
 		}
@@ -411,7 +416,7 @@ func (e *Engine) ExecSelect(sel *SelectStmt) (res *Result, retErr error) {
 		err       error
 	)
 	if hasAgg {
-		outSchema, outParts, err = e.execAggregate(sel, cur)
+		outSchema, outParts, err = e.execAggregate(qp, sel, cur)
 	} else {
 		outSchema, outIters, err = e.execProject(sel.Items, cur)
 		streaming = true
@@ -443,21 +448,21 @@ func (e *Engine) ExecSelect(sel *SelectStmt) (res *Result, retErr error) {
 		if err != nil {
 			return nil, err
 		}
-		outParts, err = e.filterParts(outParts, pred)
+		outParts, err = e.filterParts(qp, outParts, pred)
 		if err != nil {
 			return nil, err
 		}
 	}
 
 	if sel.Distinct {
-		outParts, err = e.distinct(tailIters())
+		outParts, err = e.distinct(qp, tailIters())
 		if err != nil {
 			return nil, err
 		}
 	}
 
 	if len(sel.OrderBy) > 0 {
-		outParts, err = e.orderBy(sel.OrderBy, outSchema, tailIters())
+		outParts, err = e.orderBy(qp, sel.OrderBy, outSchema, tailIters())
 		if err != nil {
 			return nil, err
 		}
@@ -471,9 +476,12 @@ func (e *Engine) ExecSelect(sel *SelectStmt) (res *Result, retErr error) {
 	}
 
 	if streaming {
-		return NewStreamingResult(outSchema, outIters), nil
+		res = NewStreamingResult(outSchema, outIters)
+	} else {
+		res = NewResult(outSchema, outParts)
 	}
-	return NewResult(outSchema, outParts), nil
+	res.pool = qp
+	return res, nil
 }
 
 func sideIn(refs map[int]bool, in map[int]bool) bool {
@@ -504,11 +512,11 @@ func compilePredicate(ex Expr, sc *scope, reg *Registry) (evalFn, row.Type, erro
 	return fn, t, nil
 }
 
-// filterParts applies a predicate to every materialized partition in
-// parallel (used by HAVING, whose input the aggregate already drained).
-func (e *Engine) filterParts(parts [][]row.Row, pred evalFn) ([][]row.Row, error) {
+// filterParts applies a predicate to every materialized partition on the
+// query pool (used by HAVING, whose input the aggregate already drained).
+func (e *Engine) filterParts(qp *queryPool, parts [][]row.Row, pred evalFn) ([][]row.Row, error) {
 	out := make([][]row.Row, len(parts))
-	err := forEachPart(len(parts), func(i int) error {
+	err := qp.forEach(len(parts), func(i, _ int) error {
 		var kept []row.Row
 		for _, r := range parts[i] {
 			v, err := pred(r)
@@ -607,7 +615,7 @@ func (e *Engine) pickWorker(locations []string, loads []int64) int {
 // for them. Global UDFs are pipeline breakers: gather input to the head,
 // run once, scatter output. Every emitted row is checked against the
 // declared output schema so a misbehaving UDF fails loudly.
-func (e *Engine) execTableFunc(call *TableFuncCall) (row.Schema, []BatchIterator, error) {
+func (e *Engine) execTableFunc(qp *queryPool, call *TableFuncCall) (row.Schema, []BatchIterator, error) {
 	udf, ok := e.registry.Table(call.Name)
 	if !ok {
 		return row.Schema{}, nil, fmt.Errorf("sql: unknown table function %q", call.Name)
@@ -672,7 +680,7 @@ func (e *Engine) execTableFunc(call *TableFuncCall) (row.Schema, []BatchIterator
 	}
 
 	// Global UDF: gather input to the head node, run once, scatter output.
-	inParts, err := drainAll(inIters)
+	inParts, err := qp.drainAll(inIters)
 	if err != nil {
 		return row.Schema{}, nil, err
 	}
@@ -714,7 +722,9 @@ func (e *Engine) execTableFunc(call *TableFuncCall) (row.Schema, []BatchIterator
 // side streams through probe operators — a pipelined broadcast hash join.
 // With no keys it degrades to a broadcast nested-loop (cartesian) join.
 // Output binding order is always left-then-right, matching FROM order.
-func (e *Engine) hashJoin(left, right *dataset, leftKeys, rightKeys []Expr) (*dataset, error) {
+// Drain and build both run on the query pool: the drain partition-wise,
+// the build as morsel key scans plus hash-sharded inserts (joinbuild.go).
+func (e *Engine) hashJoin(qp *queryPool, left, right *dataset, leftKeys, rightKeys []Expr) (*dataset, error) {
 	outScope := newScope()
 	for _, b := range left.sc.bindings {
 		if err := outScope.add(b.name, b.schema); err != nil {
@@ -737,7 +747,7 @@ func (e *Engine) hashJoin(left, right *dataset, leftKeys, rightKeys []Expr) (*da
 	}
 
 	// Drain the build side (pipeline breaker).
-	buildParts, err := drainAll(right.iters)
+	buildParts, err := qp.drainAll(right.iters)
 	if err != nil {
 		return nil, err
 	}
@@ -753,33 +763,19 @@ func (e *Engine) hashJoin(left, right *dataset, leftKeys, rightKeys []Expr) (*da
 		}
 	}
 
-	// Build the hash table (shared read-only across probe workers): the
-	// arena table maps key bytes to dense bucket indices, the buckets slice
-	// holds the build rows per key. One scratch buffer serves every build
-	// row — no per-row key allocation.
-	table := NewHashTable(0)
-	var buckets [][]row.Row
+	// Build the sharded hash table (shared read-only across probe workers)
+	// on the pool; a key-less (cartesian) join just concatenates the build
+	// rows instead.
+	var build *buildTable
 	var buildAll []row.Row
-	var keyBuf []byte
-	for _, bp := range buildParts {
-		for _, r := range bp {
-			if len(buildKeyFns) == 0 {
-				buildAll = append(buildAll, r)
-				continue
-			}
-			key, nullKey, err := appendEvalKey(keyBuf[:0], buildKeyFns, r)
-			keyBuf = key
-			if err != nil {
-				return nil, err
-			}
-			if nullKey {
-				continue
-			}
-			idx, added := table.Insert(key)
-			if added {
-				buckets = append(buckets, nil)
-			}
-			buckets[idx] = append(buckets[idx], r)
+	if len(buildKeyFns) == 0 {
+		for _, bp := range buildParts {
+			buildAll = append(buildAll, bp...)
+		}
+	} else {
+		build, err = buildHashTable(qp, buildParts, buildKeyFns)
+		if err != nil {
+			return nil, err
 		}
 	}
 
@@ -807,13 +803,12 @@ func (e *Engine) hashJoin(left, right *dataset, leftKeys, rightKeys []Expr) (*da
 		if vecOK {
 			if core, ok := unwrapColCore(left.iters[i]); ok {
 				outIters[i] = &colProbeIter{
-					in:      core,
-					keyFns:  vecKeyFns,
-					table:   table,
-					buckets: buckets,
-					concat:  concat,
-					cost:    e.cost,
-					node:    node,
+					in:     core,
+					keyFns: vecKeyFns,
+					build:  build,
+					concat: concat,
+					cost:   e.cost,
+					node:   node,
 				}
 				continue
 			}
@@ -821,8 +816,7 @@ func (e *Engine) hashJoin(left, right *dataset, leftKeys, rightKeys []Expr) (*da
 		outIters[i] = &probeIter{
 			in:       left.iters[i],
 			keyFns:   probeKeyFns,
-			table:    table,
-			buckets:  buckets,
+			build:    build,
 			buildAll: buildAll,
 			concat:   concat,
 			cost:     e.cost,
@@ -939,65 +933,13 @@ func makeOutputSchema(names []string, types []row.Type) (row.Schema, error) {
 	return row.NewSchema(cols...)
 }
 
-// distinct de-duplicates rows (pipeline breaker): a streaming local pass
-// holding only distinct rows, hash repartition so equal rows colocate,
-// then a second local pass. Both passes share the arena hash table and
-// the key codec's scratch buffer — no per-row key allocation.
-func (e *Engine) distinct(iters []BatchIterator) ([][]row.Row, error) {
-	dedup := func(next func() (row.Row, bool, error), hint int) ([]row.Row, error) {
-		seen := NewHashTable(hint)
-		var keyBuf []byte
-		var out []row.Row
-		for {
-			r, ok, err := next()
-			if err != nil {
-				return nil, err
-			}
-			if !ok {
-				return out, nil
-			}
-			keyBuf = row.AppendKey(keyBuf[:0], r)
-			if _, added := seen.Insert(keyBuf); added {
-				out = append(out, r)
-			}
-		}
-	}
-	local := make([][]row.Row, len(iters))
-	err := forEachPart(len(iters), func(i int) error {
-		defer iters[i].Close()
-		it := &batchRows{in: iters[i]}
-		out, err := dedup(it.Next, 0)
-		local[i] = out
-		return err
-	})
-	if err != nil {
-		closeAllIters(iters)
-		return nil, err
-	}
-	shuffled := e.repartitionByKey(local)
-	final := make([][]row.Row, len(shuffled))
-	err = forEachPart(len(shuffled), func(i int) error {
-		rows, j := shuffled[i], 0
-		out, err := dedup(func() (row.Row, bool, error) {
-			if j >= len(rows) {
-				return nil, false, nil
-			}
-			r := rows[j]
-			j++
-			return r, true, nil
-		}, len(rows))
-		final[i] = out
-		return err
-	})
-	return final, err
-}
-
 // repartitionByKey moves rows so that equal rows colocate (hashing each
 // row's canonical key bytes), charging network for cross-worker movement.
-func (e *Engine) repartitionByKey(parts [][]row.Row) [][]row.Row {
+// The per-source bucketing runs on the query pool.
+func (e *Engine) repartitionByKey(qp *queryPool, parts [][]row.Row) ([][]row.Row, error) {
 	n := len(parts)
 	buckets := make([][][]row.Row, n) // [src][dst]rows
-	forEachPart(n, func(i int) error {
+	err := qp.forEach(n, func(i, _ int) error {
 		b := make([][]row.Row, n)
 		var scratch []byte
 		var h uint64
@@ -1009,6 +951,9 @@ func (e *Engine) repartitionByKey(parts [][]row.Row) [][]row.Row {
 		buckets[i] = b
 		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	out := make([][]row.Row, n)
 	for src := 0; src < n; src++ {
 		for dst := 0; dst < n; dst++ {
@@ -1022,15 +967,16 @@ func (e *Engine) repartitionByKey(parts [][]row.Row) [][]row.Row {
 			out[dst] = append(out[dst], rows...)
 		}
 	}
-	return out
+	return out, nil
 }
 
-// orderBy drains the pipeline (breaker), sorts every partition locally in
-// parallel (sort keys evaluated once per row, not once per comparison),
-// then gathers the sorted runs to the head node and merges them with a
-// stable loser tree; the merged result occupies partition 0. Tie order is
+// orderBy drains the pipeline (breaker) on the query pool, cuts the
+// partitions into sort chunks that sort as pool tasks (sort keys
+// evaluated once per row, not once per comparison), then merges the runs
+// with stable loser trees — intermediate merges in parallel, one final
+// merge at the head; the merged result occupies partition 0. Tie order is
 // identical to the old gather-then-sort.SliceStable implementation.
-func (e *Engine) orderBy(items []OrderItem, schema row.Schema, iters []BatchIterator) ([][]row.Row, error) {
+func (e *Engine) orderBy(qp *queryPool, items []OrderItem, schema row.Schema, iters []BatchIterator) ([][]row.Row, error) {
 	sc := newScope()
 	if err := sc.add("", schema); err != nil {
 		closeAllIters(iters)
@@ -1055,20 +1001,11 @@ func (e *Engine) orderBy(items []OrderItem, schema row.Schema, iters []BatchIter
 			exprs[i] = it.Expr
 		}
 		if keyFns, ok := e.vecExprs(exprs, sc); ok {
-			return e.orderByColumnar(specs, keyFns, iters, cores)
+			return e.orderByColumnar(qp, specs, keyFns, iters, cores)
 		}
 	}
 
-	parts, err := drainAll(iters)
-	if err != nil {
-		return nil, err
-	}
-	runs := make([]*sortedRun, len(parts))
-	err = forEachPart(len(parts), func(i int) error {
-		run, err := sortRun(specs, parts[i])
-		runs[i] = run
-		return err
-	})
+	parts, err := qp.drainAll(iters)
 	if err != nil {
 		return nil, err
 	}
@@ -1077,8 +1014,12 @@ func (e *Engine) orderBy(items []OrderItem, schema row.Schema, iters []BatchIter
 			e.cost.ChargeNet(e.workers[i], e.head, partBytes(p))
 		}
 	}
+	merged, err := sortChunksMerge(qp, specs, chunkForSort(parts, nil, qp.n))
+	if err != nil {
+		return nil, err
+	}
 	out := make([][]row.Row, len(parts))
-	out[0] = mergeRuns(specs, runs)
+	out[0] = merged
 	return out, nil
 }
 
@@ -1104,14 +1045,18 @@ func (e *Engine) colSortCores(iters []BatchIterator) ([]colIterator, bool) {
 // keys kernel-per-key over whole batches and materializing rows and key
 // rows together (both owning), then sorts and merges exactly like the row
 // path. iters are the row shells over the cores, closed per partition.
-func (e *Engine) orderByColumnar(specs []orderSpec, keyFns []vecFn, iters []BatchIterator, cores []colIterator) ([][]row.Row, error) {
+func (e *Engine) orderByColumnar(qp *queryPool, specs []orderSpec, keyFns []vecFn, iters []BatchIterator, cores []colIterator) ([][]row.Row, error) {
+	primeIters(iters)
 	parts := make([][]row.Row, len(cores))
 	keys := make([][]row.Row, len(cores))
-	err := forEachPart(len(cores), func(i int) error {
+	err := qp.forEach(len(cores), func(i, _ int) error {
 		defer iters[i].Close()
 		var ctx vecCtx
 		kvecs := make([]*row.Vector, len(keyFns))
 		for {
+			if qp.cancelled() {
+				return errQueryCancelled
+			}
 			b, ok, err := cores[i].NextCol()
 			if err != nil {
 				return err
@@ -1144,18 +1089,17 @@ func (e *Engine) orderByColumnar(specs []orderSpec, keyFns []vecFn, iters []Batc
 		closeAllIters(iters)
 		return nil, err
 	}
-	runs := make([]*sortedRun, len(parts))
-	forEachPart(len(parts), func(i int) error {
-		runs[i] = sortRunPrepared(specs, parts[i], keys[i])
-		return nil
-	})
 	for i, p := range parts {
 		if i < len(e.workers) && e.workers[i] != e.head {
 			e.cost.ChargeNet(e.workers[i], e.head, partBytes(p))
 		}
 	}
+	merged, err := sortChunksMerge(qp, specs, chunkForSort(parts, keys, qp.n))
+	if err != nil {
+		return nil, err
+	}
 	out := make([][]row.Row, len(parts))
-	out[0] = mergeRuns(specs, runs)
+	out[0] = merged
 	return out, nil
 }
 
@@ -1163,6 +1107,7 @@ func (e *Engine) orderByColumnar(specs []orderSpec, keyFns []vecFn, iters []Batc
 // only the batches it needs and closing the rest of the pipeline early —
 // the early-termination path of the batch-iterator model.
 func (e *Engine) limit(iters []BatchIterator, n int) ([][]row.Row, error) {
+	primeIters(iters)
 	out := make([][]row.Row, len(iters))
 	remaining := n
 	var firstErr error
@@ -1204,7 +1149,9 @@ func (e *Engine) ExportToDFS(res *Result, fs *dfs.FileSystem, dir string) error 
 	if err != nil {
 		return err
 	}
-	return forEachPart(len(iters), func(i int) error {
+	qp := newQueryPool(e.parallelism)
+	primeIters(iters)
+	return qp.forEach(len(iters), func(i, _ int) error {
 		defer iters[i].Close()
 		node := e.workers[i%len(e.workers)]
 		path := fmt.Sprintf("%s/part-%05d", dir, i)
@@ -1213,6 +1160,10 @@ func (e *Engine) ExportToDFS(res *Result, fs *dfs.FileSystem, dir string) error 
 			return err
 		}
 		for {
+			if qp.cancelled() {
+				w.Abort()
+				return errQueryCancelled
+			}
 			b, ok, berr := iters[i].Next()
 			if berr != nil {
 				w.Abort()

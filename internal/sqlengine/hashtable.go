@@ -86,10 +86,16 @@ func (t *HashTable) Key(idx uint32) []byte {
 // reports whether the key was new. The key bytes are copied into the
 // table's arena, so the caller may (and should) reuse its buffer.
 func (t *HashTable) Insert(key []byte) (idx uint32, added bool) {
+	return t.InsertHashed(key, hashNonZero(key))
+}
+
+// InsertHashed is Insert for callers that already hold key's hashNonZero
+// hash — the parallel hash-join build computes hashes once in its
+// morsel-scan phase and reuses them to route keys to shards and to insert.
+func (t *HashTable) InsertHashed(key []byte, h uint64) (idx uint32, added bool) {
 	if (t.n+1)*4 > len(t.slots)*3 {
 		t.grow()
 	}
-	h := hashNonZero(key)
 	i := h & t.mask
 	for step := uint64(1); ; step++ {
 		s := &t.slots[i]
@@ -139,7 +145,12 @@ func (t *HashTable) LookupKeys(flat []byte, offs []uint32, out []uint32) []uint3
 
 // Lookup returns the dense index of key, if present.
 func (t *HashTable) Lookup(key []byte) (uint32, bool) {
-	h := hashNonZero(key)
+	return t.LookupHashed(key, hashNonZero(key))
+}
+
+// LookupHashed is Lookup with a caller-supplied hashNonZero hash, the
+// probe-side twin of InsertHashed.
+func (t *HashTable) LookupHashed(key []byte, h uint64) (uint32, bool) {
 	i := h & t.mask
 	for step := uint64(1); ; step++ {
 		s := &t.slots[i]

@@ -1,0 +1,140 @@
+package sqlengine
+
+import (
+	"sqlml/internal/row"
+)
+
+// Parallel hash-join build. The build side arrives as materialized
+// partitions; building runs in two pool passes over morsels:
+//
+//  1. Key scan — every morsel independently evaluates the build key
+//     expressions, packing its rows' norm-key bytes back to back and
+//     hashing each key once (hash 0 marks a NULL key component, which
+//     never matches). Morsels are claimed from the pool, so one skewed
+//     build partition does not serialize the scan.
+//  2. Sharded insert — the key space is split by the high hash bits into
+//     power-of-two shards, one arena HashTable per shard, and each shard
+//     is built by one pool task scanning the keyed morsels in
+//     partition-major order. Rows of one key always live in one shard, so
+//     shards need no locks, and the in-order scan keeps every bucket's
+//     rows in exactly the global row order a sequential build produces.
+//
+// Both pass boundaries are deterministic functions of the input (morsel
+// grid, hash routing), never of the schedule, so the probe output is
+// byte-identical at any Parallelism — including the shard layout itself,
+// which depends only on the shard count, and the shard count only on the
+// pool size in a way the probe cannot observe (bucket contents and their
+// order are shard-independent).
+
+// buildShards picks the shard count for a pool of the given size: the
+// smallest power of two covering the workers, capped so tiny tables do
+// not fan out into dozens of near-empty tables.
+func buildShards(workers int) (shards int, shift uint) {
+	s, bits := 1, uint(0)
+	for s < workers && s < 16 {
+		s <<= 1
+		bits++
+	}
+	return s, 64 - bits
+}
+
+// buildTable is the probe-side view of a sharded hash-join build: key
+// lookup routes by the high hash bits to one shard's arena table, whose
+// dense index addresses that shard's bucket of build rows.
+type buildTable struct {
+	shift   uint
+	shards  []*HashTable
+	buckets [][][]row.Row // per shard, per dense index: build rows
+}
+
+// bucket returns the build rows matching key, in global build-row order.
+func (bt *buildTable) bucket(key []byte) []row.Row {
+	h := hashNonZero(key)
+	s := 0
+	if len(bt.shards) > 1 {
+		s = int(h >> bt.shift)
+	}
+	idx, ok := bt.shards[s].LookupHashed(key, h)
+	if !ok {
+		return nil
+	}
+	return bt.buckets[s][idx]
+}
+
+// keyedMorsel is one build morsel after the key scan: the packed norm
+// keys of its rows (key i is flat[offs[i]:offs[i+1]]) and their hashes
+// (0 ⇒ NULL key, skip).
+type keyedMorsel struct {
+	rows   []row.Row
+	flat   []byte
+	offs   []uint32
+	hashes []uint64
+}
+
+// buildHashTable runs the two-pass parallel build over the drained build
+// partitions.
+func buildHashTable(qp *queryPool, parts [][]row.Row, keyFns []evalFn) (*buildTable, error) {
+	morsels := morselize(parts)
+	keyed := make([]keyedMorsel, len(morsels))
+	err := qp.forEach(len(morsels), func(m, _ int) error {
+		rows := morsels[m].rows
+		km := &keyedMorsel{
+			rows:   rows,
+			offs:   make([]uint32, 1, len(rows)+1),
+			hashes: make([]uint64, len(rows)),
+		}
+		for i, r := range rows {
+			start := len(km.flat)
+			flat, nullKey, err := appendEvalKey(km.flat, keyFns, r)
+			if err != nil {
+				return err
+			}
+			if nullKey {
+				km.flat = flat[:start]
+			} else {
+				km.flat = flat
+				km.hashes[i] = hashNonZero(km.flat[start:])
+			}
+			km.offs = append(km.offs, uint32(len(km.flat)))
+		}
+		keyed[m] = *km
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	shards, shift := buildShards(qp.n)
+	bt := &buildTable{
+		shift:   shift,
+		shards:  make([]*HashTable, shards),
+		buckets: make([][][]row.Row, shards),
+	}
+	err = qp.forEach(shards, func(s, _ int) error {
+		t := NewHashTable(0)
+		var buckets [][]row.Row
+		for mi := range keyed {
+			km := &keyed[mi]
+			for i, h := range km.hashes {
+				if h == 0 {
+					continue
+				}
+				if shards > 1 && int(h>>shift) != s {
+					continue
+				}
+				idx, added := t.InsertHashed(km.flat[km.offs[i]:km.offs[i+1]], h)
+				if added {
+					buckets = append(buckets, nil)
+				}
+				buckets[idx] = append(buckets[idx], km.rows[i])
+			}
+		}
+		bt.shards[s] = t
+		bt.buckets[s] = buckets
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return bt, nil
+}

@@ -105,15 +105,15 @@ func (p *projectIter) Close() {
 }
 
 // probeIter is the streaming probe side of a hash join: the build side has
-// been drained into table/buckets (or buildAll for a key-less join),
-// probing is one pipelined pass. Each consumed input batch is charged as
-// processing work on the probe worker. Probe keys are encoded into a
-// per-iterator scratch buffer, so probing allocates only for output rows.
+// been drained into a sharded buildTable (or buildAll for a key-less
+// join), probing is one pipelined pass. Each consumed input batch is
+// charged as processing work on the probe worker. Probe keys are encoded
+// into a per-iterator scratch buffer, so probing allocates only for
+// output rows.
 type probeIter struct {
 	in       BatchIterator
-	keyFns   []evalFn // empty => broadcast nested-loop join
-	table    *HashTable
-	buckets  [][]row.Row // build rows per dense table index
+	keyFns   []evalFn    // empty => broadcast nested-loop join
+	build    *buildTable // read-only, shared across probe workers
 	buildAll []row.Row
 	concat   func(probeRow, buildRow row.Row) row.Row
 	cost     *cluster.CostModel
@@ -153,10 +153,8 @@ func (p *probeIter) Next() (RowBatch, bool, error) {
 			if nullKey {
 				continue
 			}
-			if idx, ok := p.table.Lookup(key); ok {
-				for _, br := range p.buckets[idx] {
-					out = append(out, p.concat(r, br))
-				}
+			for _, br := range p.build.bucket(key) {
+				out = append(out, p.concat(r, br))
 			}
 		}
 		p.buf = out
@@ -251,6 +249,21 @@ func (p *udfPipe) start() {
 			p.errc <- err
 		}
 	}()
+}
+
+// prime starts the UDF goroutine ahead of the first Next. The pool's
+// bounded drains call this on every partition before claiming drain tasks:
+// UDFs that rendezvous across partitions (the stream sender's coordinator
+// barrier) then make progress from their own goroutines no matter how few
+// pool workers are pulling, including the Parallelism: 1 oracle.
+func (p *udfPipe) prime() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || p.started {
+		return
+	}
+	p.started = true
+	p.start()
 }
 
 func (p *udfPipe) Next() (RowBatch, bool, error) {

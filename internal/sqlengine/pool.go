@@ -1,0 +1,237 @@
+package sqlengine
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sqlml/internal/row"
+)
+
+// Morsel-driven intra-query parallelism. Every query gets one queryPool —
+// a bounded set of workers sized by Config.Parallelism — and every
+// CPU-heavy per-partition pass (pipeline drains, aggregation partials,
+// hash-join build morsels, sort runs, DISTINCT passes) runs as tasks
+// claimed from it instead of spawning one goroutine per partition. The
+// pool carries the query's cancellation: the first failing task (or an
+// external Result.Close) trips the cancel channel, every other task stops
+// at its next batch boundary, and the partition pipelines are closed so
+// producer goroutines and pooled ColBatches are released.
+//
+// Parallelism: 1 is the sequential oracle — one worker executes every
+// task in index order, so its output is the reference the parallel
+// schedules must reproduce byte-for-byte. The operators keep that
+// guarantee by accumulating into partials whose boundaries are a
+// deterministic function of the input (per partition, per morsel), never
+// of the schedule, and merging them in a deterministic order.
+
+// errQueryCancelled is returned by pool tasks that stopped early because
+// the query was cancelled (a sibling partition failed, or the consumer
+// closed the result mid-stream).
+var errQueryCancelled = errors.New("sql: query cancelled")
+
+// queryPool is one query's worker pool: a parallelism budget plus the
+// query-wide cancellation signal. Workers are spawned per parallel pass
+// and joined before the pass returns — the pool owns no long-lived
+// goroutines, so an abandoned plan leaks nothing.
+type queryPool struct {
+	n          int
+	cancel     chan struct{}
+	cancelOnce sync.Once
+}
+
+// resolveParallelism maps the Config.Parallelism convention to a concrete
+// worker count: n <= 0 selects the default, one worker per available CPU.
+func resolveParallelism(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+func newQueryPool(n int) *queryPool {
+	return &queryPool{n: resolveParallelism(n), cancel: make(chan struct{})}
+}
+
+// Cancel trips the query-wide cancellation signal. Safe to call from any
+// goroutine, any number of times.
+func (p *queryPool) Cancel() { p.cancelOnce.Do(func() { close(p.cancel) }) }
+
+// cancelled reports whether the query has been cancelled.
+func (p *queryPool) cancelled() bool {
+	select {
+	case <-p.cancel:
+		return true
+	default:
+		return false
+	}
+}
+
+// forEach runs f(task, worker) for task = 0..n-1 across min(n, pool size)
+// workers. Tasks are claimed from a shared counter — morsel dispatch —
+// so a skewed task keeps only one worker busy while the rest drain the
+// remaining queue. worker is a dense id < pool size, for indexing
+// per-worker partial state. The first real task error wins (cancellation
+// aborts of sibling tasks never mask it); if tasks were skipped because
+// the query was cancelled with no task failing, errQueryCancelled is
+// returned.
+func (p *queryPool) forEach(n int, f func(task, worker int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := p.n
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var skipped atomic.Bool
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= n {
+					return
+				}
+				if p.cancelled() {
+					skipped.Store(true)
+					return
+				}
+				if err := f(t, w); err != nil {
+					errs[t] = err
+					p.Cancel()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var cancelErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, errQueryCancelled) {
+			cancelErr = err
+			continue
+		}
+		return err
+	}
+	if cancelErr != nil {
+		return cancelErr
+	}
+	if skipped.Load() {
+		return errQueryCancelled
+	}
+	return nil
+}
+
+// drainAll drains every partition pipeline on the pool, materializing the
+// partitions. Pipelines with lazily started producer goroutines are primed
+// first: partitions of a stream-send query register with their coordinator
+// from their own goroutines, so a pool smaller than the partition count
+// (including the Parallelism: 1 oracle) cannot deadlock their barrier.
+// On error (or cancellation) every iterator is closed.
+func (p *queryPool) drainAll(iters []BatchIterator) ([][]row.Row, error) {
+	primeIters(iters)
+	parts := make([][]row.Row, len(iters))
+	err := p.forEach(len(iters), func(i, _ int) error {
+		part, err := p.drainBatches(iters[i])
+		parts[i] = part
+		return err
+	})
+	if err != nil {
+		closeAllIters(iters)
+		return nil, err
+	}
+	return parts, nil
+}
+
+// drainBatches is drainBatches with a cancellation check at every batch
+// boundary, so a failed sibling partition stops this one within one batch.
+func (p *queryPool) drainBatches(it BatchIterator) ([]row.Row, error) {
+	defer it.Close()
+	var out []row.Row
+	for {
+		if p.cancelled() {
+			return nil, errQueryCancelled
+		}
+		b, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, b...)
+	}
+}
+
+// primeIters eagerly starts every lazily started producer goroutine
+// reachable from the given pipelines (today: udfPipe). Operators that
+// merely wrap another iterator forward the priming to their input.
+func primeIters(iters []BatchIterator) {
+	for _, it := range iters {
+		primeAny(it)
+	}
+}
+
+func primeAny(it any) {
+	switch x := it.(type) {
+	case *udfPipe:
+		x.prime()
+	case *filterIter:
+		primeAny(x.in)
+	case *projectIter:
+		primeAny(x.in)
+	case *probeIter:
+		primeAny(x.in)
+	case *chargeIter:
+		primeAny(x.in)
+	case *colToRows:
+		primeAny(x.c)
+	case *colScanIter:
+		primeAny(x.in)
+	case *colFilterIter:
+		primeAny(x.in)
+	case *colProjectIter:
+		primeAny(x.in)
+	case *colProbeIter:
+		primeAny(x.in)
+	case *chargeColIter:
+		primeAny(x.c)
+	}
+}
+
+// morsel is one contiguous run of rows of one materialized partition — the
+// unit of work the parallel breakers (hash-join build, ORDER BY sort runs)
+// dispatch over the pool. seq is the global partition-major index of the
+// morsel's first row, so per-morsel results can be recombined in exactly
+// the order a sequential pass over the partitions would have produced.
+type morsel struct {
+	part    int
+	rows    []row.Row
+	seq     int64
+	morselN int // dense morsel index in partition-major order
+}
+
+// morselize splits materialized partitions into DefaultBatchSize-row
+// morsels in partition-major order.
+func morselize(parts [][]row.Row) []morsel {
+	var out []morsel
+	var seq int64
+	for pi, part := range parts {
+		for lo := 0; lo < len(part); lo += DefaultBatchSize {
+			hi := lo + DefaultBatchSize
+			if hi > len(part) {
+				hi = len(part)
+			}
+			out = append(out, morsel{part: pi, rows: part[lo:hi], seq: seq + int64(lo), morselN: len(out)})
+		}
+		seq += int64(len(part))
+	}
+	return out
+}

@@ -194,10 +194,9 @@ func TestProbeIterUnderBatchRecycling(t *testing.T) {
 	// container-recycling producer.
 	probe := newRecyclingBatches(intRows(2, 5, 1, 3, 2), 2)
 	p := &probeIter{
-		in:      probe,
-		keyFns:  []evalFn{keyFn},
-		table:   table,
-		buckets: buckets,
+		in:     probe,
+		keyFns: []evalFn{keyFn},
+		build:  &buildTable{shards: []*HashTable{table}, buckets: [][][]row.Row{buckets}},
 		concat: func(probeRow, buildRow row.Row) row.Row {
 			out := make(row.Row, 0, len(probeRow)+len(buildRow))
 			out = append(out, probeRow...)

@@ -125,14 +125,35 @@ func stableSortBy(ord []int, cmp func(a, b int) int) {
 // root's winner is the next row to emit, and replacing the emitted run's
 // head replays only its leaf-to-root path — O(log k) comparisons per row.
 func mergeRuns(specs []orderSpec, runs []*sortedRun) []row.Row {
+	return mergeRunsInto(specs, runs, false).rows
+}
+
+// mergeRunsKeyed is mergeRuns carrying the sort keys through, so the
+// merged run can feed a further merge level (the parallel intermediate
+// merges of the morsel-run tree).
+func mergeRunsKeyed(specs []orderSpec, runs []*sortedRun) *sortedRun {
+	if len(runs) == 1 {
+		return runs[0]
+	}
+	return mergeRunsInto(specs, runs, true)
+}
+
+func mergeRunsInto(specs []orderSpec, runs []*sortedRun, withKeys bool) *sortedRun {
 	total := 0
 	for _, r := range runs {
 		total += len(r.rows)
 	}
 	out := make([]row.Row, 0, total)
+	var outKeys []row.Row
+	if withKeys {
+		outKeys = make([]row.Row, 0, total)
+	}
 	k := len(runs)
+	if k == 0 {
+		return &sortedRun{}
+	}
 	if k == 1 {
-		return append(out, runs[0].rows...)
+		return &sortedRun{rows: append(out, runs[0].rows...), keys: runs[0].keys}
 	}
 
 	// beats reports whether run a's head must be emitted before run b's:
@@ -175,6 +196,9 @@ func mergeRuns(specs []orderSpec, runs []*sortedRun) []row.Row {
 	for range total {
 		r := runs[winner]
 		out = append(out, r.rows[r.pos])
+		if withKeys {
+			outKeys = append(outKeys, r.keys[r.pos])
+		}
 		r.pos++
 		// Replay the winner's path: at each ancestor, the stored loser
 		// challenges; the new winner continues up.
@@ -184,5 +208,104 @@ func mergeRuns(specs []orderSpec, runs []*sortedRun) []row.Row {
 			}
 		}
 	}
-	return out
+	return &sortedRun{rows: out, keys: outKeys}
+}
+
+// sortChunkRows is the finest run granularity of the parallel sort: large
+// enough that the final merge tree stays shallow, small enough that one
+// skewed partition still splits into many parallel sort tasks.
+const sortChunkRows = 8 * DefaultBatchSize
+
+// sortChunk is one contiguous slice of one partition, the sort-task unit.
+// keys, when present, are the precomputed sort-key rows aligned
+// index-for-index (the columnar drain hands them in; the row path leaves
+// them nil and sortRun evaluates).
+type sortChunk struct {
+	rows []row.Row
+	keys []row.Row
+}
+
+// chunkForSort cuts the partitions into a chunk grid in partition-major
+// order. The grid may vary with Parallelism without breaking the
+// byte-identity invariant: a stable sort of every chunk followed by a
+// stable merge of consecutive runs equals the stable sort of the whole
+// input — ties always break toward the lower global input position — so
+// ANY grid yields the same output and the choice is pure performance.
+// The chunk size targets ~2 sort tasks per worker for load balancing but
+// never drops below sortChunkRows: balanced partitions at small pool
+// sizes stay one-chunk-per-partition (the shallowest merge tree), while
+// a skewed or single partition still splits across a wide pool.
+func chunkForSort(parts, keys [][]row.Row, workers int) []sortChunk {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	size := total
+	if workers > 0 {
+		size = (total + 2*workers - 1) / (2 * workers)
+	}
+	if size < sortChunkRows {
+		size = sortChunkRows
+	}
+	var chunks []sortChunk
+	for pi, part := range parts {
+		for lo := 0; lo < len(part); lo += size {
+			hi := lo + size
+			if hi > len(part) {
+				hi = len(part)
+			}
+			c := sortChunk{rows: part[lo:hi]}
+			if keys != nil {
+				c.keys = keys[pi][lo:hi]
+			}
+			chunks = append(chunks, c)
+		}
+	}
+	return chunks
+}
+
+// sortChunksMerge sorts every chunk as a pool task and merges the runs:
+// consecutive run groups merge in parallel, then one serial merge of the
+// group outputs. Stable merging of consecutive runs is associative — any
+// grouping yields the rows stably ordered by (key, global input index) —
+// so the output is byte-identical at any Parallelism.
+func sortChunksMerge(qp *queryPool, specs []orderSpec, chunks []sortChunk) ([]row.Row, error) {
+	runs := make([]*sortedRun, len(chunks))
+	err := qp.forEach(len(chunks), func(i, _ int) error {
+		c := chunks[i]
+		if c.keys != nil {
+			runs[i] = sortRunPrepared(specs, c.rows, c.keys)
+			return nil
+		}
+		run, err := sortRun(specs, c.rows)
+		runs[i] = run
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(runs) == 0 {
+		return nil, nil
+	}
+	// A grouped pre-merge pass re-copies every row (and key), so it only
+	// pays when the run count is high enough that flattening the final
+	// merge tree beats the extra pass. Few runs: one serial merge.
+	g := qp.n
+	if g > len(runs) {
+		g = len(runs)
+	}
+	if g <= 1 || len(runs) <= 2*qp.n {
+		return mergeRuns(specs, runs), nil
+	}
+	groups := make([]*sortedRun, g)
+	err = qp.forEach(g, func(i, _ int) error {
+		lo := i * len(runs) / g
+		hi := (i + 1) * len(runs) / g
+		groups[i] = mergeRunsKeyed(specs, runs[lo:hi])
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeRuns(specs, groups), nil
 }

@@ -2,42 +2,62 @@
 # Runs the engine hot-path benchmarks (GroupBy / HashJoin / Distinct /
 # OrderBy — the arena hash-table + parallel sort-merge paths — plus the
 # Filter/Project row-vs-columnar pairs measuring the vectorized executor
-# against the row-at-a-time one) and dumps the results as JSON.
+# against the row-at-a-time one, and the ParGroupBy/ParHashJoin/ParOrderBy
+# P1-vs-P4 pairs measuring the morsel-driven worker pool) and dumps the
+# results as JSON.
 #
 #   scripts/bench_hotpath.sh [output.json]
 #
-# Output: one object per benchmark with ns/op, B/op and allocs/op — the
-# numbers the allocation-free hash-path and columnar-kernel work tracks
-# across PRs.
+# Each benchmark runs 20 iterations (-benchtime 20x) five times (-count=5)
+# and the JSON records the per-metric MEDIAN of the five samples. Both
+# knobs fight the same noise: a single cold iteration counts every
+# sync.Pool miss (GC empties the pools between runs) and scheduler wobble
+# in B/op and ns/op — exactly what made earlier baselines misread the
+# columnar path as an allocation regression. Steady-state medians are what
+# the allocation-free hash-path and columnar-kernel work tracks across
+# PRs.
 set -eu
 
 out="${1:-BENCH_hotpath.json}"
 cd "$(dirname "$0")/.."
 
 raw=$(go test -run '^$' \
-    -bench 'BenchmarkGroupBy$|BenchmarkHashJoin$|BenchmarkDistinct$|BenchmarkOrderBy$|BenchmarkFilter/|BenchmarkProject/' \
-    -benchmem -benchtime 1x ./internal/sqlengine/)
+    -bench 'BenchmarkGroupBy$|BenchmarkHashJoin$|BenchmarkDistinct$|BenchmarkOrderBy$|BenchmarkFilter/|BenchmarkProject/|BenchmarkPar(GroupBy|HashJoin|OrderBy)/' \
+    -benchmem -benchtime 20x -count 5 ./internal/sqlengine/)
 
 echo "$raw" | awk -v out="$out" '
-/^Benchmark(GroupBy|HashJoin|Distinct|OrderBy|Filter|Project)/ {
+/^Benchmark(GroupBy|HashJoin|Distinct|OrderBy|Filter|Project|Par)/ {
     name = $1
     sub(/^Benchmark/, "", name)
     sub(/-[0-9]+$/, "", name)
-    delete m
-    m["iterations"] = $2
-    for (i = 3; i < NF; i += 2) m[$(i + 1)] = $i
-    line = sprintf("  {\"benchmark\": \"%s\"", name)
-    order = "iterations ns/op B/op allocs/op"
-    split(order, keys, " ")
-    for (k = 1; k <= 4; k++)
-        if (keys[k] in m)
-            line = line sprintf(", \"%s\": %s", keys[k], m[keys[k]])
-    lines[n++] = line "}"
+    if (!(name in seen)) { seen[name] = 1; names[nn++] = name }
+    cnt[name]++
+    c = cnt[name]
+    v[name, "iterations", c] = $2
+    for (i = 3; i < NF; i += 2) v[name, $(i + 1), c] = $i
+}
+# median of the collected samples for one (name, metric); samples are
+# numeric, counts are small (5), so an insertion sort is plenty.
+function median(name, key,    c, i, j, t, a) {
+    c = cnt[name]
+    for (i = 1; i <= c; i++) a[i] = v[name, key, i] + 0
+    for (i = 2; i <= c; i++)
+        for (j = i; j > 1 && a[j - 1] > a[j]; j--) { t = a[j]; a[j] = a[j - 1]; a[j - 1] = t }
+    return a[int((c + 1) / 2)]
 }
 END {
-    if (n == 0) { print "no hot-path benchmark results parsed" > "/dev/stderr"; exit 1 }
+    if (nn == 0) { print "no hot-path benchmark results parsed" > "/dev/stderr"; exit 1 }
+    order = "iterations ns/op B/op allocs/op"
+    split(order, keys, " ")
     print "[" > out
-    for (i = 0; i < n; i++) print lines[i] (i < n - 1 ? "," : "") >> out
+    for (i = 0; i < nn; i++) {
+        name = names[i]
+        line = sprintf("  {\"benchmark\": \"%s\", \"samples\": %d", name, cnt[name])
+        for (k = 1; k <= 4; k++)
+            if ((name SUBSEP keys[k] SUBSEP 1) in v)
+                line = line sprintf(", \"%s\": %d", keys[k], median(name, keys[k]))
+        print line "}" (i < nn - 1 ? "," : "") >> out
+    }
     print "]" >> out
 }
 '
