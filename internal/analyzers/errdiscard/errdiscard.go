@@ -1,7 +1,13 @@
 // Package errdiscard flags silently discarded errors from resource
 // releases and durability points: methods named Close, CloseWrite, Flush,
-// or Sync whose only result is an error, and the spill-file cleanup
+// or Sync whose only result is an error, the deadline setters SetDeadline
+// / SetReadDeadline / SetWriteDeadline, and the spill-file cleanup
 // functions os.Remove / os.RemoveAll.
+//
+// The deadline family matters for the same recovery story: a dropped
+// SetWriteDeadline error means the guard against a hung peer was never
+// armed, so the failure detection the reconnect path depends on silently
+// degrades to blocking forever.
 //
 // On the streaming transfer and spool paths a swallowed Close or Sync
 // error breaks the §6 exactly-once-after-crash story: a spill file whose
@@ -22,17 +28,20 @@ import (
 // Analyzer is the errdiscard pass.
 var Analyzer = &framework.Analyzer{
 	Name: "errdiscard",
-	Doc:  "flags discarded errors from Close/Flush/Sync and spill cleanup calls",
+	Doc:  "flags discarded errors from Close/Flush/Sync, deadline setters, and spill cleanup calls",
 	Run:  run,
 }
 
 // releaseMethods are the method names whose error result must not be
 // dropped on the floor.
 var releaseMethods = map[string]bool{
-	"Close":      true,
-	"CloseWrite": true,
-	"Flush":      true,
-	"Sync":       true,
+	"Close":            true,
+	"CloseWrite":       true,
+	"Flush":            true,
+	"Sync":             true,
+	"SetDeadline":      true,
+	"SetReadDeadline":  true,
+	"SetWriteDeadline": true,
 }
 
 // releaseFuncs are package-level functions treated the same way, keyed by

@@ -1,13 +1,29 @@
 // Fixture for the errdiscard analyzer.
 package errdiscard
 
-import "os"
+import (
+	"os"
+	"time"
+)
 
 type closer struct{}
 
 func (c *closer) Close() error { return nil }
 func (c *closer) Flush() error { return nil }
 func (c *closer) Sync() error  { return nil }
+
+// conn mimics the net.Conn deadline family.
+type conn struct{}
+
+func (c *conn) SetDeadline(t time.Time) error      { return nil }
+func (c *conn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *conn) SetWriteDeadline(t time.Time) error { return nil }
+
+// options has a same-named method outside the release signature: a setter
+// taking no deadline and returning nothing must not be flagged.
+type options struct{}
+
+func (o *options) SetDeadline(t time.Time) {}
 
 // Close without an error result must not be flagged (e.g. the engine's
 // BatchIterator.Close).
@@ -20,20 +36,34 @@ type twoResults struct{}
 
 func (t *twoResults) Close() (int, error) { return 0, nil }
 
-func bad(c *closer, f *os.File) {
+func bad(c *closer, f *os.File, nc *conn) {
 	c.Close()       // want `error returned by closer.Close is silently discarded`
 	defer c.Flush() // want `error returned by closer.Flush is silently discarded`
 	f.Sync()        // want `error returned by File.Sync is silently discarded`
 	os.Remove("x")  // want `error returned by os.Remove is silently discarded`
+
+	var zero time.Time
+	nc.SetDeadline(zero)            // want `error returned by conn.SetDeadline is silently discarded`
+	nc.SetReadDeadline(zero)        // want `error returned by conn.SetReadDeadline is silently discarded`
+	nc.SetWriteDeadline(zero)       // want `error returned by conn.SetWriteDeadline is silently discarded`
+	defer nc.SetWriteDeadline(zero) // want `error returned by conn.SetWriteDeadline is silently discarded`
 }
 
-func good(c *closer, n *noError, t2 *twoResults, f *os.File) error {
+func good(c *closer, n *noError, t2 *twoResults, f *os.File, nc *conn, o *options) error {
 	_ = c.Close() // explicit discard is a visible acknowledgment
 	n.Close()
 	t2.Close()
 	//lint:allow errdiscard teardown on this path is best-effort by design
 	c.Close()
 	if err := f.Close(); err != nil {
+		return err
+	}
+	var zero time.Time
+	_ = nc.SetDeadline(zero) // explicit discard accepted
+	o.SetDeadline(zero)      // not the release signature (no error result)
+	//lint:allow errdiscard clearing a deadline on the teardown path cannot fail usefully
+	nc.SetReadDeadline(zero)
+	if err := nc.SetWriteDeadline(zero); err != nil {
 		return err
 	}
 	return c.Flush()

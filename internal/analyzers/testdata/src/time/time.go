@@ -4,3 +4,6 @@ package time
 type Duration int64
 
 func Sleep(d Duration) {}
+
+// Time mirrors the deadline argument of the net.Conn setter family.
+type Time struct{}

@@ -44,6 +44,13 @@ func newTestEnv(t testing.TB, users, cartsPer int, cost *cluster.CostModel) *Env
 	cfg := DefaultEnvConfig()
 	cfg.Cost = cost
 	cfg.BlockSize = 16 << 10
+	return startEnv(t, cfg, users, cartsPer)
+}
+
+// startEnv builds a deployment from an explicit config (the chaos suite
+// arms fault injection through it) and loads the paper workload.
+func startEnv(t testing.TB, cfg EnvConfig, users, cartsPer int) *Env {
+	t.Helper()
 	env, err := NewEnv(cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -39,6 +39,12 @@ type EnvConfig struct {
 	// MRStartupDelay is the simulated per-MapReduce-job startup overhead
 	// the naive pipeline's external transformation tool pays.
 	MRStartupDelay time.Duration
+	// MaxTaskAttempts bounds per-task re-execution in the naive pipeline's
+	// MapReduce jobs (0 means the mapred default).
+	MaxTaskAttempts int
+	// TaskFault, when set, is consulted by every MapReduce task in the
+	// naive pipeline — the fault-injection seam for scripted task crashes.
+	TaskFault func(phase string, task, attempt, record int) error
 }
 
 // DefaultEnvConfig mirrors the paper's deployment shape.
@@ -63,6 +69,10 @@ type Env struct {
 	SenderConfig stream.SenderConfig
 	// MRStartupDelay is the simulated per-MapReduce-job startup overhead.
 	MRStartupDelay time.Duration
+	// MaxTaskAttempts / TaskFault are forwarded to the naive pipeline's
+	// MapReduce jobs.
+	MaxTaskAttempts int
+	TaskFault       func(phase string, task, attempt, record int) error
 }
 
 // NewEnv builds and starts a deployment. Call Close when done.
@@ -90,14 +100,16 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 		return nil, err
 	}
 	env := &Env{
-		Topo:           topo,
-		Cost:           cfg.Cost,
-		FS:             fs,
-		Engine:         eng,
-		Cache:          cache.NewStore(),
-		WorkerIDs:      workerIDs,
-		SenderConfig:   cfg.SenderConfig,
-		MRStartupDelay: cfg.MRStartupDelay,
+		Topo:            topo,
+		Cost:            cfg.Cost,
+		FS:              fs,
+		Engine:          eng,
+		Cache:           cache.NewStore(),
+		WorkerIDs:       workerIDs,
+		SenderConfig:    cfg.SenderConfig,
+		MRStartupDelay:  cfg.MRStartupDelay,
+		MaxTaskAttempts: cfg.MaxTaskAttempts,
+		TaskFault:       cfg.TaskFault,
 	}
 	env.Coord = stream.NewCoordinator(nil)
 	addr, err := env.Coord.Start("127.0.0.1:0")

@@ -81,6 +81,10 @@ type PipelineConfig struct {
 	// the stage's name — the hook the benchmark harness uses to attribute
 	// simulated cost to Figure 3's bars.
 	OnStage func(stage string)
+	// OnInput, when set, is invoked with the streaming InputFormat before
+	// ML ingestion starts — the seam chaos tests use to arm reader-side
+	// fault injection (Inject, ReconnectBudget). insql+stream only.
+	OnInput func(f *stream.InputFormat)
 }
 
 // StageTimings is the per-stage breakdown Figure 3 reports.
@@ -171,6 +175,8 @@ func runNaive(env *Env, cfg PipelineConfig) (*RunResult, error) {
 		Cost:            env.Cost,
 		TaskNodes:       env.WorkerIDs,
 		JobStartupDelay: env.MRStartupDelay,
+		MaxTaskAttempts: env.MaxTaskAttempts,
+		TaskFault:       env.TaskFault,
 	}, prepDir, res.Schema, cfg.Spec, outDir)
 	if err != nil {
 		return nil, err
@@ -391,6 +397,9 @@ func runInSQLStream(env *Env, cfg PipelineConfig) (*RunResult, error) {
 			CoordAddr:         env.CoordAddr,
 			Job:               job,
 			ReceiveBufferSize: env.SenderConfig.BufferSize,
+		}
+		if cfg.OnInput != nil {
+			cfg.OnInput(f)
 		}
 		d, err := ml.Ingest(f, mlOptions(env, cfg))
 		done <- ingestResult{d, err}

@@ -68,6 +68,18 @@ type dataNode struct {
 	down   bool
 }
 
+// FaultHook scripts datanode-level faults into the file system: it is
+// consulted once per candidate replica before a block read is served and
+// once per pipeline replica before a block store. A non-nil return fails
+// that one replica access — readers fall back to the next replica, writers
+// drop the replica from the block's pipeline (HDFS pipeline recovery,
+// shrunk replication). Hooks run outside the filesystem's locks.
+// internal/fault.DFSFaults is the scripted implementation.
+type FaultHook interface {
+	BlockRead(nodeID int, blockID int64) error
+	BlockWrite(nodeID int, blockID int64) error
+}
+
 // FileSystem is the simulated DFS. All methods are safe for concurrent use.
 type FileSystem struct {
 	topo *cluster.Topology
@@ -77,6 +89,7 @@ type FileSystem struct {
 	files     map[string]*fileMeta
 	open      map[string]bool // paths with an in-flight writer
 	nextBlock int64
+	hook      FaultHook
 
 	datanodes []*dataNode
 	place     int // round-robin cursor for replica placement
@@ -119,6 +132,19 @@ func (fs *FileSystem) SetNodeDown(nodeID int, down bool) {
 	dn.mu.Lock()
 	dn.down = down
 	dn.mu.Unlock()
+}
+
+// SetFaultHook installs (or with nil removes) the datanode fault hook.
+func (fs *FileSystem) SetFaultHook(h FaultHook) {
+	fs.mu.Lock()
+	fs.hook = h
+	fs.mu.Unlock()
+}
+
+func (fs *FileSystem) faultHook() FaultHook {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.hook
 }
 
 // NodeDown reports whether a datanode is currently failed.
@@ -348,9 +374,22 @@ func (w *Writer) seal(data []byte) error {
 		return rerr
 	}
 
+	hook := fs.faultHook()
 	stored := make([]byte, len(data))
 	copy(stored, data)
+	kept := make([]int, 0, len(replicas))
+	var lastErr error
 	for i, nodeID := range replicas {
+		if hook != nil {
+			if err := hook.BlockWrite(nodeID, id); err != nil {
+				// Pipeline recovery: drop the failed replica and continue
+				// with the survivors (HDFS shrinks the write pipeline the
+				// same way). Only a block no replica accepted fails the
+				// write.
+				lastErr = err
+				continue
+			}
+		}
 		dn := fs.datanodes[nodeID]
 		dn.mu.Lock()
 		dn.blocks[id] = stored
@@ -365,8 +404,12 @@ func (w *Writer) seal(data []byte) error {
 			fs.cfg.Cost.ChargeNet(from, target, len(data))
 		}
 		fs.cfg.Cost.ChargeDiskWrite(target, len(data))
+		kept = append(kept, nodeID)
 	}
-	w.blocks = append(w.blocks, blockInfo{id: id, size: int64(len(data)), replicas: replicas})
+	if len(kept) == 0 {
+		return fmt.Errorf("dfs: block %d: every pipeline replica failed: %w", id, lastErr)
+	}
+	w.blocks = append(w.blocks, blockInfo{id: id, size: int64(len(data)), replicas: kept})
 	w.size += int64(len(data))
 	return nil
 }
@@ -462,46 +505,65 @@ func (r *Reader) fetchBlock() error {
 	var start int64
 	for _, b := range r.blocks {
 		if r.pos < start+b.size {
-			// Prefer a live replica on the reader's node, then any live one.
-			replica, local := -1, false
-			if r.node != nil && !r.fs.NodeDown(r.node.ID) {
-				for _, id := range b.replicas {
-					if id == r.node.ID {
-						replica, local = id, true
-						break
-					}
-				}
-			}
-			if replica < 0 {
-				for _, id := range b.replicas {
-					if !r.fs.NodeDown(id) {
-						replica = id
-						break
-					}
-				}
-			}
-			if replica < 0 {
-				return fmt.Errorf("dfs: block %d: all %d replicas are on failed datanodes", b.id, len(b.replicas))
-			}
-			dn := r.fs.datanodes[replica]
-			dn.mu.RLock()
-			data, ok := dn.blocks[b.id]
-			dn.mu.RUnlock()
-			if !ok {
-				return fmt.Errorf("dfs: block %d missing on node %d", b.id, replica)
-			}
-			src := r.fs.topo.Node(replica)
-			r.fs.cfg.Cost.ChargeDiskRead(src, len(data))
-			if !local && r.node != nil {
-				r.fs.cfg.Cost.ChargeNet(src, r.node, len(data))
-			}
-			r.cur = data
-			r.curStart = start
-			return nil
+			return r.fetchReplica(b, start)
 		}
 		start += b.size
 	}
 	return io.EOF
+}
+
+// fetchReplica serves block b from the first healthy candidate replica:
+// the reader's local one when it holds a copy, then the others in
+// placement order. A candidate is skipped — and the next one tried — when
+// its node is down, its copy is missing, or the fault hook fails the
+// access; this per-candidate fallback is the availability behaviour
+// replication exists to provide, and it makes a node failing between two
+// block fetches of one reader invisible to the consumer.
+func (r *Reader) fetchReplica(b blockInfo, start int64) error {
+	hook := r.fs.faultHook()
+	candidates := make([]int, 0, len(b.replicas))
+	if r.node != nil {
+		for _, id := range b.replicas {
+			if id == r.node.ID {
+				candidates = append(candidates, id)
+			}
+		}
+	}
+	for _, id := range b.replicas {
+		if r.node == nil || id != r.node.ID {
+			candidates = append(candidates, id)
+		}
+	}
+	var lastErr error
+	for _, id := range candidates {
+		if r.fs.NodeDown(id) {
+			lastErr = fmt.Errorf("node %d is down", id)
+			continue
+		}
+		if hook != nil {
+			if err := hook.BlockRead(id, b.id); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		dn := r.fs.datanodes[id]
+		dn.mu.RLock()
+		data, ok := dn.blocks[b.id]
+		dn.mu.RUnlock()
+		if !ok {
+			lastErr = fmt.Errorf("copy missing on node %d", id)
+			continue
+		}
+		src := r.fs.topo.Node(id)
+		r.fs.cfg.Cost.ChargeDiskRead(src, len(data))
+		if r.node != nil && id != r.node.ID {
+			r.fs.cfg.Cost.ChargeNet(src, r.node, len(data))
+		}
+		r.cur = data
+		r.curStart = start
+		return nil
+	}
+	return fmt.Errorf("dfs: block %d: no readable replica among %d: %w", b.id, len(b.replicas), lastErr)
 }
 
 // Read implements io.Reader.

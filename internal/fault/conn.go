@@ -1,0 +1,225 @@
+package fault
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Op is one connection fault kind.
+type Op int
+
+// Connection fault kinds.
+const (
+	// Reset closes the connection abruptly once the scripted byte offset
+	// is reached: bytes before the offset are delivered, the rest are not,
+	// and both peers observe a mid-stream connection failure.
+	Reset Op = iota
+	// Stall sleeps for the scripted duration at the byte offset, then
+	// continues — a hung-but-connected peer, the failure mode heartbeats
+	// and leases exist to detect.
+	Stall
+	// ShortWrite delivers a prefix that deliberately lands mid-frame (the
+	// scripted offset plus half of the in-flight buffer), then closes: the
+	// receiver decodes a truncated frame, not a clean connection error.
+	ShortWrite
+)
+
+// String renders the op for schedule logs.
+func (o Op) String() string {
+	switch o {
+	case Reset:
+		return "reset"
+	case Stall:
+		return "stall"
+	case ShortWrite:
+		return "short-write"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// ConnFault is one scripted fault on one connection, triggered when the
+// cumulative bytes written through the connection cross AtByte.
+type ConnFault struct {
+	Op     Op
+	AtByte int64
+	// StallFor is the Stall duration (ignored for other ops).
+	StallFor time.Duration
+}
+
+// errInjected marks failures this package caused, so tests can tell an
+// injected fault from a genuine bug.
+type errInjected struct{ msg string }
+
+func (e *errInjected) Error() string { return "fault: injected " + e.msg }
+
+// IsInjected reports whether err was produced by a connection fault.
+func IsInjected(err error) bool {
+	_, ok := err.(*errInjected)
+	return ok
+}
+
+// Conn wraps a net.Conn with a script of write-side faults. The script is
+// consumed in order of AtByte; once it is exhausted the connection behaves
+// normally. Conn is safe for the one-writer/one-reader use the streaming
+// transfer makes of its sockets.
+type Conn struct {
+	net.Conn
+	mu      sync.Mutex
+	script  []ConnFault
+	written int64
+}
+
+// WrapConn attaches a fault script to a connection.
+func WrapConn(c net.Conn, script ...ConnFault) *Conn {
+	return &Conn{Conn: c, script: script}
+}
+
+// Write implements net.Conn, running the fault script against the byte
+// stream. Bytes before a fault's offset are always delivered, so the peer
+// observes a well-defined prefix.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	var f *ConnFault
+	if len(c.script) > 0 && c.written+int64(len(p)) > c.script[0].AtByte {
+		f = &c.script[0]
+		c.script = c.script[1:]
+	}
+	if f == nil {
+		c.written += int64(len(p))
+		c.mu.Unlock()
+		return c.Conn.Write(p)
+	}
+	// Deliver the prefix up to the fault point.
+	k := f.AtByte - c.written
+	if k < 0 {
+		k = 0
+	}
+	if k > int64(len(p)) {
+		k = int64(len(p))
+	}
+	c.written += k
+	c.mu.Unlock()
+
+	n := 0
+	if k > 0 {
+		var err error
+		n, err = c.Conn.Write(p[:k])
+		if err != nil {
+			return n, err
+		}
+	}
+	switch f.Op {
+	case Stall:
+		time.Sleep(f.StallFor)
+		m, err := c.Conn.Write(p[n:])
+		c.mu.Lock()
+		c.written += int64(m)
+		c.mu.Unlock()
+		return n + m, err
+	case ShortWrite:
+		// Land mid-frame: push half the remaining bytes, then cut the
+		// connection so the receiver sees a truncated frame.
+		extra := (len(p) - n) / 2
+		if extra > 0 {
+			m, _ := c.Conn.Write(p[n : n+extra])
+			n += m
+		}
+		_ = c.Conn.Close()
+		return n, &errInjected{"short write"}
+	default: // Reset
+		_ = c.Conn.Close()
+		return n, &errInjected{"connection reset"}
+	}
+}
+
+// DialerConfig scripts a Dialer: which dials get faults and what kind.
+type DialerConfig struct {
+	// MaxFaults bounds the total number of faulted connections; once spent,
+	// every further dial is clean (so bounded retry budgets always win).
+	MaxFaults int
+	// FaultNth faults the n-th dial (0-based) to each distinct address when
+	// the budget allows; nil faults the first dial per address.
+	FaultNth func(addr string, nth int) bool
+	// Ops are the fault kinds to rotate through (defaults to Reset only).
+	Ops []Op
+	// MaxByte bounds the scripted byte offsets (default 64 KiB).
+	MaxByte int64
+	// StallFor is the Stall duration (default 200ms).
+	StallFor time.Duration
+}
+
+// Dialer produces faulted connections according to a seeded schedule. It
+// plugs into stream.SenderConfig.Dial. Fault decisions are keyed by
+// (address, per-address dial ordinal), so concurrent senders dialing
+// different targets cannot perturb each other's schedules.
+type Dialer struct {
+	cfg DialerConfig
+	rnd *Rand
+
+	mu      sync.Mutex
+	perAddr map[string]int
+	faulted int
+	// Injected counts the faults actually armed, so tests can assert the
+	// schedule fired.
+	injected int
+}
+
+// NewDialer returns a dialer whose fault schedule derives from seed.
+func NewDialer(seed int64, cfg DialerConfig) *Dialer {
+	if cfg.MaxByte <= 0 {
+		cfg.MaxByte = 64 << 10
+	}
+	if cfg.StallFor <= 0 {
+		cfg.StallFor = 200 * time.Millisecond
+	}
+	if len(cfg.Ops) == 0 {
+		cfg.Ops = []Op{Reset}
+	}
+	if cfg.MaxFaults <= 0 {
+		cfg.MaxFaults = 1
+	}
+	return &Dialer{cfg: cfg, rnd: NewRand(seed), perAddr: make(map[string]int)}
+}
+
+// Injected reports how many connections were armed with a fault.
+func (d *Dialer) Injected() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.injected
+}
+
+// Dial matches the stream sender's dial hook signature: it dials the
+// target and, when the schedule says so, arms the connection with a fault.
+func (d *Dialer) Dial(network, addr string, timeout time.Duration) (net.Conn, error) {
+	conn, err := net.DialTimeout(network, addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	nth := d.perAddr[addr]
+	d.perAddr[addr]++
+	arm := d.faulted < d.cfg.MaxFaults && d.wantFault(addr, nth)
+	var script []ConnFault
+	if arm {
+		d.faulted++
+		d.injected++
+		op := d.cfg.Ops[d.rnd.Intn(len(d.cfg.Ops))]
+		at := 1 + d.rnd.Int63n(d.cfg.MaxByte)
+		script = []ConnFault{{Op: op, AtByte: at, StallFor: d.cfg.StallFor}}
+	}
+	d.mu.Unlock()
+	if script == nil {
+		return conn, nil
+	}
+	return WrapConn(conn, script...), nil
+}
+
+func (d *Dialer) wantFault(addr string, nth int) bool {
+	if d.cfg.FaultNth != nil {
+		return d.cfg.FaultNth(addr, nth)
+	}
+	return nth == 0
+}

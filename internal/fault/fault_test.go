@@ -1,0 +1,288 @@
+package fault
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"sqlml/internal/hadoopfmt"
+)
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	if NewRand(1).Uint64() == NewRand(2).Uint64() {
+		t.Fatal("different seeds produced the same first draw")
+	}
+}
+
+func TestRandForkIndependent(t *testing.T) {
+	r := NewRand(7)
+	f1 := r.Fork()
+	// Draws on the parent after forking must not perturb the fork.
+	r.Uint64()
+	r.Uint64()
+	g := NewRand(7)
+	g1 := g.Fork()
+	for i := 0; i < 100; i++ {
+		if f1.Uint64() != g1.Uint64() {
+			t.Fatalf("fork diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRandBounds(t *testing.T) {
+	r := NewRand(3)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if v := r.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %g", v)
+		}
+		if j := r.Jitter(time.Second); j < 0 || j >= time.Second {
+			t.Fatalf("Jitter out of range: %v", j)
+		}
+	}
+	if NewRand(1).Intn(0) != 0 || NewRand(1).Jitter(0) != 0 {
+		t.Fatal("degenerate bounds must return 0")
+	}
+}
+
+// pipeConn returns a wrapped client conn and the server end over loopback
+// TCP (net.Pipe has no Close-unblocks-Read guarantee variance we want to
+// avoid; real sockets match production behavior).
+func pipeConn(t *testing.T, script ...ConnFault) (*Conn, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ln.Close() }()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { _ = client.Close(); _ = r.c.Close() })
+	return WrapConn(client, script...), r.c
+}
+
+func readAll(c net.Conn) []byte {
+	var buf bytes.Buffer
+	_, _ = io.Copy(&buf, c)
+	return buf.Bytes()
+}
+
+func TestConnResetDeliversPrefix(t *testing.T) {
+	fc, srv := pipeConn(t, ConnFault{Op: Reset, AtByte: 10})
+	done := make(chan []byte, 1)
+	go func() { done <- readAll(srv) }()
+	payload := bytes.Repeat([]byte{0xAB}, 64)
+	n, err := fc.Write(payload)
+	if err == nil || !IsInjected(err) {
+		t.Fatalf("want injected reset, got n=%d err=%v", n, err)
+	}
+	if n != 10 {
+		t.Fatalf("prefix: want 10 bytes delivered, got %d", n)
+	}
+	got := <-done
+	if !bytes.Equal(got, payload[:10]) {
+		t.Fatalf("peer saw %d bytes, want the 10-byte prefix", len(got))
+	}
+	// A second write on the dead conn must also fail.
+	if _, err := fc.Write([]byte("x")); err == nil {
+		t.Fatal("write after reset succeeded")
+	}
+}
+
+func TestConnShortWriteLandsMidStream(t *testing.T) {
+	fc, srv := pipeConn(t, ConnFault{Op: ShortWrite, AtByte: 8})
+	done := make(chan []byte, 1)
+	go func() { done <- readAll(srv) }()
+	payload := bytes.Repeat([]byte{0xCD}, 32)
+	n, err := fc.Write(payload)
+	if err == nil || !IsInjected(err) {
+		t.Fatalf("want injected short write, got err=%v", err)
+	}
+	got := <-done
+	// Prefix (8) plus half the remainder (12): strictly between the fault
+	// offset and the full payload, and the conn is closed after.
+	if n <= 8 || n >= len(payload) {
+		t.Fatalf("short write delivered %d bytes, want mid-stream truncation", n)
+	}
+	if !bytes.Equal(got, payload[:n]) {
+		t.Fatalf("peer saw %d bytes, writer reported %d", len(got), n)
+	}
+}
+
+func TestConnStallDelaysThenDelivers(t *testing.T) {
+	const stall = 60 * time.Millisecond
+	fc, srv := pipeConn(t, ConnFault{Op: Stall, AtByte: 4, StallFor: stall})
+	done := make(chan []byte, 1)
+	go func() { done <- readAll(srv) }()
+	payload := []byte("hello, stalled world")
+	start := time.Now()
+	n, err := fc.Write(payload)
+	if err != nil || n != len(payload) {
+		t.Fatalf("stall must deliver everything: n=%d err=%v", n, err)
+	}
+	if d := time.Since(start); d < stall {
+		t.Fatalf("write returned after %v, want >= %v stall", d, stall)
+	}
+	_ = fc.Close()
+	if got := <-done; !bytes.Equal(got, payload) {
+		t.Fatalf("peer saw %q, want %q", got, payload)
+	}
+}
+
+func TestConnScriptExhaustionThenClean(t *testing.T) {
+	fc, srv := pipeConn(t, ConnFault{Op: Stall, AtByte: 2, StallFor: time.Millisecond})
+	done := make(chan []byte, 1)
+	go func() { done <- readAll(srv) }()
+	if _, err := fc.Write([]byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	// Script consumed: later writes are clean.
+	if _, err := fc.Write(bytes.Repeat([]byte("x"), 100)); err != nil {
+		t.Fatalf("post-script write failed: %v", err)
+	}
+	_ = fc.Close()
+	if got := <-done; len(got) != 104 {
+		t.Fatalf("peer saw %d bytes, want 104", len(got))
+	}
+}
+
+func TestDialerDeterministicPerAddress(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ln.Close() }()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) { _, _ = io.Copy(io.Discard, c); _ = c.Close() }(c)
+		}
+	}()
+
+	script := func(seed int64) (faulted bool, err error) {
+		d := NewDialer(seed, DialerConfig{Ops: []Op{Reset}, MaxByte: 16})
+		c, err := d.Dial("tcp", ln.Addr().String(), time.Second)
+		if err != nil {
+			return false, err
+		}
+		defer func() { _ = c.Close() }()
+		_, werr := c.Write(bytes.Repeat([]byte("y"), 64))
+		return IsInjected(werr), nil
+	}
+	f1, err := script(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := script(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f1 || !f2 {
+		t.Fatalf("first dial per address must fault by default: %v %v", f1, f2)
+	}
+
+	// Budget: MaxFaults=1 means the second dial is clean.
+	d := NewDialer(7, DialerConfig{FaultNth: func(string, int) bool { return true }})
+	c1, _ := d.Dial("tcp", ln.Addr().String(), time.Second)
+	c2, _ := d.Dial("tcp", ln.Addr().String(), time.Second)
+	defer func() { _ = c1.Close() }()
+	defer func() { _ = c2.Close() }()
+	if _, ok := c1.(*Conn); !ok {
+		t.Fatal("first dial should be armed")
+	}
+	if _, ok := c2.(*Conn); ok {
+		t.Fatal("budget exhausted: second dial must be clean")
+	}
+	if d.Injected() != 1 {
+		t.Fatalf("Injected() = %d, want 1", d.Injected())
+	}
+}
+
+func TestDFSFaultsScript(t *testing.T) {
+	h := NewDFSFaults(DFSConfig{Node: 2, AfterReads: 3, FailReads: 2, FailWrites: 1})
+	// First three consults are clean regardless of node.
+	for i := 0; i < 3; i++ {
+		if err := h.BlockRead(2, int64(i)); err != nil {
+			t.Fatalf("read %d should be clean: %v", i, err)
+		}
+	}
+	// Other nodes never fail.
+	if err := h.BlockRead(1, 10); err != nil {
+		t.Fatalf("node 1 should be clean: %v", err)
+	}
+	// Node 2 now fails, twice.
+	if err := h.BlockRead(2, 10); err == nil || !IsInjected(err) {
+		t.Fatalf("want injected read failure, got %v", err)
+	}
+	if err := h.BlockRead(2, 11); err == nil {
+		t.Fatal("second failure expected")
+	}
+	// Recovered.
+	if err := h.BlockRead(2, 12); err != nil {
+		t.Fatalf("node should have recovered: %v", err)
+	}
+	if err := h.BlockWrite(2, 20); err == nil || !IsInjected(err) {
+		t.Fatalf("want injected write failure, got %v", err)
+	}
+	if err := h.BlockWrite(2, 21); err != nil {
+		t.Fatalf("write budget spent, want clean: %v", err)
+	}
+	r, w := h.Stats()
+	if r != 2 || w != 1 {
+		t.Fatalf("Stats() = (%d, %d), want (2, 1)", r, w)
+	}
+}
+
+func TestTaskFaultsScript(t *testing.T) {
+	tf := NewTaskFaults(TaskConfig{Phase: "map", Task: 1, AtRecord: 5, Attempts: 2})
+	if err := tf.Hook("map", 0, 0, 5); err != nil {
+		t.Fatalf("other task must not crash: %v", err)
+	}
+	if err := tf.Hook("map", 1, 0, 4); err != nil {
+		t.Fatalf("other record must not crash: %v", err)
+	}
+	err := tf.Hook("map", 1, 0, 5)
+	if err == nil || !hadoopfmt.IsRetryable(err) {
+		t.Fatalf("want retryable crash, got %v", err)
+	}
+	if err := tf.Hook("map", 1, 1, 5); err == nil {
+		t.Fatal("attempt 1 must crash too")
+	}
+	if err := tf.Hook("map", 1, 2, 5); err != nil {
+		t.Fatalf("attempt 2 must succeed: %v", err)
+	}
+	if err := tf.Hook("reduce", 1, 0, 5); err != nil {
+		t.Fatalf("other phase must not crash: %v", err)
+	}
+	if tf.Crashes() != 2 {
+		t.Fatalf("Crashes() = %d, want 2", tf.Crashes())
+	}
+}

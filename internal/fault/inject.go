@@ -1,0 +1,131 @@
+package fault
+
+import (
+	"fmt"
+	"sync"
+
+	"sqlml/internal/hadoopfmt"
+)
+
+// DFSConfig scripts datanode faults for one plan.
+type DFSConfig struct {
+	// Node is the datanode whose blocks misbehave.
+	Node int
+	// AfterReads arms the fault after this many block-read consults across
+	// the whole filesystem (0 = immediately), so a schedule can fail a node
+	// mid-read rather than before the first byte.
+	AfterReads int
+	// FailReads bounds how many read consults on Node fail before the node
+	// "recovers"; 0 fails them forever (the replica-fallback path).
+	FailReads int
+	// FailWrites bounds how many block stores on Node fail (the task-retry
+	// path); 0 injects no write faults.
+	FailWrites int
+}
+
+// DFSFaults implements the dfs.FaultHook seam: it is consulted once per
+// candidate replica on reads and once per replica store on writes, and
+// decides from the scripted config — never from wall-clock time — whether
+// that access fails.
+type DFSFaults struct {
+	cfg DFSConfig
+
+	mu          sync.Mutex
+	reads       int
+	failedReads int
+	failedWrite int
+}
+
+// NewDFSFaults returns a hook for the scripted datanode faults.
+func NewDFSFaults(cfg DFSConfig) *DFSFaults {
+	return &DFSFaults{cfg: cfg}
+}
+
+// BlockRead is consulted before serving blockID from nodeID; returning an
+// error makes the reader fall back to the next replica.
+func (d *DFSFaults) BlockRead(nodeID int, blockID int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.reads++
+	if nodeID != d.cfg.Node || d.reads <= d.cfg.AfterReads {
+		return nil
+	}
+	if d.cfg.FailReads > 0 && d.failedReads >= d.cfg.FailReads {
+		return nil
+	}
+	d.failedReads++
+	return &errInjected{fmt.Sprintf("datanode %d read failure (block %d)", nodeID, blockID)}
+}
+
+// BlockWrite is consulted before storing blockID on nodeID; returning an
+// error fails the enclosing write, which surfaces as a (retryable) task
+// failure.
+func (d *DFSFaults) BlockWrite(nodeID int, blockID int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if nodeID != d.cfg.Node || d.failedWrite >= d.cfg.FailWrites {
+		return nil
+	}
+	d.failedWrite++
+	return &errInjected{fmt.Sprintf("datanode %d write failure (block %d)", nodeID, blockID)}
+}
+
+// Stats reports how many faults actually fired, so a schedule can assert
+// it exercised the path it meant to.
+func (d *DFSFaults) Stats() (failedReads, failedWrites int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.failedReads, d.failedWrite
+}
+
+// TaskConfig scripts MapReduce task crashes for one plan.
+type TaskConfig struct {
+	// Phase selects which side crashes: "map" or "reduce".
+	Phase string
+	// Task is the task index within the phase.
+	Task int
+	// AtRecord crashes the attempt after processing this many records, so
+	// partial scratch output exists when the attempt dies.
+	AtRecord int
+	// Attempts is how many consecutive attempts crash before the task is
+	// allowed to succeed. Keep it below the engine's attempt bound to test
+	// recovery, or at/above it to test bounded escalation.
+	Attempts int
+}
+
+// TaskFaults implements the mapred task-fault seam: consulted once per
+// record per attempt, it crashes scripted attempts with a retryable error
+// at the scripted record.
+type TaskFaults struct {
+	cfgs []TaskConfig
+
+	mu      sync.Mutex
+	crashes int
+}
+
+// NewTaskFaults returns an injector for the scripted task crashes.
+func NewTaskFaults(cfgs ...TaskConfig) *TaskFaults {
+	return &TaskFaults{cfgs: cfgs}
+}
+
+// Hook matches mapred's TaskFault seam signature.
+func (t *TaskFaults) Hook(phase string, task, attempt, record int) error {
+	for _, c := range t.cfgs {
+		if c.Phase != phase || c.Task != task || attempt >= c.Attempts || record != c.AtRecord {
+			continue
+		}
+		t.mu.Lock()
+		t.crashes++
+		t.mu.Unlock()
+		return &hadoopfmt.RetryableError{Err: &errInjected{fmt.Sprintf(
+			"%s task %d crash (attempt %d, record %d)", phase, task, attempt, record)}}
+	}
+	return nil
+}
+
+// Crashes reports how many attempts the injector killed.
+func (t *TaskFaults) Crashes() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.crashes
+}

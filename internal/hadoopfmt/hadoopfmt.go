@@ -425,7 +425,10 @@ func (r *sliceReader) Close() error { return nil }
 // should handle by re-executing the task: re-open the split with a fresh
 // reader and discard any partially accumulated rows. The parallel streaming
 // transfer uses it to signal the paper's §6 restart protocol (restart the
-// SQL worker and all of its ML workers) to the ML engine.
+// SQL worker and all of its ML workers) to the ML engine; the MapReduce
+// engine's per-task attempt loop (mapred.Run) honors it the same way, and
+// the fault-injection layer (internal/fault.TaskFaults) produces it to
+// script deterministic task crashes.
 type RetryableError struct {
 	Err error
 }

@@ -37,6 +37,11 @@ type Env struct {
 	// JobStartupDelay is the fixed simulated overhead charged per MapReduce
 	// job (the naive pipeline pays it twice: recode-map job + transform job).
 	JobStartupDelay time.Duration
+	// MaxTaskAttempts and TaskFault pass through to every MapReduce job the
+	// tool runs: the per-task re-execution budget and the deterministic
+	// fault-injection seam (see mapred.Job).
+	MaxTaskAttempts int
+	TaskFault       func(phase string, task, attempt, record int) error
 }
 
 // Result reports what a Transform run produced.
@@ -110,15 +115,17 @@ func Transform(env *Env, inputPath string, inputSchema row.Schema, spec transfor
 		}),
 		// One reducer: the ID assignment needs a global sorted view, the
 		// same reason the In-SQL path's assign_recode_ids UDF is global.
-		NumReducers:  1,
-		OutputPath:   mapJobOut,
-		OutputSchema: transform.MapSchema(),
-		Topo:         env.Topo,
-		FS:           env.FS,
-		Cost:         env.Cost,
-		TaskNodes:    env.TaskNodes,
-		SlotsPerNode: env.SlotsPerNode,
-		StartupDelay: env.JobStartupDelay,
+		NumReducers:     1,
+		OutputPath:      mapJobOut,
+		OutputSchema:    transform.MapSchema(),
+		Topo:            env.Topo,
+		FS:              env.FS,
+		Cost:            env.Cost,
+		TaskNodes:       env.TaskNodes,
+		SlotsPerNode:    env.SlotsPerNode,
+		StartupDelay:    env.JobStartupDelay,
+		MaxTaskAttempts: env.MaxTaskAttempts,
+		TaskFault:       env.TaskFault,
 	}
 	mapStats, err := mapred.Run(mapJob)
 	if err != nil {
@@ -148,14 +155,16 @@ func Transform(env *Env, inputPath string, inputSchema row.Schema, spec transfor
 			}
 			return emit("", out)
 		}),
-		OutputPath:   outputPath,
-		OutputSchema: enc.Schema(),
-		Topo:         env.Topo,
-		FS:           env.FS,
-		Cost:         env.Cost,
-		TaskNodes:    env.TaskNodes,
-		SlotsPerNode: env.SlotsPerNode,
-		StartupDelay: env.JobStartupDelay,
+		OutputPath:      outputPath,
+		OutputSchema:    enc.Schema(),
+		Topo:            env.Topo,
+		FS:              env.FS,
+		Cost:            env.Cost,
+		TaskNodes:       env.TaskNodes,
+		SlotsPerNode:    env.SlotsPerNode,
+		StartupDelay:    env.JobStartupDelay,
+		MaxTaskAttempts: env.MaxTaskAttempts,
+		TaskFault:       env.TaskFault,
 	}
 	applyStats, err := mapred.Run(applyJob)
 	if err != nil {
@@ -266,17 +275,19 @@ func scaleJobs(env *Env, inputPath string, schema row.Schema, spec transform.Spe
 			}
 			return nil
 		}),
-		Combiner:     merge,
-		Reducer:      merge,
-		NumReducers:  1,
-		OutputPath:   outputPath + "__stats",
-		OutputSchema: partialSchema,
-		Topo:         env.Topo,
-		FS:           env.FS,
-		Cost:         env.Cost,
-		TaskNodes:    env.TaskNodes,
-		SlotsPerNode: env.SlotsPerNode,
-		StartupDelay: env.JobStartupDelay,
+		Combiner:        merge,
+		Reducer:         merge,
+		NumReducers:     1,
+		OutputPath:      outputPath + "__stats",
+		OutputSchema:    partialSchema,
+		Topo:            env.Topo,
+		FS:              env.FS,
+		Cost:            env.Cost,
+		TaskNodes:       env.TaskNodes,
+		SlotsPerNode:    env.SlotsPerNode,
+		StartupDelay:    env.JobStartupDelay,
+		MaxTaskAttempts: env.MaxTaskAttempts,
+		TaskFault:       env.TaskFault,
 	}
 	if _, err := mapred.Run(statsJob); err != nil {
 		return fmt.Errorf("jaql: scale stats job: %w", err)
@@ -335,14 +346,16 @@ func scaleJobs(env *Env, inputPath string, schema row.Schema, spec transform.Spe
 			}
 			return emit("", out)
 		}),
-		OutputPath:   outputPath,
-		OutputSchema: outSchema,
-		Topo:         env.Topo,
-		FS:           env.FS,
-		Cost:         env.Cost,
-		TaskNodes:    env.TaskNodes,
-		SlotsPerNode: env.SlotsPerNode,
-		StartupDelay: env.JobStartupDelay,
+		OutputPath:      outputPath,
+		OutputSchema:    outSchema,
+		Topo:            env.Topo,
+		FS:              env.FS,
+		Cost:            env.Cost,
+		TaskNodes:       env.TaskNodes,
+		SlotsPerNode:    env.SlotsPerNode,
+		StartupDelay:    env.JobStartupDelay,
+		MaxTaskAttempts: env.MaxTaskAttempts,
+		TaskFault:       env.TaskFault,
 	}
 	if _, err := mapred.Run(applyJob); err != nil {
 		return fmt.Errorf("jaql: scale apply job: %w", err)

@@ -13,6 +13,7 @@ package mapred
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -78,6 +79,19 @@ type Job struct {
 	// to the cost model (Hadoop jobs pay tens of seconds of JVM spin-up and
 	// JobTracker scheduling before any task runs).
 	StartupDelay time.Duration
+
+	// MaxTaskAttempts bounds per-task execution attempts (Hadoop's
+	// mapreduce.map.maxattempts): a task failing with a
+	// hadoopfmt.RetryableError is re-executed from scratch — fresh reader,
+	// attempt-local output, attempt-scoped part-file scratch path — up to
+	// this many times before the job fails. Non-retryable errors fail the
+	// job immediately. Defaults to 4.
+	MaxTaskAttempts int
+	// TaskFault, when set, is consulted before each record of every map
+	// task and each key group of every reduce task — the deterministic
+	// fault-injection seam (internal/fault.TaskFaults.Hook plugs in here).
+	// A non-nil return fails the task attempt at that record.
+	TaskFault func(phase string, task, attempt, record int) error
 }
 
 // Stats reports job counters.
@@ -88,6 +102,12 @@ type Stats struct {
 	MapOutputs   int64
 	OutputRows   int64
 	ShuffleBytes int64
+	// TaskRetries counts task attempts that failed retryably and were
+	// re-executed (across the map, reduce, and commit stages). Zero on a
+	// fault-free run; the exactly-once counters above are unaffected by
+	// retries because every attempt's counts are attempt-local until the
+	// attempt commits.
+	TaskRetries int64
 }
 
 // Run executes the job synchronously and returns its counters.
@@ -130,7 +150,7 @@ func Run(job *Job) (*Stats, error) {
 	sem := make(chan struct{}, slots*len(nodes))
 	var wg sync.WaitGroup
 	errs := make([]error, len(splits))
-	var inputRows, mapOutputs atomicCounter
+	var inputRows, mapOutputs, taskRetries atomicCounter
 	for i := range splits {
 		wg.Add(1)
 		go func(i int) {
@@ -142,84 +162,109 @@ func Run(job *Job) (*Stats, error) {
 			if nb == 0 {
 				nb = 1
 			}
-			buckets := make([][]pair, nb)
-			rr, err := job.Input.Open(splits[i], node)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			defer func() {
-				if cerr := rr.Close(); cerr != nil && errs[i] == nil {
-					errs[i] = cerr
-				}
-			}()
-			emit := func(key string, value row.Row) error {
-				mapOutputs.add(1)
-				b := 0
-				if numReducers > 0 {
-					b = int(hashString(key) % uint64(numReducers))
-				}
-				buckets[b] = append(buckets[b], pair{key: key, value: value})
-				return nil
-			}
-			taskBytes := 0
-			for {
-				r, ok, err := rr.Next()
-				if err != nil {
-					errs[i] = err
-					return
-				}
-				if !ok {
-					break
-				}
-				inputRows.add(1)
-				taskBytes += approxRowBytes(r)
-				if err := job.Mapper.Map(r, emit); err != nil {
-					errs[i] = err
-					return
-				}
-			}
-			// A map task is one processing pass over its split.
-			job.Cost.ChargeProc(node, taskBytes)
-			if job.Combiner != nil && numReducers > 0 {
-				for b := range buckets {
-					combined, err := combine(job.Combiner, buckets[b])
-					if err != nil {
-						errs[i] = err
-						return
+			// Everything an attempt produces — buckets, counters, bytes —
+			// is attempt-local and folded in only when the attempt
+			// succeeds, so a crashed attempt leaves no partial state for
+			// its re-execution to double-count.
+			errs[i] = runTask(job, &taskRetries, "map", i, func(attempt int) error {
+				buckets := make([][]pair, nb)
+				var taskIn, taskOut int64
+				emit := func(key string, value row.Row) error {
+					taskOut++
+					b := 0
+					if numReducers > 0 {
+						b = int(hashString(key) % uint64(numReducers))
 					}
-					buckets[b] = combined
+					buckets[b] = append(buckets[b], pair{key: key, value: value})
+					return nil
 				}
-			}
-			outputs[i] = mapOutput{node: node, buckets: buckets}
+				rr, err := job.Input.Open(splits[i], node)
+				if err != nil {
+					return err
+				}
+				taskBytes := 0
+				attemptErr := func() error {
+					record := 0
+					for {
+						if job.TaskFault != nil {
+							if ferr := job.TaskFault("map", i, attempt, record); ferr != nil {
+								return ferr
+							}
+						}
+						r, ok, err := rr.Next()
+						if err != nil {
+							return err
+						}
+						if !ok {
+							return nil
+						}
+						taskIn++
+						record++
+						taskBytes += approxRowBytes(r)
+						if err := job.Mapper.Map(r, emit); err != nil {
+							return err
+						}
+					}
+				}()
+				cerr := rr.Close()
+				// Every attempt pays for the bytes it read, failed ones
+				// included — re-execution cost is why attempts are bounded.
+				job.Cost.ChargeProc(node, taskBytes)
+				if attemptErr != nil {
+					return attemptErr
+				}
+				if cerr != nil {
+					return cerr
+				}
+				if job.Combiner != nil && numReducers > 0 {
+					for b := range buckets {
+						combined, err := combine(job.Combiner, buckets[b])
+						if err != nil {
+							return err
+						}
+						buckets[b] = combined
+					}
+				}
+				outputs[i] = mapOutput{node: node, buckets: buckets}
+				inputRows.add(taskIn)
+				mapOutputs.add(taskOut)
+				return nil
+			})
 		}(i)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("mapred: %s: map task: %w", job.Name, err)
+			return nil, fmt.Errorf("mapred: %s: %w", job.Name, err)
 		}
 	}
 	stats.InputRows = inputRows.get()
 	stats.MapOutputs = mapOutputs.get()
 
 	if job.Reducer == nil {
-		// Map-only: write one part file per map task from its node.
+		// Map-only: write one part file per map task from its node,
+		// through the attempt-scoped scratch-then-rename commit.
 		var outputRows atomicCounter
 		err := forEach(len(splits), func(i int) error {
-			rows := make([]row.Row, 0, len(outputs[i].buckets[0]))
-			for _, p := range outputs[i].buckets[0] {
-				rows = append(rows, p.value)
-			}
-			outputRows.add(int64(len(rows)))
-			path := fmt.Sprintf("%s/part-m-%05d", job.OutputPath, i)
-			_, err := hadoopfmt.WriteTextTable(job.FS, path, job.OutputSchema, rows, outputs[i].node)
-			return err
+			return runTask(job, &taskRetries, "commit", i, func(attempt int) error {
+				rows := make([]row.Row, 0, len(outputs[i].buckets[0]))
+				for _, p := range outputs[i].buckets[0] {
+					rows = append(rows, p.value)
+				}
+				final := fmt.Sprintf("%s/part-m-%05d", job.OutputPath, i)
+				n, err := commitTextTable(job, final, i, attempt, rows, outputs[i].node)
+				if err != nil {
+					return err
+				}
+				outputRows.add(n)
+				return nil
+			})
 		})
 		if err != nil {
 			return nil, fmt.Errorf("mapred: %s: %w", job.Name, err)
 		}
 		stats.OutputRows = outputRows.get()
+		stats.TaskRetries = taskRetries.get()
 		return stats, nil
 	}
 
@@ -250,46 +295,113 @@ func Run(job *Job) (*Stats, error) {
 	}
 	stats.ShuffleBytes = shuffleBytes
 
-	// Reduce phase: sort by key, group, reduce, write part files.
+	// Reduce phase: sort by key, group, reduce, commit part files. Each
+	// attempt re-sorts and re-groups from the (immutable between attempts)
+	// shuffled input and accumulates into attempt-local rows, so a crashed
+	// attempt's re-execution reproduces the identical part file.
 	var outputRows atomicCounter
 	err = forEach(numReducers, func(r int) error {
-		ps := shuffled[r]
-		reduceBytes := 0
-		for _, p := range ps {
-			reduceBytes += len(p.key) + approxRowBytes(p.value)
-		}
-		// A reduce task is one processing pass over its shuffled input.
-		job.Cost.ChargeProc(reduceNodes[r], reduceBytes)
-		sort.SliceStable(ps, func(i, j int) bool { return ps[i].key < ps[j].key })
-		var rows []row.Row
-		emit := func(out row.Row) error {
-			rows = append(rows, out)
-			return nil
-		}
-		for i := 0; i < len(ps); {
-			j := i
-			for j < len(ps) && ps[j].key == ps[i].key {
-				j++
+		return runTask(job, &taskRetries, "reduce", r, func(attempt int) error {
+			ps := shuffled[r]
+			reduceBytes := 0
+			for _, p := range ps {
+				reduceBytes += len(p.key) + approxRowBytes(p.value)
 			}
-			vals := make([]row.Row, 0, j-i)
-			for _, p := range ps[i:j] {
-				vals = append(vals, p.value)
+			// A reduce task is one processing pass over its shuffled
+			// input; failed attempts pay too.
+			job.Cost.ChargeProc(reduceNodes[r], reduceBytes)
+			sort.SliceStable(ps, func(i, j int) bool { return ps[i].key < ps[j].key })
+			var rows []row.Row
+			emit := func(out row.Row) error {
+				rows = append(rows, out)
+				return nil
 			}
-			if err := job.Reducer.Reduce(ps[i].key, vals, emit); err != nil {
+			record := 0
+			for i := 0; i < len(ps); {
+				if job.TaskFault != nil {
+					if ferr := job.TaskFault("reduce", r, attempt, record); ferr != nil {
+						return ferr
+					}
+				}
+				j := i
+				for j < len(ps) && ps[j].key == ps[i].key {
+					j++
+				}
+				vals := make([]row.Row, 0, j-i)
+				for _, p := range ps[i:j] {
+					vals = append(vals, p.value)
+				}
+				if err := job.Reducer.Reduce(ps[i].key, vals, emit); err != nil {
+					return err
+				}
+				record++
+				i = j
+			}
+			final := fmt.Sprintf("%s/part-r-%05d", job.OutputPath, r)
+			n, err := commitTextTable(job, final, r, attempt, rows, reduceNodes[r])
+			if err != nil {
 				return err
 			}
-			i = j
-		}
-		outputRows.add(int64(len(rows)))
-		path := fmt.Sprintf("%s/part-r-%05d", job.OutputPath, r)
-		_, err := hadoopfmt.WriteTextTable(job.FS, path, job.OutputSchema, rows, reduceNodes[r])
-		return err
+			outputRows.add(n)
+			return nil
+		})
 	})
 	if err != nil {
-		return nil, fmt.Errorf("mapred: %s: reduce: %w", job.Name, err)
+		return nil, fmt.Errorf("mapred: %s: %w", job.Name, err)
 	}
 	stats.OutputRows = outputRows.get()
+	stats.TaskRetries = taskRetries.get()
 	return stats, nil
+}
+
+// defaultTaskAttempts bounds per-task re-execution when the job does not
+// set its own budget (Hadoop's mapreduce.map.maxattempts default).
+const defaultTaskAttempts = 4
+
+// runTask executes one task body with bounded re-execution: an attempt
+// failing with a hadoopfmt.RetryableError is re-run from scratch (the body
+// keeps all of its state attempt-local), anything else fails the job
+// immediately. Attempts are 0-indexed so fault scripts and scratch paths
+// can name them.
+func runTask(job *Job, retries *atomicCounter, phase string, task int, body func(attempt int) error) error {
+	budget := job.MaxTaskAttempts
+	if budget <= 0 {
+		budget = defaultTaskAttempts
+	}
+	for attempt := 0; ; attempt++ {
+		err := body(attempt)
+		if err == nil {
+			return nil
+		}
+		if !hadoopfmt.IsRetryable(err) {
+			return fmt.Errorf("%s task %d: %w", phase, task, err)
+		}
+		if attempt+1 >= budget {
+			return fmt.Errorf("%s task %d: attempt budget (%d) exhausted: %w", phase, task, budget, err)
+		}
+		retries.add(1)
+	}
+}
+
+// commitTextTable writes one part file through an attempt-scoped scratch
+// path and renames it into place only when the write fully succeeded — a
+// crashed attempt leaves no partial part file for readers (or the next
+// attempt) to trip over. Scratch files carry the "_" prefix Hadoop uses
+// for in-progress output, which directory readers skip.
+func commitTextTable(job *Job, final string, task, attempt int, rows []row.Row, node *cluster.Node) (int64, error) {
+	scratch := fmt.Sprintf("%s/_attempt-%05d-%d", job.OutputPath, task, attempt)
+	if _, err := hadoopfmt.WriteTextTable(job.FS, scratch, job.OutputSchema, rows, node); err != nil {
+		if job.FS.Exists(scratch) {
+			// Best-effort scratch cleanup on the failure path; the commit
+			// rename is what correctness hangs on.
+			_ = job.FS.Delete(scratch)
+		}
+		return 0, err
+	}
+	if err := job.FS.Rename(scratch, final); err != nil {
+		return 0, err
+	}
+	return int64(len(rows)), nil
 }
 
 func validate(job *Job) error {
@@ -434,12 +546,20 @@ func (d *dirFormat) Splits(numSplits int) ([]hadoopfmt.InputSplit, error) {
 	}
 	var out []hadoopfmt.InputSplit
 	for _, f := range files {
+		// Skip in-progress and metadata files (Hadoop's "_" convention):
+		// an uncommitted attempt's scratch output is not job output.
+		if base := f[strings.LastIndexByte(f, '/')+1:]; strings.HasPrefix(base, "_") {
+			continue
+		}
 		fm := hadoopfmt.NewTextTableFormat(d.fs, f, d.schema)
 		splits, err := fm.Splits(0)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, splits...)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("mapred: no committed part files under %q", d.dir)
 	}
 	return out, nil
 }

@@ -148,6 +148,10 @@ type Reader struct {
 	buf   []byte
 	nread int64
 
+	// requireEOS makes a bare io.EOF an error: the stream must end with the
+	// explicit end-of-stream frame (WriteEOS). See RequireEOS.
+	requireEOS bool
+
 	// pending block: rows still to serve, and the wire size to credit to
 	// nread once the last of them has been consumed.
 	block     []byte
@@ -165,6 +169,24 @@ func (r *Reader) Bytes() int64 { return r.nread }
 // NewReader returns a frame reader over r.
 func NewReader(r io.Reader) *Reader {
 	return &Reader{r: bufio.NewReader(r)}
+}
+
+// RequireEOS makes the reader demand the explicit end-of-stream frame
+// (WriteEOS): a stream that simply stops is then a truncation error, not a
+// clean end. Transports where a peer's death closes the connection — which
+// reads as EOF and could land exactly on a frame boundary — need this to
+// tell completion from a mid-stream failure; readers over files or buffers,
+// where EOF is authoritative, do not set it.
+func (r *Reader) RequireEOS() { r.requireEOS = true }
+
+// WriteEOS writes the explicit end-of-stream frame: a zero length word,
+// which no data frame ever produces (v1 rows and blocks are both non-empty
+// on the wire). Readers in RequireEOS mode treat it as the only clean end
+// of stream.
+func WriteEOS(w io.Writer) error {
+	var hdr [4]byte
+	_, err := w.Write(hdr[:])
+	return err
 }
 
 // Read decodes the next row. It returns io.EOF cleanly at end of stream.
@@ -225,9 +247,16 @@ func (r *Reader) nextFrame() error {
 		if err == io.ErrUnexpectedEOF {
 			return fmt.Errorf("row: truncated frame header: %w", err)
 		}
+		if err == io.EOF && r.requireEOS {
+			return fmt.Errorf("row: stream ended without end-of-stream frame: %w", io.ErrUnexpectedEOF)
+		}
 		return err
 	}
 	word := binary.LittleEndian.Uint32(hdr[:])
+	if word == 0 {
+		// Explicit end-of-stream frame (WriteEOS).
+		return io.EOF
+	}
 	if word&blockFlag == 0 {
 		// v1 single-row frame.
 		n := int(word)

@@ -33,6 +33,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"sqlml/internal/row"
 )
@@ -64,6 +65,13 @@ type Target struct {
 	Split  int    `json:"split"`
 	Listen string `json:"listen"` // real TCP address the ML reader accepts on
 	Addr   string `json:"addr"`   // simulated node address, for cost charging
+
+	// Epoch is the coordinator-assigned registration generation for the
+	// split: bumped on every register_ml, echoed by the reader in the data
+	// connection's resume handshake. A sender holding target info from an
+	// older epoch detects the mismatch and refreshes via get_target instead
+	// of resuming against a re-executed reader's reset offsets.
+	Epoch uint32 `json:"epoch,omitempty"`
 }
 
 // message is the coordinator wire protocol (JSON lines).
@@ -80,9 +88,13 @@ type message struct {
 	Args       []string `json:"args,omitempty"`
 	K          int      `json:"k,omitempty"`
 
-	// register_ml
+	// register_ml / get_target
 	Split  int    `json:"split,omitempty"`
 	Listen string `json:"listen,omitempty"`
+
+	// Epoch carries the coordinator-assigned registration generation in
+	// register_ml replies (see Target.Epoch).
+	Epoch uint32 `json:"epoch,omitempty"`
 
 	// Proto is the wire-format version the registering peer supports
 	// (row.WireProtoRow or row.WireProtoBlock; absent means the pre-block
@@ -117,20 +129,48 @@ type jobState struct {
 	// trigger another restart round).
 	mlRegs map[int]Target
 
+	// mlEpochs[split] counts register_ml calls for the split; the current
+	// value is the live epoch, older values are fenced.
+	mlEpochs map[int]uint32
+
 	// dispatched[w] reports whether worker w's current wait got matches.
 	dispatched map[int]bool
+
+	// sqlConns[w] is the parked connection behind sqlWaiters[w], kept so
+	// lease expiry can sever a hung worker, and lastBeat[w] is when the
+	// worker last registered or heartbeat.
+	sqlConns map[int]net.Conn
+	lastBeat map[int]time.Time
+
+	// restarts counts §6 group restarts: register_sql messages arriving
+	// after the job launched. Per-connection reconnects (the sender's
+	// backoff + spool-resume path) do not pass through here, which is what
+	// lets tests assert a single reset was absorbed without a restart.
+	restarts int
+
+	// expired counts leases the coordinator revoked from hung workers.
+	expired int
 }
 
 // Coordinator is the long-standing matchmaking service.
 type Coordinator struct {
 	launcher Launcher
 
+	// LeaseDuration, when positive, arms hung-worker detection: each SQL
+	// registration grants a lease renewed by heartbeat messages on the
+	// parked connection, and a worker whose lease lapses has that
+	// connection severed — so a sender that is hung (not merely
+	// disconnected) is forced onto its failure path instead of wedging the
+	// job forever. Must be set before Start. Zero disables leases.
+	LeaseDuration time.Duration
+
 	mu   sync.Mutex
 	jobs map[string]*jobState
 
-	ln     net.Listener
-	wg     sync.WaitGroup
-	closed bool
+	ln        net.Listener
+	wg        sync.WaitGroup
+	closed    bool
+	leaseStop chan struct{}
 
 	// Logf, when set, receives protocol trace lines (tests, CLI verbose).
 	Logf func(format string, args ...any)
@@ -152,6 +192,11 @@ func (c *Coordinator) Start(addr string) (string, error) {
 	c.ln = ln
 	c.wg.Add(1)
 	go c.acceptLoop()
+	if c.LeaseDuration > 0 {
+		c.leaseStop = make(chan struct{})
+		c.wg.Add(1)
+		go c.leaseLoop()
+	}
 	return ln.Addr().String(), nil
 }
 
@@ -159,8 +204,25 @@ func (c *Coordinator) Start(addr string) (string, error) {
 // their current message.
 func (c *Coordinator) Stop() {
 	c.mu.Lock()
+	wasClosed := c.closed
 	c.closed = true
+	// Sever parked registration connections: their handlers block reading
+	// heartbeats until the peer closes, and a worker that never will (hung,
+	// or a test driving the protocol by hand) must not wedge shutdown.
+	var parked []net.Conn
+	for _, js := range c.jobs {
+		for _, conn := range js.sqlConns {
+			parked = append(parked, conn)
+		}
+	}
 	c.mu.Unlock()
+	if !wasClosed && c.leaseStop != nil {
+		close(c.leaseStop)
+	}
+	for _, conn := range parked {
+		//lint:allow errdiscard shutdown teardown; the close is the signal and the peer may already be gone
+		conn.Close()
+	}
 	if c.ln != nil {
 		if err := c.ln.Close(); err != nil {
 			c.logf("coordinator: listener close: %v", err)
@@ -172,6 +234,82 @@ func (c *Coordinator) Stop() {
 func (c *Coordinator) logf(format string, args ...any) {
 	if c.Logf != nil {
 		c.Logf(format, args...)
+	}
+}
+
+// Restarts reports how many §6 group restarts the job has gone through:
+// register_sql messages seen after launch. Per-connection reconnects
+// absorbed by the sender's backoff + spool-resume path never reach this
+// counter — the chaos tests assert exactly that.
+func (c *Coordinator) Restarts(job string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if js, ok := c.jobs[job]; ok {
+		return js.restarts
+	}
+	return 0
+}
+
+// TotalRestarts sums Restarts over every job the coordinator has seen.
+func (c *Coordinator) TotalRestarts() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, js := range c.jobs {
+		n += js.restarts
+	}
+	return n
+}
+
+// ExpiredLeases reports how many worker leases the coordinator revoked for
+// the job.
+func (c *Coordinator) ExpiredLeases(job string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if js, ok := c.jobs[job]; ok {
+		return js.expired
+	}
+	return 0
+}
+
+// leaseLoop periodically revokes leases of workers that stopped renewing.
+func (c *Coordinator) leaseLoop() {
+	defer c.wg.Done()
+	tick := time.NewTicker(c.LeaseDuration / 2)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.leaseStop:
+			return
+		case <-tick.C:
+			c.expireLeases(time.Now())
+		}
+	}
+}
+
+// expireLeases severs the parked connection of every worker whose lease
+// lapsed before now. Closing the connection is the fence: the hung sender's
+// next coordinator interaction fails, pushing it onto its restart path, and
+// a fresh register_sql re-admits it with a new lease.
+func (c *Coordinator) expireLeases(now time.Time) {
+	var victims []net.Conn
+	c.mu.Lock()
+	for job, js := range c.jobs {
+		for w, conn := range js.sqlConns {
+			if now.Sub(js.lastBeat[w]) <= c.LeaseDuration {
+				continue
+			}
+			delete(js.sqlConns, w)
+			delete(js.sqlWaiters, w)
+			js.expired++
+			victims = append(victims, conn)
+			c.logf("lease expired for sql worker %d of job %s", w, job)
+		}
+	}
+	c.mu.Unlock()
+	for _, conn := range victims {
+		//lint:allow errdiscard fencing a hung worker; the close itself is the signal and the peer may already be gone
+		conn.Close()
 	}
 }
 
@@ -203,11 +341,13 @@ func (c *Coordinator) handle(conn net.Conn) {
 	}
 	switch msg.Type {
 	case "register_sql":
-		c.handleRegisterSQL(&msg, enc, dec)
+		c.handleRegisterSQL(&msg, conn, enc, dec)
 	case "get_splits":
 		c.handleGetSplits(&msg, enc)
 	case "register_ml":
 		c.handleRegisterML(&msg, enc)
+	case "get_target":
+		c.handleGetTarget(&msg, enc)
 	default:
 		c.reply(enc, message{Type: "error", Error: "unknown message " + msg.Type})
 	}
@@ -230,7 +370,10 @@ func (c *Coordinator) job(name string) *jobState {
 			sqlWaiters: make(map[int]*json.Encoder),
 			sqlAddrs:   make(map[int]string),
 			mlRegs:     make(map[int]Target),
+			mlEpochs:   make(map[int]uint32),
 			dispatched: make(map[int]bool),
+			sqlConns:   make(map[int]net.Conn),
+			lastBeat:   make(map[int]time.Time),
 		}
 		c.jobs[name] = js
 	}
@@ -240,7 +383,7 @@ func (c *Coordinator) job(name string) *jobState {
 // handleRegisterSQL implements steps 1-2 and the restart path: the worker
 // parks on this connection until its matches arrive. The decoder keeps the
 // connection's read side alive so a dropped sender is eventually collected.
-func (c *Coordinator) handleRegisterSQL(msg *message, enc *json.Encoder, dec *json.Decoder) {
+func (c *Coordinator) handleRegisterSQL(msg *message, conn net.Conn, enc *json.Encoder, dec *json.Decoder) {
 	c.mu.Lock()
 	js := c.job(msg.Job)
 	isRestart := js.launched
@@ -255,8 +398,11 @@ func (c *Coordinator) handleRegisterSQL(msg *message, enc *json.Encoder, dec *js
 	js.sqlWaiters[msg.Worker] = enc
 	js.sqlAddrs[msg.Worker] = msg.Addr
 	js.dispatched[msg.Worker] = false
+	js.sqlConns[msg.Worker] = conn
+	js.lastBeat[msg.Worker] = time.Now()
 	js.noteProto(msg.Proto)
 	if isRestart {
+		js.restarts++
 		// §6 restart: the worker re-parks for a fresh matches message. ML
 		// registrations are kept — failed readers re-register on their own
 		// (last-writer-wins replaces their stale listeners), while splits
@@ -281,9 +427,27 @@ func (c *Coordinator) handleRegisterSQL(msg *message, enc *json.Encoder, dec *js
 
 	// Park until the connection drops (the sender closes it after it has
 	// received its matches and finished, or on its own failure path).
-	var discard message
-	for dec.Decode(&discard) == nil {
+	// Heartbeat messages arriving on the parked connection renew the
+	// worker's lease; everything else is discarded.
+	var parked message
+	for dec.Decode(&parked) == nil {
+		if parked.Type != "heartbeat" {
+			continue
+		}
+		c.mu.Lock()
+		if js, ok := c.jobs[parked.Job]; ok {
+			js.lastBeat[parked.Worker] = time.Now()
+		}
+		c.mu.Unlock()
 	}
+
+	// Unpark: forget the connection unless a newer registration (restart)
+	// already replaced it.
+	c.mu.Lock()
+	if js, ok := c.jobs[msg.Job]; ok && js.sqlConns[msg.Worker] == conn {
+		delete(js.sqlConns, msg.Worker)
+	}
+	c.mu.Unlock()
 }
 
 // noteProto folds one peer's advertised wire-format version into the
@@ -354,15 +518,38 @@ func (c *Coordinator) handleRegisterML(msg *message, enc *json.Encoder) {
 		return
 	}
 	c.mu.Lock()
-	js.mlRegs[msg.Split] = Target{Split: msg.Split, Listen: msg.Listen, Addr: msg.Addr}
+	js.mlEpochs[msg.Split]++
+	epoch := js.mlEpochs[msg.Split]
+	js.mlRegs[msg.Split] = Target{Split: msg.Split, Listen: msg.Listen, Addr: msg.Addr, Epoch: epoch}
 	js.noteProto(msg.Proto)
 	k := js.spec.SplitsPer
 	worker := msg.Split / k
 	// A fresh ML registration re-arms dispatch for its group (restart).
 	js.dispatched[worker] = false
 	c.mu.Unlock()
-	c.reply(enc, message{Type: "ok"})
+	c.reply(enc, message{Type: "ok", Epoch: epoch})
 	c.tryDispatch(msg.Job, worker)
+}
+
+// handleGetTarget serves a sender's mid-stream refresh: the latest
+// registration (listener + epoch) for one split, so a per-connection
+// reconnect can find a re-executed reader without a group restart. Unlike
+// get_splits this does not wait — an unknown split is an error the sender's
+// backoff loop absorbs.
+func (c *Coordinator) handleGetTarget(msg *message, enc *json.Encoder) {
+	c.mu.Lock()
+	var t Target
+	var found bool
+	if js, ok := c.jobs[msg.Job]; ok {
+		t, found = js.mlRegs[msg.Split]
+	}
+	c.mu.Unlock()
+	if !found {
+		c.reply(enc, message{Type: "error",
+			Error: fmt.Sprintf("no ml registration for job %s split %d", msg.Job, msg.Split)})
+		return
+	}
+	c.reply(enc, message{Type: "target", Targets: []Target{t}})
 }
 
 // tryDispatch sends the matches message (step 6) to a SQL worker when its

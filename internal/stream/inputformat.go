@@ -2,6 +2,7 @@ package stream
 
 import (
 	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -28,6 +29,15 @@ type InputFormat struct {
 	ReceiveBufferSize int
 	// AcceptTimeout bounds how long a reader waits for its SQL worker.
 	AcceptTimeout time.Duration
+	// DialTimeout bounds the coordinator control dials (get_splits,
+	// register_ml). 0 means the 10s default.
+	DialTimeout time.Duration
+	// ReconnectBudget bounds how many times a reader re-accepts on its
+	// listener after a mid-stream connection failure, resuming at its
+	// consumed offset via the resume handshake, before the failure
+	// escalates to task re-execution (hadoopfmt.RetryableError). 0 means
+	// the default; negative disables reader-side recovery.
+	ReconnectBudget int
 	// ConsumeDelay, when positive, sleeps per row — the slow-consumer knob
 	// for the spill ablation.
 	ConsumeDelay time.Duration
@@ -94,9 +104,17 @@ func (f *InputFormat) fetch() error {
 	return nil
 }
 
+// dialTimeout is the coordinator control-dial bound.
+func (f *InputFormat) dialTimeout() time.Duration {
+	if f.DialTimeout > 0 {
+		return f.DialTimeout
+	}
+	return 10 * time.Second
+}
+
 // fetchSplits performs the get_splits exchange with the coordinator.
 func (f *InputFormat) fetchSplits() (_ row.Schema, _ []SplitInfo, err error) {
-	conn, err := net.DialTimeout("tcp", f.CoordAddr, 10*time.Second)
+	conn, err := net.DialTimeout("tcp", f.CoordAddr, f.dialTimeout())
 	if err != nil {
 		return row.Schema{}, nil, fmt.Errorf("stream: dial coordinator: %w", err)
 	}
@@ -160,7 +178,8 @@ func (f *InputFormat) Open(split hadoopfmt.InputSplit, node *cluster.Node) (hado
 	if node != nil {
 		addr = node.Addr
 	}
-	if err := f.registerML(ssplit.Info.ID, ln.Addr().String(), addr); err != nil {
+	epoch, err := f.registerML(ssplit.Info.ID, ln.Addr().String(), addr)
+	if err != nil {
 		if cerr := ln.Close(); cerr != nil {
 			err = errors.Join(err, cerr)
 		}
@@ -174,19 +193,28 @@ func (f *InputFormat) Open(split hadoopfmt.InputSplit, node *cluster.Node) (hado
 	if bufSize <= 0 {
 		bufSize = 4 << 10
 	}
+	budget := f.ReconnectBudget
+	if budget == 0 {
+		budget = 2
+	}
+	if budget < 0 {
+		budget = 0
+	}
 	return &streamReader{
 		format:  f,
 		split:   ssplit.Info.ID,
 		ln:      ln,
 		timeout: timeout,
 		bufSize: bufSize,
+		epoch:   epoch,
+		budget:  budget,
 	}, nil
 }
 
-func (f *InputFormat) registerML(split int, listen, nodeAddr string) (err error) {
-	conn, err := net.DialTimeout("tcp", f.CoordAddr, 10*time.Second)
+func (f *InputFormat) registerML(split int, listen, nodeAddr string) (_ uint32, err error) {
+	conn, err := net.DialTimeout("tcp", f.CoordAddr, f.dialTimeout())
 	if err != nil {
-		return fmt.Errorf("stream: dial coordinator: %w", err)
+		return 0, fmt.Errorf("stream: dial coordinator: %w", err)
 	}
 	defer func() {
 		if cerr := conn.Close(); cerr != nil && err == nil {
@@ -200,36 +228,45 @@ func (f *InputFormat) registerML(split int, listen, nodeAddr string) (err error)
 	if err := json.NewEncoder(conn).Encode(message{
 		Type: "register_ml", Job: f.Job, Split: split, Listen: listen, Addr: nodeAddr, Proto: proto,
 	}); err != nil {
-		return err
+		return 0, err
 	}
 	var reply message
 	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&reply); err != nil {
-		return fmt.Errorf("stream: register_ml: %w", err)
+		return 0, fmt.Errorf("stream: register_ml: %w", err)
 	}
 	if reply.Type != "ok" {
-		return fmt.Errorf("stream: register_ml failed: %s", reply.Error)
+		return 0, fmt.Errorf("stream: register_ml failed: %s", reply.Error)
 	}
-	return nil
+	return reply.Epoch, nil
 }
 
 // streamReader is the receiving end of one split's transfer. A mid-stream
-// failure surfaces as hadoopfmt.RetryableError: the consuming task discards
-// its partial rows and re-opens the split (a fresh listener + registration),
-// which is the ML half of the §6 restart protocol.
+// connection failure is first absorbed in place: the listener stays open,
+// the reader re-accepts, and the resume handshake (epoch + consumed row
+// count) lets the sender resend only what this reader has not served —
+// rows already handed to the task are skipped on the wire, so delivery
+// stays exactly-once. Only an exhausted reconnect budget (or an injected
+// worker crash) surfaces as hadoopfmt.RetryableError: the consuming task
+// then discards its partial rows and re-opens the split (a fresh listener
+// + registration, bumping the coordinator epoch), which is the ML half of
+// the §6 restart protocol.
 type streamReader struct {
 	format  *InputFormat
 	split   int
 	ln      net.Listener
 	timeout time.Duration
 	bufSize int
+	epoch   uint32
+	budget  int
 
-	conn     net.Conn
-	rd       *row.Reader
-	rowsRead int
-	credited int64
-	done     bool
-	failed   bool
-	closed   bool
+	conn       net.Conn
+	rd         *row.Reader
+	rowsRead   int
+	credited   int64
+	reconnects int
+	done       bool
+	failed     bool
+	closed     bool
 }
 
 // Next implements hadoopfmt.RecordReader. The frame reader underneath is
@@ -239,22 +276,27 @@ func (r *streamReader) Next() (row.Row, bool, error) {
 	if r.done || r.failed {
 		return nil, false, nil
 	}
-	if r.conn == nil {
-		if err := r.connect(); err != nil {
-			return nil, false, r.fail(err)
+	for {
+		if r.conn == nil {
+			if err := r.connect(); err != nil {
+				return nil, false, r.fail(err)
+			}
 		}
+		rw, err := r.rd.Read()
+		if err == io.EOF {
+			return nil, false, r.finish()
+		}
+		if err != nil {
+			if rerr := r.reconnect(fmt.Errorf("stream: split %d read: %w", r.split, err)); rerr != nil {
+				return nil, false, r.fail(rerr)
+			}
+			continue
+		}
+		if err := r.consumed(); err != nil {
+			return nil, false, err
+		}
+		return rw, true, nil
 	}
-	rw, err := r.rd.Read()
-	if err == io.EOF {
-		return nil, false, r.finish()
-	}
-	if err != nil {
-		return nil, false, r.fail(fmt.Errorf("stream: split %d read: %w", r.split, err))
-	}
-	if err := r.consumed(); err != nil {
-		return nil, false, err
-	}
-	return rw, true, nil
 }
 
 // NextBatch implements hadoopfmt.BatchRecordReader: it serves one wire
@@ -265,34 +307,41 @@ func (r *streamReader) NextBatch(buf []row.Row) ([]row.Row, bool, error) {
 	if r.done || r.failed {
 		return nil, false, nil
 	}
-	if r.conn == nil {
-		if err := r.connect(); err != nil {
-			return nil, false, r.fail(err)
+	for {
+		if r.conn == nil {
+			if err := r.connect(); err != nil {
+				return nil, false, r.fail(err)
+			}
 		}
-	}
-	batch, err := r.rd.ReadBlock(buf[:0])
-	if err == io.EOF {
-		return nil, false, r.finish()
-	}
-	if err != nil {
-		return nil, false, r.fail(fmt.Errorf("stream: split %d read: %w", r.split, err))
-	}
-	for range batch {
-		// Per-row bookkeeping still runs row-at-a-time: the slow-consumer
-		// delay and the §6 failure injection are per-row contracts, and a
-		// mid-batch injected crash discards the batch exactly like task
-		// re-execution discards partial rows.
-		if err := r.consumed(); err != nil {
-			return nil, false, err
+		batch, err := r.rd.ReadBlock(buf[:0])
+		if err == io.EOF {
+			return nil, false, r.finish()
 		}
+		if err != nil {
+			if rerr := r.reconnect(fmt.Errorf("stream: split %d read: %w", r.split, err)); rerr != nil {
+				return nil, false, r.fail(rerr)
+			}
+			continue
+		}
+		for range batch {
+			// Per-row bookkeeping still runs row-at-a-time: the slow-consumer
+			// delay and the §6 failure injection are per-row contracts, and a
+			// mid-batch injected crash discards the batch exactly like task
+			// re-execution discards partial rows.
+			if err := r.consumed(); err != nil {
+				return nil, false, err
+			}
+		}
+		return batch, true, nil
 	}
-	return batch, true, nil
 }
 
 // finish acknowledges a clean end of stream.
 func (r *streamReader) finish() error {
 	r.done = true
-	r.conn.SetWriteDeadline(time.Now().Add(r.timeout))
+	if err := r.conn.SetWriteDeadline(time.Now().Add(r.timeout)); err != nil {
+		return r.fail(fmt.Errorf("stream: ack deadline: %w", err))
+	}
 	if _, werr := r.conn.Write([]byte{ackByte}); werr != nil {
 		return r.fail(fmt.Errorf("stream: ack write: %w", werr))
 	}
@@ -300,27 +349,18 @@ func (r *streamReader) finish() error {
 }
 
 // consumed runs the per-row bookkeeping: the slow-consumer delay, credit
-// grants, and failure injection.
+// grants, and failure injection. A row is counted here before it is handed
+// to the task, and the count is what the resume handshake reports — so any
+// failure after the count must escalate to task re-execution (which
+// discards everything) rather than a resume (which would skip the counted
+// but undelivered row).
 func (r *streamReader) consumed() error {
 	r.rowsRead++
 	if r.format.ConsumeDelay > 0 {
 		time.Sleep(r.format.ConsumeDelay)
 	}
-	// Flow control: grant the sender one credit per consumed receive
-	// buffer. Credits flow only after the row has been consumed (including
-	// the injected delay), which is what makes a slow ML worker
-	// backpressure — and eventually spill — the SQL-side sender. A block
-	// frame's bytes enter the reader's consumed counter only once its last
-	// row is served, so buffered-but-unconsumed blocks grant nothing.
-	// Each credit accounts exactly bufSize bytes (the remainder carries
-	// over); acknowledging "everything so far" instead would leak phantom
-	// in-flight bytes on the sender until its window jammed shut.
-	for consumed := r.rd.Bytes(); consumed-r.credited >= int64(r.bufSize); {
-		r.credited += int64(r.bufSize)
-		r.conn.SetWriteDeadline(time.Now().Add(r.timeout))
-		if _, err := r.conn.Write([]byte{creditByte}); err != nil {
-			return r.fail(fmt.Errorf("stream: credit write: %w", err))
-		}
+	if err := r.grantCredits(); err != nil {
+		return r.fail(err)
 	}
 	if inject := r.format.Inject; inject != nil && inject(r.split, r.rowsRead) {
 		return r.fail(fmt.Errorf("stream: split %d: injected ML worker failure", r.split))
@@ -328,6 +368,30 @@ func (r *streamReader) consumed() error {
 	return nil
 }
 
+// grantCredits implements the reader's half of flow control: one credit
+// per consumed receive buffer. Credits flow only after rows have been
+// consumed (including the injected delay), which is what makes a slow ML
+// worker backpressure — and eventually spill — the SQL-side sender. A
+// block frame's bytes enter the reader's consumed counter only once its
+// last row is served, so buffered-but-unconsumed blocks grant nothing.
+// Each credit accounts exactly bufSize bytes (the remainder carries over);
+// acknowledging "everything so far" instead would leak phantom in-flight
+// bytes on the sender until its window jammed shut.
+func (r *streamReader) grantCredits() error {
+	for consumed := r.rd.Bytes(); consumed-r.credited >= int64(r.bufSize); {
+		r.credited += int64(r.bufSize)
+		if err := r.conn.SetWriteDeadline(time.Now().Add(r.timeout)); err != nil {
+			return fmt.Errorf("stream: credit deadline: %w", err)
+		}
+		if _, err := r.conn.Write([]byte{creditByte}); err != nil {
+			return fmt.Errorf("stream: credit write: %w", err)
+		}
+	}
+	return nil
+}
+
+// connect accepts one data connection and runs the reader side of the
+// resume handshake on it.
 func (r *streamReader) connect() error {
 	type result struct {
 		conn net.Conn
@@ -351,12 +415,77 @@ func (r *streamReader) connect() error {
 		}
 		return err
 	}
+	return r.handshake()
+}
+
+// handshake sends the resume header (epoch + rows consumed), reads the
+// sender's start row, and skips the duplicate prefix of a resumed stream:
+// rows this reader already served reappear on the wire only because the
+// sender's spool is frame-aligned, so they are consumed silently — credits
+// still flow for them (the sender's window is per-connection), but the
+// consume delay, the injection hook, and the row count do not run again.
+func (r *streamReader) handshake() error {
+	r.credited = 0
+	var hdr [14]byte
+	binary.BigEndian.PutUint16(hdr[:2], resumeMagic)
+	binary.BigEndian.PutUint32(hdr[2:6], r.epoch)
+	binary.BigEndian.PutUint64(hdr[6:14], uint64(r.rowsRead))
+	if err := r.conn.SetWriteDeadline(time.Now().Add(r.timeout)); err != nil {
+		return err
+	}
+	if _, err := r.conn.Write(hdr[:]); err != nil {
+		return fmt.Errorf("stream: split %d resume header: %w", r.split, err)
+	}
+	if err := r.conn.SetReadDeadline(time.Now().Add(r.timeout)); err != nil {
+		return err
+	}
 	br := bufio.NewReaderSize(r.conn, r.bufSize)
+	var ack [8]byte
+	if _, err := io.ReadFull(br, ack[:]); err != nil {
+		return fmt.Errorf("stream: split %d resume ack: %w", r.split, err)
+	}
+	startRow := binary.BigEndian.Uint64(ack[:])
+	if startRow > uint64(r.rowsRead) {
+		return fmt.Errorf("stream: split %d: sender resumes at row %d beyond consumed %d", r.split, startRow, r.rowsRead)
+	}
 	if _, err := row.ReadSchema(br); err != nil {
 		return fmt.Errorf("stream: split %d schema: %w", r.split, err)
 	}
+	if err := r.conn.SetReadDeadline(time.Time{}); err != nil {
+		return err
+	}
 	r.rd = row.NewReader(br)
+	r.rd.RequireEOS()
+	for skip := uint64(r.rowsRead) - startRow; skip > 0; skip-- {
+		if _, err := r.rd.Read(); err != nil {
+			return fmt.Errorf("stream: split %d resume skip: %w", r.split, err)
+		}
+		if err := r.grantCredits(); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// reconnect re-accepts on the still-open listener after a mid-stream
+// connection failure. It returns nil when a resumed connection is live
+// again; otherwise the original cause (or the last attempt's failure) for
+// the caller to escalate.
+func (r *streamReader) reconnect(cause error) error {
+	for attempt := 0; attempt < r.budget; attempt++ {
+		if r.conn != nil {
+			//lint:allow errdiscard the connection already failed; its close outcome cannot matter
+			r.conn.Close()
+			r.conn, r.rd = nil, nil
+		}
+		r.reconnects++
+		if err := r.connect(); err != nil {
+			cause = err
+			continue
+		}
+		return nil
+	}
+	return cause
 }
 
 // fail closes everything abruptly (no ACK) and wraps the error as

@@ -26,6 +26,7 @@ type topic struct {
 	partitions [][][]byte // partition → ordered frames
 	sealed     []bool     // producer finished the partition
 	committed  []int64    // consumer-committed offsets
+	epochs     []int64    // per-partition consumer fencing epochs
 }
 
 // NewMessageLog returns an empty log.
@@ -51,6 +52,7 @@ func (l *MessageLog) CreateTopic(name string, partitions int, schema row.Schema)
 		partitions: make([][][]byte, partitions),
 		sealed:     make([]bool, partitions),
 		committed:  make([]int64, partitions),
+		epochs:     make([]int64, partitions),
 	}
 	return nil
 }
@@ -95,14 +97,41 @@ func (l *MessageLog) Seal(name string, partition int) error {
 	return nil
 }
 
-// Commit records a consumer's progress through a partition; a replay after
-// failure resumes from the committed offset.
-func (l *MessageLog) Commit(name string, partition int, offset int64) error {
+// OpenConsumer registers a new consumer of a partition: it bumps the
+// partition's fencing epoch — invalidating any still-running prior
+// consumer's commits — and returns the new epoch alongside the committed
+// offset to resume from. A replacement task attempt calls this before
+// reading, so the zombie attempt it replaces can no longer move the
+// committed offset (the consumer-side analogue of the sender's epoch
+// fencing at the coordinator).
+func (l *MessageLog) OpenConsumer(name string, partition int) (epoch, offset int64, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	t, err := l.topic(name)
+	if err != nil {
+		return 0, 0, err
+	}
+	if partition < 0 || partition >= len(t.partitions) {
+		return 0, 0, fmt.Errorf("stream: partition %d out of range", partition)
+	}
+	t.epochs[partition]++
+	return t.epochs[partition], t.committed[partition], nil
+}
+
+// CommitAs records a consumer's progress through a partition; a replay
+// after failure resumes from the committed offset. A commit carrying a
+// superseded epoch — a zombie whose replacement has already opened the
+// partition — is rejected so delayed duplicate commits cannot rewind or
+// race the live consumer.
+func (l *MessageLog) CommitAs(name string, partition int, epoch, offset int64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	t, err := l.topic(name)
 	if err != nil {
 		return err
+	}
+	if epoch != t.epochs[partition] {
+		return fmt.Errorf("stream: commit fenced: consumer epoch %d superseded by %d", epoch, t.epochs[partition])
 	}
 	if offset > t.committed[partition] {
 		t.committed[partition] = offset
@@ -185,15 +214,15 @@ func (f *LogFormat) Open(split hadoopfmt.InputSplit, _ *cluster.Node) (hadoopfmt
 	if !ok {
 		return nil, fmt.Errorf("stream: LogFormat cannot open %T", split)
 	}
+	epoch, committed, err := f.Log.OpenConsumer(f.Topic, ls.partition)
+	if err != nil {
+		return nil, err
+	}
 	offset := int64(0)
 	if f.StartFromCommitted {
-		var err error
-		offset, err = f.Log.Committed(f.Topic, ls.partition)
-		if err != nil {
-			return nil, err
-		}
+		offset = committed
 	}
-	return &logReader{log: f.Log, topic: f.Topic, partition: ls.partition, offset: offset}, nil
+	return &logReader{log: f.Log, topic: f.Topic, partition: ls.partition, offset: offset, epoch: epoch}, nil
 }
 
 type logSplit struct {
@@ -212,9 +241,12 @@ type logReader struct {
 	topic     string
 	partition int
 	offset    int64
+	epoch     int64
 }
 
 // Next implements hadoopfmt.RecordReader, committing progress as it goes.
+// A reader fenced by a newer consumer of the same partition surfaces the
+// rejection as a read error, stopping the zombie attempt.
 func (r *logReader) Next() (row.Row, bool, error) {
 	frame, ok, err := r.log.read(r.topic, r.partition, r.offset)
 	if err != nil || !ok {
@@ -225,7 +257,7 @@ func (r *logReader) Next() (row.Row, bool, error) {
 		return nil, false, err
 	}
 	r.offset++
-	if err := r.log.Commit(r.topic, r.partition, r.offset); err != nil {
+	if err := r.log.CommitAs(r.topic, r.partition, r.epoch, r.offset); err != nil {
 		return nil, false, err
 	}
 	return out, true, nil

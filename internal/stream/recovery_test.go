@@ -1,0 +1,382 @@
+package stream
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"sqlml/internal/fault"
+)
+
+func TestResumePoint(t *testing.T) {
+	spool := []spooledBlock{
+		{frame: []byte("a"), rows: 64},
+		{frame: []byte("b"), rows: 64},
+		{frame: []byte("c"), rows: 22},
+	}
+	cases := []struct {
+		consumed  uint64
+		wantIdx   int
+		wantStart uint64
+	}{
+		{0, 0, 0},           // fresh reader: resend everything
+		{1, 0, 0},           // mid first frame
+		{63, 0, 0},          // row 63 unseen and frame 0 holds rows 0-63
+		{64, 1, 64},         // first frame fully consumed
+		{100, 1, 64},        // mid second frame
+		{128, 2, 128},       // two frames consumed
+		{150, 3, 150},       // everything consumed: resend nothing
+		{151, -1, 0},        // beyond the spool: protocol violation
+		{^uint64(0), -1, 0}, // absurdly beyond
+	}
+	for _, c := range cases {
+		idx, start := resumePoint(spool, c.consumed)
+		if idx != c.wantIdx || start != c.wantStart {
+			t.Errorf("resumePoint(consumed=%d) = (%d, %d), want (%d, %d)",
+				c.consumed, idx, start, c.wantIdx, c.wantStart)
+		}
+	}
+	if idx, start := resumePoint(nil, 0); idx != 0 || start != 0 {
+		t.Errorf("resumePoint(empty, 0) = (%d, %d), want (0, 0)", idx, start)
+	}
+	if idx, _ := resumePoint(nil, 1); idx != -1 {
+		t.Errorf("resumePoint(empty, 1) = %d, want -1", idx)
+	}
+}
+
+func TestBackoffDelayCappedAndDeterministic(t *testing.T) {
+	base := 10 * time.Millisecond
+	for attempt := 0; attempt < 12; attempt++ {
+		d1 := backoffDelay(base, attempt, 3, 7)
+		d2 := backoffDelay(base, attempt, 3, 7)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: jitter not deterministic (%v vs %v)", attempt, d1, d2)
+		}
+		if d1 < base || d1 >= 2*500*time.Millisecond {
+			t.Fatalf("attempt %d: delay %v outside [base, 2*cap)", attempt, d1)
+		}
+	}
+	if backoffDelay(base, 2, 1, 1) == backoffDelay(base, 2, 1, 2) {
+		t.Error("different splits share identical jitter; schedules would synchronize")
+	}
+}
+
+// TestConnResetRecoversViaSpoolResume is the PR's core acceptance check: a
+// single injected data-connection reset is absorbed by the sender's
+// backoff-and-reconnect path resuming from the spill spool — exactly-once
+// delivery, zero §6 group restarts (asserted via the coordinator's restart
+// counter, which only group re-registrations touch).
+func TestConnResetRecoversViaSpoolResume(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		seed int64
+		ops  []fault.Op
+	}{
+		{"reset/seed1", 1, []fault.Op{fault.Reset}},
+		{"reset/seed2", 2, []fault.Op{fault.Reset}},
+		{"short-write/seed3", 3, []fault.Op{fault.ShortWrite}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			env := newTransferEnv(t)
+			job := fmt.Sprintf("jreset-%d", tc.seed)
+			f := &InputFormat{CoordAddr: env.coordAddr, Job: job, AcceptTimeout: 5 * time.Second}
+			dialer := fault.NewDialer(tc.seed, fault.DialerConfig{
+				MaxFaults: 1,
+				Ops:       tc.ops,
+				// Rows per slot encode to a few KB; keep the scripted offset
+				// well inside that so the fault always fires mid-stream.
+				MaxByte: 1 << 10,
+			})
+			cfg := DefaultSenderConfig()
+			cfg.Dial = dialer.Dial
+			cfg.BlockRows = 64 // several frames per slot, so resume is frame-aligned
+			d, stats := env.runTransfer(t, job, 2, 2, 400, f, cfg)
+			if dialer.Injected() != 1 {
+				t.Fatalf("armed %d faults, want 1", dialer.Injected())
+			}
+			checkExactlyOnce(t, d, 2, 400)
+			restarts, reconnects := 0, 0
+			for _, s := range stats {
+				restarts += s.Restarts
+				reconnects += s.Reconnects
+			}
+			if reconnects == 0 {
+				t.Error("injected reset never exercised the reconnect path")
+			}
+			if restarts != 0 {
+				t.Errorf("sender recorded %d group restarts, want pure per-target recovery", restarts)
+			}
+			if got := env.coord.Restarts(job); got != 0 {
+				t.Errorf("coordinator counted %d group restarts, want 0", got)
+			}
+		})
+	}
+}
+
+// TestConnStallHeldByFlowControl: a stalled connection delays but does not
+// fail the transfer — the write blocks for the stall, resumes, and no
+// recovery machinery runs.
+func TestConnStallDeliversWithoutRecovery(t *testing.T) {
+	env := newTransferEnv(t)
+	f := &InputFormat{CoordAddr: env.coordAddr, Job: "jstall", AcceptTimeout: 5 * time.Second}
+	dialer := fault.NewDialer(7, fault.DialerConfig{
+		MaxFaults: 1,
+		Ops:       []fault.Op{fault.Stall},
+		MaxByte:   1 << 10,
+		StallFor:  150 * time.Millisecond,
+	})
+	cfg := DefaultSenderConfig()
+	cfg.Dial = dialer.Dial
+	cfg.BlockRows = 64
+	d, stats := env.runTransfer(t, "jstall", 2, 2, 300, f, cfg)
+	checkExactlyOnce(t, d, 2, 300)
+	for _, s := range stats {
+		if s.Restarts != 0 || s.Reconnects != 0 {
+			t.Errorf("stall triggered recovery (restarts=%d reconnects=%d); want none",
+				s.Restarts, s.Reconnects)
+		}
+	}
+}
+
+// coordClient is a minimal raw JSON-lines client for coordinator protocol
+// tests that need behaviors the sender never exercises (silent workers,
+// duplicate registrations).
+type coordClient struct {
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+}
+
+func dialCoord(t *testing.T, addr string) *coordClient {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	return &coordClient{conn: conn, enc: json.NewEncoder(conn), dec: json.NewDecoder(conn)}
+}
+
+func (c *coordClient) send(t *testing.T, msg message) {
+	t.Helper()
+	if err := c.enc.Encode(msg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (c *coordClient) recv(t *testing.T) message {
+	t.Helper()
+	var reply message
+	if err := c.conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.dec.Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	return reply
+}
+
+// TestLeaseExpiryFencesHungWorker: a registered worker that stops
+// heartbeating loses its lease — the coordinator severs its parked
+// connection and counts the expiry — while a worker that keeps
+// heartbeating is untouched. This is the hung-not-disconnected detection
+// a pure read-EOF check cannot provide.
+func TestLeaseExpiryFencesHungWorker(t *testing.T) {
+	coord := NewCoordinator(nil)
+	coord.LeaseDuration = 150 * time.Millisecond
+	addr, err := coord.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Stop()
+
+	reg := func(worker int) *coordClient {
+		c := dialCoord(t, addr)
+		c.send(t, message{Type: "register_sql", Job: "jlease", Worker: worker,
+			NumWorkers: 3, Command: "svm", Schema: "id:int", K: 1})
+		return c
+	}
+	hung := reg(0)
+	live := reg(1)
+
+	// Renew worker 1's lease well past several expiry windows; worker 0
+	// stays silent.
+	deadline := time.Now().Add(600 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		live.send(t, message{Type: "heartbeat", Job: "jlease", Worker: 1})
+		time.Sleep(30 * time.Millisecond)
+	}
+
+	if got := coord.ExpiredLeases("jlease"); got != 1 {
+		t.Fatalf("expired leases = %d, want 1 (only the silent worker)", got)
+	}
+	// The hung worker's parked connection must be severed...
+	if err := hung.conn.SetReadDeadline(time.Now().Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hung.conn.Read(make([]byte, 1)); err == nil {
+		t.Error("hung worker's connection still open after lease expiry")
+	}
+	// ...while the heartbeating worker stays parked (read must time out,
+	// not observe a close).
+	if err := live.conn.SetReadDeadline(time.Now().Add(100 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := live.conn.Read(make([]byte, 1)); err == nil {
+		t.Error("live worker unexpectedly received data")
+	} else if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+		t.Errorf("live worker's connection severed: %v", err)
+	}
+}
+
+// TestEpochFencing: every register_ml bumps the split's epoch, get_target
+// serves the latest registration, and unknown splits are an error (the
+// sender's backoff loop absorbs it rather than parking forever).
+func TestEpochFencing(t *testing.T) {
+	coord := NewCoordinator(nil)
+	addr, err := coord.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Stop()
+
+	sql := dialCoord(t, addr)
+	sql.send(t, message{Type: "register_sql", Job: "jepoch", Worker: 0,
+		NumWorkers: 1, Command: "svm", Schema: "id:int", K: 1})
+
+	register := func(listen string) uint32 {
+		c := dialCoord(t, addr)
+		c.send(t, message{Type: "register_ml", Job: "jepoch", Split: 0,
+			Listen: listen, Addr: "node1"})
+		reply := c.recv(t)
+		if reply.Type != "ok" {
+			t.Fatalf("register_ml reply %q: %s", reply.Type, reply.Error)
+		}
+		return reply.Epoch
+	}
+	if e := register("127.0.0.1:11111"); e != 1 {
+		t.Fatalf("first registration epoch = %d, want 1", e)
+	}
+	// A re-executed reader registers again: new listener, bumped epoch.
+	if e := register("127.0.0.1:22222"); e != 2 {
+		t.Fatalf("second registration epoch = %d, want 2", e)
+	}
+
+	gt := dialCoord(t, addr)
+	gt.send(t, message{Type: "get_target", Job: "jepoch", Split: 0})
+	reply := gt.recv(t)
+	if reply.Type != "target" || len(reply.Targets) != 1 {
+		t.Fatalf("get_target reply %q (%d targets): %s", reply.Type, len(reply.Targets), reply.Error)
+	}
+	got := reply.Targets[0]
+	if got.Epoch != 2 || got.Listen != "127.0.0.1:22222" {
+		t.Errorf("get_target = epoch %d listen %s, want the latest registration (2, 127.0.0.1:22222)", got.Epoch, got.Listen)
+	}
+
+	bad := dialCoord(t, addr)
+	bad.send(t, message{Type: "get_target", Job: "jepoch", Split: 9})
+	if reply := bad.recv(t); reply.Type != "error" {
+		t.Errorf("get_target for unknown split replied %q, want error", reply.Type)
+	}
+}
+
+// TestMessageLogZombieConsumerFenced: opening a partition bumps its
+// consumer epoch, so a zombie reader from a superseded task attempt has
+// its commits rejected and cannot race or rewind the live replacement.
+func TestMessageLogZombieConsumerFenced(t *testing.T) {
+	l := NewMessageLog()
+	if err := l.CreateTopic("z", 1, streamSchema()); err != nil {
+		t.Fatal(err)
+	}
+	rows := genRows(0, 20)
+	for _, r := range rows {
+		if err := l.Append("z", 0, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Seal("z", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	f := &LogFormat{Log: l, Topic: "z"}
+	splits, err := f.Splits(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zombie, err := f.Open(splits[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, ok, err := zombie.Next(); !ok || err != nil {
+			t.Fatalf("zombie read %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if off, _ := l.Committed("z", 0); off != 5 {
+		t.Fatalf("committed = %d before replacement, want 5", off)
+	}
+
+	// The replacement attempt opens the partition, fencing the zombie.
+	f2 := &LogFormat{Log: l, Topic: "z", StartFromCommitted: true}
+	live, err := f2.Open(splits[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The zombie keeps running for a while: its very next commit must be
+	// rejected, surfacing as a read error, and must not move the offset.
+	if _, ok, err := zombie.Next(); err == nil || ok {
+		t.Fatalf("zombie Next after fencing = (ok=%v, err=%v), want commit-fenced error", ok, err)
+	} else if !strings.Contains(err.Error(), "fenced") {
+		t.Errorf("zombie error does not name fencing: %v", err)
+	}
+	if off, _ := l.Committed("z", 0); off != 5 {
+		t.Errorf("zombie commit moved the offset to %d", off)
+	}
+
+	// The live consumer drains the remaining rows from the committed offset.
+	var got int
+	for {
+		r, ok, err := live.Next()
+		if err != nil {
+			t.Fatalf("live read: %v", err)
+		}
+		if !ok {
+			break
+		}
+		if want := rows[5+got][0].AsInt(); r[0].AsInt() != want {
+			t.Fatalf("live row %d = %v, want id %d", got, r, want)
+		}
+		got++
+	}
+	if got != 15 {
+		t.Errorf("live consumer read %d rows, want 15", got)
+	}
+	if off, _ := l.Committed("z", 0); off != 20 {
+		t.Errorf("final committed = %d, want 20", off)
+	}
+
+	// Direct API: stale epochs are rejected, the current one is accepted.
+	epoch, committed, err := l.OpenConsumer("z", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if committed != 20 {
+		t.Errorf("OpenConsumer committed = %d, want 20", committed)
+	}
+	if err := l.CommitAs("z", 0, epoch-1, 20); err == nil {
+		t.Error("stale-epoch CommitAs accepted")
+	}
+	if err := l.CommitAs("z", 0, epoch, 20); err != nil {
+		t.Errorf("current-epoch CommitAs rejected: %v", err)
+	}
+	if _, _, err := l.OpenConsumer("z", 5); err == nil {
+		t.Error("OpenConsumer accepted an out-of-range partition")
+	}
+	if _, _, err := l.OpenConsumer("nope", 0); err == nil {
+		t.Error("OpenConsumer accepted an unknown topic")
+	}
+}

@@ -2,6 +2,7 @@ package stream
 
 import (
 	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -48,6 +49,28 @@ type SenderConfig struct {
 	MaxRestarts int
 	// DialTimeout bounds connection establishment to ML workers.
 	DialTimeout time.Duration
+	// ReconnectBudget bounds per-target reconnect attempts: when a single
+	// data connection fails mid-stream, the sender redials that target and
+	// resumes from the spill spool (skipping rows the reader already
+	// consumed, per the resume handshake) instead of restarting the whole
+	// group. Only when the budget is exhausted does the failure escalate to
+	// the §6 restart. 0 means the default; negative disables per-target
+	// recovery (every failure escalates, the paper's original behavior).
+	ReconnectBudget int
+	// ReconnectBackoff is the base delay between reconnect attempts; each
+	// attempt doubles it (capped) and adds deterministic jitter.
+	ReconnectBackoff time.Duration
+	// HeartbeatInterval is how often the sender renews its coordinator
+	// lease while streaming, so a coordinator with LeaseDuration armed can
+	// tell a hung worker from a busy one. 0 means the default; negative
+	// disables heartbeats.
+	HeartbeatInterval time.Duration
+	// Dial, when set, replaces net.DialTimeout for data-channel dials to ML
+	// workers — the fault-injection seam. Coordinator control connections
+	// always use the real dialer: faulting those would turn every scripted
+	// data-channel fault into a registration failure and mask the recovery
+	// path under test.
+	Dial func(network, addr string, timeout time.Duration) (net.Conn, error)
 	// DisableReplay turns off the per-slot frame spool that restart
 	// attempts resend from. With a streaming input the spool is the only
 	// copy of already-consumed rows, so disabling it trades §6 restarts
@@ -59,13 +82,16 @@ type SenderConfig struct {
 // DefaultSenderConfig mirrors the paper's settings.
 func DefaultSenderConfig() SenderConfig {
 	return SenderConfig{
-		BufferSize:  4 << 10,
-		QueueFrames: 64,
-		BlockRows:   row.BlockTargetRows,
-		BlockBytes:  row.BlockTargetBytes,
-		SpillWait:   5 * time.Millisecond,
-		MaxRestarts: 5,
-		DialTimeout: 10 * time.Second,
+		BufferSize:        4 << 10,
+		QueueFrames:       64,
+		BlockRows:         row.BlockTargetRows,
+		BlockBytes:        row.BlockTargetBytes,
+		SpillWait:         5 * time.Millisecond,
+		MaxRestarts:       5,
+		DialTimeout:       10 * time.Second,
+		ReconnectBudget:   4,
+		ReconnectBackoff:  10 * time.Millisecond,
+		HeartbeatInterval: time.Second,
 	}
 }
 
@@ -81,6 +107,10 @@ type SenderStats struct {
 	// of blocks, so FramesSent ≪ RowsSent is the observable signature of
 	// coalescing (FramesSent == RowsSent means the v1 per-row protocol).
 	FramesSent int64
+	// Reconnects counts per-target reconnections that resumed from the
+	// spool without a §6 group restart: Reconnects > 0 with Restarts == 0
+	// is the signature of partial-failure recovery.
+	Reconnects int
 }
 
 // statsSchema is the sender UDF's output schema.
@@ -92,6 +122,7 @@ func statsSchema() row.Schema {
 		row.Column{Name: "spilled_bytes", Type: row.TypeInt},
 		row.Column{Name: "restarts", Type: row.TypeInt},
 		row.Column{Name: "frames_sent", Type: row.TypeInt},
+		row.Column{Name: "reconnects", Type: row.TypeInt},
 	)
 }
 
@@ -152,6 +183,7 @@ func RegisterSenderUDF(e *sqlengine.Engine, cfg SenderConfig) error {
 				row.Int(stats.SpilledBytes),
 				row.Int(int64(stats.Restarts)),
 				row.Int(stats.FramesSent),
+				row.Int(int64(stats.Reconnects)),
 			})
 		},
 	})
@@ -240,6 +272,15 @@ func Send(req SendRequest) (*SenderStats, error) {
 	if cfg.Proto <= 0 {
 		cfg.Proto = row.WireProtoLatest
 	}
+	if cfg.ReconnectBudget == 0 {
+		cfg.ReconnectBudget = DefaultSenderConfig().ReconnectBudget
+	}
+	if cfg.ReconnectBackoff <= 0 {
+		cfg.ReconnectBackoff = DefaultSenderConfig().ReconnectBackoff
+	}
+	if cfg.HeartbeatInterval == 0 {
+		cfg.HeartbeatInterval = DefaultSenderConfig().HeartbeatInterval
+	}
 	src := &sendSource{input: req.Input, replay: !cfg.DisableReplay}
 	if src.input == nil {
 		src.input = &sqlengine.SliceIterator{Rows: req.Rows}
@@ -306,6 +347,32 @@ func sendOnce(req SendRequest, cfg SenderConfig, stats *SenderStats, completed m
 	if reply.Type != "matches" {
 		return false, fmt.Errorf("stream: unexpected coordinator reply %q: %s", reply.Type, reply.Error)
 	}
+
+	// Renew the coordinator lease while this attempt streams: the parked
+	// registration connection doubles as the heartbeat channel, so a
+	// coordinator with leases armed can tell this worker is alive even when
+	// a stalled data connection keeps it silent for a long time. Nothing
+	// else writes to coord once the matches arrived.
+	if cfg.HeartbeatInterval > 0 {
+		hbStop := make(chan struct{})
+		hbDone := make(chan struct{})
+		go func() {
+			defer close(hbDone)
+			tick := time.NewTicker(cfg.HeartbeatInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-hbStop:
+					return
+				case <-tick.C:
+					if err := enc.Encode(message{Type: "heartbeat", Job: req.Job, Worker: req.Worker}); err != nil {
+						return
+					}
+				}
+			}
+		}()
+		defer func() { close(hbStop); <-hbDone }()
+	}
 	targets := reply.Targets
 	if len(targets) == 0 {
 		return false, fmt.Errorf("stream: empty match set")
@@ -332,8 +399,13 @@ func sendOnce(req SendRequest, cfg SenderConfig, stats *SenderStats, completed m
 		src.spool = make([][]spooledBlock, k)
 	}
 
-	// Step 7: connect to the ML workers of the still-incomplete slots.
+	// Step 7: connect to the ML workers of the still-incomplete slots. The
+	// resume handshake on each connection reports how many rows the reader
+	// already consumed: 0 from a fresh reader, more from one that survived
+	// a §6 restart and re-accepted — resume[j] is the spool index this
+	// attempt resends from (always 0 when the attempt streams the input).
 	chans := make([]*targetChannel, k)
+	resume := make([]int, k)
 	var dialErr error
 	for j := 0; j < k; j++ {
 		split := req.Worker*k + j
@@ -345,12 +417,17 @@ func sendOnce(req SendRequest, cfg SenderConfig, stats *SenderStats, completed m
 			dialErr = fmt.Errorf("stream: coordinator match set missing split %d", split)
 			break
 		}
-		tc, err := dialTarget(req, cfg, t)
+		var slotSpool []spooledBlock
+		if src.spool != nil {
+			slotSpool = src.spool[j]
+		}
+		tc, idx, err := openChannel(req, cfg, t, slotSpool)
 		if err != nil {
 			dialErr = err
 			break
 		}
 		chans[j] = tc
+		resume[j] = idx
 	}
 	if dialErr != nil {
 		closeAll(chans)
@@ -382,7 +459,10 @@ func sendOnce(req SendRequest, cfg SenderConfig, stats *SenderStats, completed m
 			if tc == nil || tc.aborted {
 				continue
 			}
-			for _, sb := range src.spool[j] {
+			// Resend from the resume point: frames the reader confirmed
+			// consuming (via the handshake) are skipped, so a surviving
+			// reader is not fed duplicates it would have to discard.
+			for _, sb := range src.spool[j][resume[j]:] {
 				if err := tc.enqueue(sb.frame, sb.rows); err != nil {
 					// Keep streaming the healthy slots; this one retries
 					// next attempt.
@@ -407,15 +487,155 @@ func sendOnce(req SendRequest, cfg SenderConfig, stats *SenderStats, completed m
 			continue
 		}
 		completed[split] = true
-		stats.RowsSent += tc.rows
-		stats.BytesSent += tc.bytes
-		stats.SpilledBytes += tc.spilledBytes
-		stats.FramesSent += tc.frames
+		slotStats(stats, src, j, tc)
+	}
+	// Per-target recovery: before escalating to a §6 group restart, redial
+	// each failed slot with capped exponential backoff + jitter and resume
+	// from the frame-aligned spool (the handshake tells the reader's
+	// consumed offset). A single broken connection is thereby absorbed
+	// without touching the healthy slots or re-running any reader; only an
+	// exhausted budget escalates.
+	if firstErr != nil && src.spool != nil && cfg.ReconnectBudget > 0 {
+		allRecovered := true
+		for j, tc := range chans {
+			split := req.Worker*k + j
+			if completed[split] {
+				continue
+			}
+			if tc == nil {
+				allRecovered = false
+				continue
+			}
+			if err := recoverSlot(req, cfg, stats, src.spool[j], split, bySplit[split]); err != nil {
+				allRecovered = false
+				firstErr = err
+				continue
+			}
+			completed[split] = true
+			slotStats(stats, src, j, nil)
+		}
+		if allRecovered {
+			return true, nil
+		}
 	}
 	if firstErr != nil {
 		return false, firstErr
 	}
 	return true, nil
+}
+
+// slotStats folds one confirmed slot's delivery into the worker stats.
+// With the replay spool on, the spool is the slot's logical content — a
+// resumed channel resends only a suffix, so its own counters undercount the
+// exactly-once delivery; without a spool the channel counters are exact.
+func slotStats(stats *SenderStats, src *sendSource, j int, tc *targetChannel) {
+	if src.spool != nil {
+		for _, sb := range src.spool[j] {
+			stats.RowsSent += sb.rows
+			stats.BytesSent += int64(len(sb.frame))
+			stats.FramesSent++
+		}
+		if tc != nil {
+			stats.SpilledBytes += tc.spilledBytes
+		}
+		return
+	}
+	stats.RowsSent += tc.rows
+	stats.BytesSent += tc.bytes
+	stats.SpilledBytes += tc.spilledBytes
+	stats.FramesSent += tc.frames
+}
+
+// recoverSlot redials one failed target until its slot is delivered and
+// acknowledged or the reconnect budget runs out. Each attempt re-queries
+// the coordinator for the split's latest registration — a reader that
+// crashed and re-executed has a fresh listener and epoch there — and
+// resumes from the spool frame holding the first row the reader has not
+// consumed.
+func recoverSlot(req SendRequest, cfg SenderConfig, stats *SenderStats, spool []spooledBlock, split int, t Target) error {
+	var lastErr error
+	for attempt := 0; attempt < cfg.ReconnectBudget; attempt++ {
+		time.Sleep(backoffDelay(cfg.ReconnectBackoff, attempt, req.Worker, split))
+		if nt, err := getTarget(req.CoordAddr, cfg.DialTimeout, req.Job, split); err == nil {
+			t = nt
+		}
+		tc, idx, err := openChannel(req, cfg, t, spool)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		stats.Reconnects++
+		enqueued := true
+		for _, sb := range spool[idx:] {
+			if err := tc.enqueue(sb.frame, sb.rows); err != nil {
+				tc.abort()
+				lastErr = err
+				enqueued = false
+				break
+			}
+		}
+		if !enqueued {
+			continue
+		}
+		if err := tc.finish(); err != nil {
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("stream: split %d: no reconnect attempts allowed", split)
+	}
+	return fmt.Errorf("stream: split %d: reconnect budget (%d) exhausted: %w", split, cfg.ReconnectBudget, lastErr)
+}
+
+// backoffDelay is the capped exponential backoff between reconnect
+// attempts, plus jitter in [0, delay). The jitter derives from (worker,
+// split, attempt) through a splitmix64 step instead of a shared PRNG:
+// concurrent recoveries decorrelate, and a given failure replays with
+// identical timing.
+func backoffDelay(base time.Duration, attempt, worker, split int) time.Duration {
+	const maxBackoff = 500 * time.Millisecond
+	d := base
+	for i := 0; i < attempt && d < maxBackoff; i++ {
+		d *= 2
+	}
+	if d > maxBackoff {
+		d = maxBackoff
+	}
+	z := uint64(worker+1)*0x9E3779B97F4A7C15 + uint64(split+1)<<21 + uint64(attempt+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return d + time.Duration(z%uint64(d))
+}
+
+// getTarget asks the coordinator for a split's latest registration (the
+// sender's mid-stream refresh; see handleGetTarget).
+func getTarget(coordAddr string, timeout time.Duration, job string, split int) (_ Target, err error) {
+	conn, err := net.DialTimeout("tcp", coordAddr, timeout)
+	if err != nil {
+		return Target{}, fmt.Errorf("stream: dial coordinator: %w", err)
+	}
+	defer func() {
+		if cerr := conn.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	if err := json.NewEncoder(conn).Encode(message{Type: "get_target", Job: job, Split: split}); err != nil {
+		return Target{}, err
+	}
+	if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return Target{}, err
+	}
+	var reply message
+	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&reply); err != nil {
+		return Target{}, fmt.Errorf("stream: get_target: %w", err)
+	}
+	if reply.Type != "target" || len(reply.Targets) != 1 {
+		return Target{}, fmt.Errorf("stream: get_target failed: %s", reply.Error)
+	}
+	return reply.Targets[0], nil
 }
 
 // consumeInput drains the streaming input exactly once, packing each
@@ -582,10 +802,86 @@ type targetChannel struct {
 	recycle bool
 }
 
-func dialTarget(req SendRequest, cfg SenderConfig, t Target) (*targetChannel, error) {
-	conn, err := net.DialTimeout("tcp", t.Listen, cfg.DialTimeout)
+// resumeMagic opens the reader→sender resume header on every data
+// connection: magic(2) epoch(4) rowsConsumed(8), big-endian. The sender
+// answers with startRow(8) — the first row of the first frame it will
+// (re)send — then the schema, then frames. On a fresh connection both
+// offsets are zero and the handshake degenerates to the original protocol
+// plus 22 bytes.
+const resumeMagic = 0x534C // "SL"
+
+// errStaleEpoch marks a handshake against a reader from a different
+// registration generation than the sender's target info; the recovery loop
+// refreshes via get_target and redials.
+var errStaleEpoch = errors.New("stream: stale target epoch")
+
+// readResumeHeader reads the reader's resume header off a fresh data
+// connection.
+func readResumeHeader(conn net.Conn, timeout time.Duration) (epoch uint32, consumed uint64, err error) {
+	if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return 0, 0, err
+	}
+	var hdr [14]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return 0, 0, fmt.Errorf("resume header: %w", err)
+	}
+	if err := conn.SetReadDeadline(time.Time{}); err != nil {
+		return 0, 0, err
+	}
+	if m := binary.BigEndian.Uint16(hdr[:2]); m != resumeMagic {
+		return 0, 0, fmt.Errorf("bad resume magic %#x", m)
+	}
+	return binary.BigEndian.Uint32(hdr[2:6]), binary.BigEndian.Uint64(hdr[6:14]), nil
+}
+
+// resumePoint locates the resume frame for a reader that has consumed the
+// given row count: the index of the spool frame containing the first
+// unseen row, and that frame's start row. A consumed count past the spool
+// returns index -1 (protocol violation — the reader saw rows this sender
+// never spooled).
+func resumePoint(spool []spooledBlock, consumed uint64) (int, uint64) {
+	var cum uint64
+	for i, sb := range spool {
+		if cum+uint64(sb.rows) > consumed {
+			return i, cum
+		}
+		cum += uint64(sb.rows)
+	}
+	if cum == consumed {
+		return len(spool), cum
+	}
+	return -1, 0
+}
+
+// openChannel dials one target and runs the sender side of the resume
+// handshake; it returns the live channel plus the spool index to resend
+// from. The channel owns the connection; the caller owns enqueueing.
+func openChannel(req SendRequest, cfg SenderConfig, t Target, spool []spooledBlock) (*targetChannel, int, error) {
+	dial := cfg.Dial
+	if dial == nil {
+		dial = net.DialTimeout
+	}
+	conn, err := dial("tcp", t.Listen, cfg.DialTimeout)
 	if err != nil {
-		return nil, fmt.Errorf("stream: dial ml worker %s: %w", t.Listen, err)
+		return nil, 0, fmt.Errorf("stream: dial ml worker %s: %w", t.Listen, err)
+	}
+	fail := func(err error) (*targetChannel, int, error) {
+		if cerr := conn.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
+		return nil, 0, err
+	}
+	epoch, consumed, err := readResumeHeader(conn, cfg.DialTimeout)
+	if err != nil {
+		return fail(fmt.Errorf("stream: ml worker %s: %w", t.Listen, err))
+	}
+	if t.Epoch != 0 && epoch != t.Epoch {
+		return fail(fmt.Errorf("stream: ml worker %s: %w (reader epoch %d, matched epoch %d)",
+			t.Listen, errStaleEpoch, epoch, t.Epoch))
+	}
+	idx, startRow := resumePoint(spool, consumed)
+	if idx < 0 {
+		return fail(fmt.Errorf("stream: ml worker %s: consumed %d rows beyond the spool", t.Listen, consumed))
 	}
 	tc := &targetChannel{
 		conn:    conn,
@@ -603,15 +899,17 @@ func dialTarget(req SendRequest, cfg SenderConfig, t Target) (*targetChannel, er
 	if req.Topo != nil {
 		tc.toNode = req.Topo.ByAddr(t.Addr)
 	}
+	var ack [8]byte
+	binary.BigEndian.PutUint64(ack[:], startRow)
+	if _, err := tc.w.Write(ack[:]); err != nil {
+		return fail(err)
+	}
 	if err := row.WriteSchema(tc.w, req.Schema); err != nil {
-		if cerr := conn.Close(); cerr != nil {
-			err = errors.Join(err, cerr)
-		}
-		return nil, err
+		return fail(err)
 	}
 	go tc.creditLoop()
 	go tc.writeLoop()
-	return tc, nil
+	return tc, idx, nil
 }
 
 // creditLoop reads flow-control bytes from the receiver: one credit byte
@@ -810,6 +1108,13 @@ func (tc *targetChannel) writeLoop() {
 				charge()
 			}
 		}
+	}
+	// The explicit end-of-stream frame: without it a reader could mistake a
+	// connection that died exactly on a frame boundary for completion and
+	// commit a truncated split.
+	if err := row.WriteEOS(tc.w); err != nil {
+		tc.done <- err
+		return
 	}
 	if err := tc.w.Flush(); err != nil {
 		tc.done <- err

@@ -262,7 +262,12 @@ func TestSlowConsumerSpillsToDisk(t *testing.T) {
 	}
 }
 
-func TestMLWorkerFailureRestartsExactlyOnce(t *testing.T) {
+// TestMLWorkerFailureRecoversExactlyOnce: an injected ML worker crash is
+// absorbed by partial-failure recovery — the crashed task re-executes with
+// a fresh listener and epoch, the sender's per-target reconnect finds it
+// via get_target and resends that slot from the spool, and no §6 group
+// restart runs.
+func TestMLWorkerFailureRecoversExactlyOnce(t *testing.T) {
 	env := newTransferEnv(t)
 	var once sync.Once
 	fail := false
@@ -290,12 +295,55 @@ func TestMLWorkerFailureRestartsExactlyOnce(t *testing.T) {
 		t.Fatal("injection never fired")
 	}
 	checkExactlyOnce(t, d, 2, 300)
+	restarts, reconnects := 0, 0
+	for _, s := range stats {
+		restarts += s.Restarts
+		reconnects += s.Reconnects
+	}
+	if reconnects == 0 {
+		t.Error("no per-target reconnects recorded despite injected failure")
+	}
+	if restarts != 0 {
+		t.Errorf("crash escalated to %d group restarts; want per-target recovery only", restarts)
+	}
+	if got := env.coord.Restarts("jfail"); got != 0 {
+		t.Errorf("coordinator counted %d group restarts, want 0", got)
+	}
+}
+
+// TestMLWorkerFailureEscalatesToRestart: with per-target recovery disabled
+// the same crash falls back to the paper's §6 group restart, still
+// delivering exactly-once.
+func TestMLWorkerFailureEscalatesToRestart(t *testing.T) {
+	env := newTransferEnv(t)
+	var once sync.Once
+	f := &InputFormat{
+		CoordAddr: env.coordAddr,
+		Job:       "jesc",
+		Inject: func(split, rowsRead int) bool {
+			fired := false
+			if split == 1 && rowsRead == 50 {
+				once.Do(func() { fired = true })
+			}
+			return fired
+		},
+		AcceptTimeout: 5 * time.Second,
+	}
+	cfg := DefaultSenderConfig()
+	cfg.MaxRestarts = 8
+	cfg.ReconnectBudget = -1 // §6 original behavior: every failure escalates
+	cfg.BlockRows = 64
+	d, stats := env.runTransfer(t, "jesc", 2, 2, 300, f, cfg)
+	checkExactlyOnce(t, d, 2, 300)
 	restarts := 0
 	for _, s := range stats {
 		restarts += s.Restarts
 	}
 	if restarts == 0 {
 		t.Error("no sender restarts recorded despite injected failure")
+	}
+	if got := env.coord.Restarts("jesc"); got == 0 {
+		t.Error("coordinator restart counter never moved")
 	}
 }
 
