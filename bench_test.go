@@ -170,25 +170,32 @@ func BenchmarkAblationBufferSize(b *testing.B) {
 // BenchmarkAblationBlockSize sweeps the rows-per-block budget of the wire
 // protocol, plus the v1 per-row framing as the degenerate point — the
 // block-oriented-transfer ablation (frames/op makes the coalescing
-// visible).
+// visible). The v2-vs-v3 × compression-on/off grid isolates what the
+// columnar frame buys on top of block coalescing (wire-B/op) and what the
+// per-column encodings buy on top of the columnar layout.
 func BenchmarkAblationBlockSize(b *testing.B) {
 	type variant struct {
-		name      string
-		blockRows int
-		proto     int
+		name       string
+		blockRows  int
+		proto      int
+		noCompress bool
 	}
 	variants := []variant{
-		{"rowframes-v1", 0, row.WireProtoRow},
-		{"block=64rows", 64, 0},
-		{"block=1024rows", 1024, 0},
-		{"block=4096rows", 4096, 0},
+		{"rowframes-v1", 0, row.WireProtoRow, false},
+		{"block=64rows", 64, 0, false},
+		{"block=1024rows", 1024, 0, false},
+		{"block=4096rows", 4096, 0, false},
+		{"v2-rowblocks", 1024, row.WireProtoBlock, false},
+		{"v3-columnar", 1024, row.WireProtoCol, false},
+		{"v3-columnar-nocompress", 1024, row.WireProtoCol, true},
 	}
 	for _, v := range variants {
 		b.Run(v.name, func(b *testing.B) {
 			cfg := experiments.DefaultTransfer()
 			cfg.BlockRows = v.blockRows
 			cfg.Proto = v.proto
-			var frames int64
+			cfg.DisableCompression = v.noCompress
+			var frames, wire, raw int64
 			var total time.Duration
 			b.ReportAllocs()
 			b.ResetTimer()
@@ -198,9 +205,13 @@ func BenchmarkAblationBlockSize(b *testing.B) {
 					b.Fatal(err)
 				}
 				frames += rep.FramesSent
+				wire += rep.WireBytes
+				raw += rep.RawBytes
 				total += rep.SimTime
 			}
 			b.ReportMetric(float64(frames)/float64(b.N), "frames/op")
+			b.ReportMetric(float64(wire)/float64(b.N), "wire-B/op")
+			b.ReportMetric(float64(raw)/float64(b.N), "raw-B/op")
 			b.ReportMetric(simMS(total)/float64(b.N), "sim-ms/op")
 		})
 	}

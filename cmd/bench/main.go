@@ -147,10 +147,11 @@ func runSVM(scale experiments.Scale) error {
 func runAblations(experiments.Scale) error {
 	fmt.Println("Ablations — parallel streaming transfer design choices (§3)")
 	w := newTab()
-	fmt.Fprintln(w, "experiment\tvariant\tsim-ms\tnet-KB\tspilled-KB\tframes\trestarts")
+	fmt.Fprintln(w, "experiment\tvariant\tsim-ms\tnet-KB\tspilled-KB\tframes\traw-KB\twire-KB\trestarts")
 	report := func(name, variant string, rep *experiments.TransferReport) {
-		fmt.Fprintf(w, "%s\t%s\t%s\t%.1f\t%.1f\t%d\t%d\n",
-			name, variant, ms(rep.SimTime), float64(rep.NetBytes)/1024, float64(rep.SpilledBytes)/1024, rep.FramesSent, rep.Restarts)
+		fmt.Fprintf(w, "%s\t%s\t%s\t%.1f\t%.1f\t%d\t%.1f\t%.1f\t%d\n",
+			name, variant, ms(rep.SimTime), float64(rep.NetBytes)/1024, float64(rep.SpilledBytes)/1024, rep.FramesSent,
+			float64(rep.RawBytes)/1024, float64(rep.WireBytes)/1024, rep.Restarts)
 	}
 
 	for _, k := range []int{1, 2, 4, 8} {
@@ -188,6 +189,27 @@ func runAblations(experiments.Scale) error {
 			return err
 		}
 		report("block framing", fmt.Sprintf("block=%d rows", blockRows), rep)
+	}
+	{
+		type wireVariant struct {
+			name       string
+			proto      int
+			noCompress bool
+		}
+		for _, v := range []wireVariant{
+			{"v2 row blocks", row.WireProtoBlock, false},
+			{"v3 columnar", row.WireProtoCol, false},
+			{"v3 columnar, raw vectors", row.WireProtoCol, true},
+		} {
+			cfg := experiments.DefaultTransfer()
+			cfg.Proto = v.proto
+			cfg.DisableCompression = v.noCompress
+			rep, err := experiments.RunTransfer(cfg)
+			if err != nil {
+				return err
+			}
+			report("wire format", v.name, rep)
+		}
 	}
 	for _, colocate := range []bool{true, false} {
 		cfg := experiments.DefaultTransfer()

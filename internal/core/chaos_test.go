@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"sqlml/internal/fault"
+	"sqlml/internal/row"
 	"sqlml/internal/stream"
 )
 
@@ -167,6 +168,30 @@ func TestChaosSoakExactlyOnce(t *testing.T) {
 			verify: func(t *testing.T, g *chaosGear, env *Env) {
 				if g.dialer.Injected() != 4 {
 					t.Errorf("armed %d faults, want 4", g.dialer.Injected())
+				}
+			},
+		},
+		{
+			name: "reset-v3-frames", seed: 1111, approach: InSQLStream,
+			arm: func(g *chaosGear, envCfg *EnvConfig, pipe *PipelineConfig) {
+				// Pin the columnar protocol explicitly and shrink the block
+				// budget so the stream spans many small v3 frames: the resets
+				// then land mid-stream and recovery must resume from the
+				// frame-aligned spool — the epoch/offset handshake locating
+				// the first unconsumed row inside a columnar frame sequence.
+				envCfg.SenderConfig.Proto = row.WireProtoCol
+				envCfg.SenderConfig.BlockRows = 8
+				g.dialer = fault.NewDialer(1111, fault.DialerConfig{
+					MaxFaults: 2, Ops: []fault.Op{fault.Reset}, MaxByte: 768,
+				})
+				envCfg.SenderConfig.Dial = g.dialer.Dial
+			},
+			verify: func(t *testing.T, g *chaosGear, env *Env) {
+				if g.dialer.Injected() != 2 {
+					t.Errorf("armed %d resets, want 2", g.dialer.Injected())
+				}
+				if n := env.Coord.TotalRestarts(); n != 0 {
+					t.Errorf("v3-frame resets escalated to %d group restarts; must resume per-target", n)
 				}
 			},
 		},

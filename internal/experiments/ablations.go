@@ -24,10 +24,13 @@ type TransferConfig struct {
 	QueueFrames int
 	// BlockRows caps rows per wire block (0 means the sender default);
 	// Proto pins the wire-format version (0 means latest) — together the
-	// block-framing ablation knobs.
-	BlockRows    int
-	Proto        int
-	ConsumeDelay time.Duration
+	// block-framing ablation knobs. DisableCompression turns off v3's
+	// per-column encodings (columnar frames, raw vectors), isolating the
+	// compression axis of the v2-vs-v3 grid.
+	BlockRows          int
+	Proto              int
+	DisableCompression bool
+	ConsumeDelay       time.Duration
 	// Colocate places ML workers on the SQL workers' nodes (the
 	// coordinator's locality hint honoured); otherwise they all land on a
 	// remote node and every byte crosses the simulated network.
@@ -58,7 +61,11 @@ type TransferReport struct {
 	NetBytes     int64
 	SpilledBytes int64
 	Restarts     int
-	Wall         time.Duration
+	// RawBytes/WireBytes mirror SenderStats: the v2-equivalent size of the
+	// delivered rows vs the bytes actually framed — the compression ratio.
+	RawBytes  int64
+	WireBytes int64
+	Wall      time.Duration
 }
 
 // transferSchema carries one id and one value column.
@@ -123,6 +130,7 @@ func RunTransfer(cfg TransferConfig) (*TransferReport, error) {
 	senderCfg.QueueFrames = cfg.QueueFrames
 	senderCfg.BlockRows = cfg.BlockRows
 	senderCfg.Proto = cfg.Proto
+	senderCfg.DisableCompression = cfg.DisableCompression
 	senderCfg.MaxRestarts = 8
 	if cfg.ConsumeDelay > 0 {
 		// The spill ablation wants the producer to give up quickly.
@@ -185,6 +193,8 @@ func RunTransfer(cfg TransferConfig) (*TransferReport, error) {
 		report.FramesSent += s.FramesSent
 		report.SpilledBytes += s.SpilledBytes
 		report.Restarts += s.Restarts
+		report.RawBytes += s.RawBytes
+		report.WireBytes += s.WireBytes
 	}
 	return report, nil
 }

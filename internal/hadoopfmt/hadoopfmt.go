@@ -51,6 +51,18 @@ type BatchRecordReader interface {
 	NextBatch(buf []row.Row) (batch []row.Row, ok bool, err error)
 }
 
+// ColBatchRecordReader is a further optional extension: readers whose
+// transfer unit is already column-major (the v3 columnar wire frames of
+// the streaming transfer) materialize it straight into a ColBatch, so a
+// columnar consumer ingests without ever constructing a row. NextColBatch
+// resets and fills dst (the reader knows its own schema) and returns the
+// row count; ok is false at the end of the split. Calls interleave freely
+// with Next/NextBatch — each call serves whole transfer units.
+type ColBatchRecordReader interface {
+	RecordReader
+	NextColBatch(dst *row.ColBatch) (n int, ok bool, err error)
+}
+
 // ReadBatch drains one batch from rr, falling back to a single Next call
 // when rr does not implement BatchRecordReader. Callers must copy rows they
 // retain before reusing buf.

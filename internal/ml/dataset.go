@@ -141,7 +141,9 @@ func Ingest(f hadoopfmt.InputFormat, opts IngestOptions) (*Dataset, error) {
 // readSplit runs one ingest task: open the split, convert every row, and
 // append into out. Batch-capable readers (the streaming transfer's) are
 // drained a wire block at a time; the batch buffer is recycled across
-// iterations since converted points don't retain the rows.
+// iterations since converted points don't retain the rows. A columnar
+// reader (v3 wire frames) skips rows entirely: points are built straight
+// from the batch's typed vectors.
 func readSplit(f hadoopfmt.InputFormat, split hadoopfmt.InputSplit, node *cluster.Node, conv *converter, out *[]LabeledPoint) (err error) {
 	rr, err := f.Open(split, node)
 	if err != nil {
@@ -152,6 +154,22 @@ func readSplit(f hadoopfmt.InputFormat, split hadoopfmt.InputSplit, node *cluste
 			err = cerr
 		}
 	}()
+	if cr, ok := rr.(hadoopfmt.ColBatchRecordReader); ok {
+		cb := row.GetColBatch(nil)
+		defer row.PutColBatch(cb)
+		for {
+			_, ok, err := cr.NextColBatch(cb)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			if err := conv.convertBatch(cb, out); err != nil {
+				return err
+			}
+		}
+	}
 	var buf []row.Row
 	for {
 		batch, ok, err := hadoopfmt.ReadBatch(rr, buf[:0])
@@ -268,6 +286,35 @@ func (c *converter) convert(r row.Row) (LabeledPoint, error) {
 		p.Features[j] = v.AsFloat()
 	}
 	return p, nil
+}
+
+// convertBatch is the columnar half of convert: it builds points straight
+// from a batch's typed vectors, so ingest from v3 wire frames never
+// pivots through rows. Only the label and feature columns are touched.
+func (c *converter) convertBatch(b *row.ColBatch, out *[]LabeledPoint) error {
+	numAt := func(v *row.Vector, p int) float64 {
+		if v.Type() == row.TypeInt {
+			return float64(v.Ints[p])
+		}
+		return v.Floats[p]
+	}
+	lv := b.Col(c.labelIdx)
+	for si := 0; si < b.Len(); si++ {
+		p := b.SelPos(si)
+		if lv.Null(p) {
+			return fmt.Errorf("ml: NULL label")
+		}
+		pt := LabeledPoint{Label: c.labelTransform(numAt(lv, p)), Features: make([]float64, len(c.featureIdx))}
+		for j, i := range c.featureIdx {
+			v := b.Col(i)
+			if v.Null(p) {
+				return fmt.Errorf("ml: NULL feature in column %d", i)
+			}
+			pt.Features[j] = numAt(v, p)
+		}
+		*out = append(*out, pt)
+	}
+	return nil
 }
 
 // forEachPart runs f over partition indices in parallel, returning the

@@ -138,11 +138,13 @@ func (w *Writer) Write(r Row) error {
 // Flush flushes buffered frames to the underlying writer.
 func (w *Writer) Flush() error { return w.w.Flush() }
 
-// Reader decodes binary row frames from an io.Reader. It understands both
-// wire formats: v1 single-row frames and v2 multi-row block frames (see
-// block.go) may be freely interleaved on one stream. A block is read off
-// the wire in one I/O operation into a reused buffer, then its rows are
-// served in place — per-row syscalls and allocations drop to per-block.
+// Reader decodes binary row frames from an io.Reader. It understands all
+// three wire formats: v1 single-row frames, v2 multi-row block frames
+// (block.go), and v3 columnar block frames (colblock.go) may be freely
+// interleaved on one stream. A block is read off the wire in one I/O
+// operation into a reused buffer, then its rows are served in place —
+// per-row syscalls and allocations drop to per-block. Columnar consumers
+// call ReadColBatch and skip row materialization entirely.
 type Reader struct {
 	r     *bufio.Reader
 	buf   []byte
@@ -157,6 +159,15 @@ type Reader struct {
 	block     []byte
 	blockRows int
 	blockWire int64
+
+	// pending v3 columnar frame: the staged tail (aliasing buf — valid
+	// until the next frame is read, i.e. until this one is fully served).
+	// The row-path reads decode it lazily into colDec and serve rows off
+	// the batch; ReadColBatch takes an untouched frame whole, zero-pivot.
+	colTail    []byte
+	colDec     *ColBatch
+	colDecoded bool
+	colServed  int
 }
 
 // Bytes returns the wire bytes of fully consumed frames (headers
@@ -196,6 +207,19 @@ func (r *Reader) Read() (Row, error) {
 			return nil, err
 		}
 	}
+	if r.colTail != nil {
+		if err := r.decodeStagedCol(); err != nil {
+			return nil, err
+		}
+		row := r.colDec.RowAt(r.colServed, nil)
+		r.colServed++
+		r.blockRows--
+		if r.blockRows == 0 {
+			r.nread += r.blockWire
+			r.colTail, r.colDecoded = nil, false
+		}
+		return row, nil
+	}
 	row, rest, err := decodeBlockRow(r.block)
 	if err != nil {
 		return nil, err
@@ -211,6 +235,26 @@ func (r *Reader) Read() (Row, error) {
 	return row, nil
 }
 
+// decodeStagedCol decodes the staged v3 frame into the reader's scratch
+// batch, once per frame.
+func (r *Reader) decodeStagedCol() error {
+	if r.colDecoded {
+		return nil
+	}
+	if r.colDec == nil {
+		r.colDec = &ColBatch{}
+	}
+	rows, err := decodeColTail(r.colTail, r.colDec)
+	if err != nil {
+		return err
+	}
+	if rows != r.blockRows {
+		return fmt.Errorf("row: columnar frame decoded %d rows, staged %d", rows, r.blockRows)
+	}
+	r.colDecoded, r.colServed = true, 0
+	return nil
+}
+
 // ReadBlock appends every remaining row of the current frame to dst and
 // returns it: the rows of one block frame, or a single row for a v1
 // frame. It returns io.EOF cleanly at end of stream. Batch consumers
@@ -220,6 +264,19 @@ func (r *Reader) ReadBlock(dst []Row) ([]Row, error) {
 		if err := r.nextFrame(); err != nil {
 			return nil, err
 		}
+	}
+	if r.colTail != nil {
+		if err := r.decodeStagedCol(); err != nil {
+			return nil, err
+		}
+		for r.blockRows > 0 {
+			dst = append(dst, r.colDec.RowAt(r.colServed, nil))
+			r.colServed++
+			r.blockRows--
+		}
+		r.nread += r.blockWire
+		r.colTail, r.colDecoded = nil, false
+		return dst, nil
 	}
 	for r.blockRows > 0 {
 		row, rest, err := decodeBlockRow(r.block)
@@ -235,6 +292,81 @@ func (r *Reader) ReadBlock(dst []Row) ([]Row, error) {
 	}
 	r.nread += r.blockWire
 	return dst, nil
+}
+
+// ReadColBatch decodes the next frame into dst, reset to the given
+// column types, and returns its remaining row count. An untouched v3
+// frame decodes straight into dst — the zero-pivot path — while v1/v2
+// frames and v3 frames already partially served row-wise (the resume
+// handshake's duplicate skip) transpose the remaining rows. It returns
+// io.EOF cleanly at end of stream, and always consumes (and credits) the
+// whole frame.
+func (r *Reader) ReadColBatch(dst *ColBatch, types []Type) (int, error) {
+	for r.blockRows == 0 {
+		if err := r.nextFrame(); err != nil {
+			return 0, err
+		}
+	}
+	if r.colTail != nil && !r.colDecoded {
+		rows, err := decodeColTail(r.colTail, dst)
+		if err != nil {
+			return 0, err
+		}
+		if err := colTypesMatch(dst, types); err != nil {
+			return 0, err
+		}
+		r.nread += r.blockWire
+		r.colTail, r.blockRows = nil, 0
+		return rows, nil
+	}
+	dst.Reset(types)
+	if r.colTail != nil {
+		if err := colTypesMatch(r.colDec, types); err != nil {
+			return 0, err
+		}
+		for r.blockRows > 0 {
+			for c := 0; c < dst.NumCols(); c++ {
+				dst.Col(c).AppendFrom(r.colDec.Col(c), r.colServed)
+			}
+			dst.SetFullLen(dst.FullLen() + 1)
+			r.colServed++
+			r.blockRows--
+		}
+		r.colTail, r.colDecoded = nil, false
+	} else {
+		for r.blockRows > 0 {
+			row, rest, err := decodeBlockRow(r.block)
+			if err != nil {
+				return 0, err
+			}
+			if len(row) != dst.NumCols() {
+				return 0, fmt.Errorf("row: frame row has %d values, schema has %d columns", len(row), dst.NumCols())
+			}
+			dst.AppendRow(row)
+			r.block = rest
+			r.blockRows--
+		}
+		if len(r.block) != 0 {
+			return 0, fmt.Errorf("row: %d trailing block bytes", len(r.block))
+		}
+	}
+	r.nread += r.blockWire
+	return dst.Len(), nil
+}
+
+// colTypesMatch verifies a decoded batch's shape against the stream
+// schema's column types — a frame whose columns disagree with the
+// handshake is corrupt.
+func colTypesMatch(b *ColBatch, types []Type) error {
+	if b.NumCols() != len(types) {
+		return fmt.Errorf("row: columnar frame has %d columns, schema has %d", b.NumCols(), len(types))
+	}
+	for i := range types {
+		if b.Col(i).Type() != types[i] {
+			return fmt.Errorf("row: columnar frame column %d is %s, schema wants %s", i, b.Col(i).Type(), types[i])
+		}
+	}
+	return nil
 }
 
 // nextFrame reads one wire frame into the reused buffer and stages its
@@ -284,6 +416,25 @@ func (r *Reader) nextFrame() error {
 	tail := r.buf[:n]
 	if _, err := io.ReadFull(r.r, tail); err != nil {
 		return fmt.Errorf("row: truncated block frame: %w", err)
+	}
+	if tail[0] == WireProtoCol {
+		// v3 columnar frame: stage the tail; the row path decodes it
+		// lazily, ReadColBatch takes it whole.
+		if n < colTailLen {
+			return fmt.Errorf("row: truncated columnar header")
+		}
+		rows := int(binary.LittleEndian.Uint32(tail[2:]))
+		if rows > MaxBlockSize {
+			return fmt.Errorf("row: columnar frame claims %d rows", rows)
+		}
+		if rows == 0 {
+			r.nread += int64(4 + n)
+			return nil
+		}
+		r.block = nil
+		r.colTail, r.colDecoded, r.colServed = tail, false, 0
+		r.blockRows, r.blockWire = rows, int64(4+n)
+		return nil
 	}
 	payload, rows, err := parseBlockTail(tail)
 	if err != nil {

@@ -33,8 +33,9 @@ const (
 	WireProtoRow = 1
 	// WireProtoBlock is the multi-row block-frame wire format.
 	WireProtoBlock = 2
-	// WireProtoLatest is what senders and readers advertise by default.
-	WireProtoLatest = WireProtoBlock
+	// WireProtoLatest is what senders and readers advertise by default —
+	// the columnar v3 format (WireProtoCol, colblock.go).
+	WireProtoLatest = WireProtoCol
 
 	blockFlag = uint32(1) << 31
 	// blockTailLen is the header part covered by the length word:
@@ -92,13 +93,57 @@ func IsBlockFrame(frame []byte) bool {
 // BlockEncoder packs rows into one block frame built on a pooled buffer.
 // Append rows until Rows()/Len() hit the caller's budget, then Finish to
 // take the frame; the encoder detaches and starts the next block lazily.
+//
+// EnableColumnar switches the encoder to v3 output: appends stage into a
+// column-major ColBatch instead of encoding bytes row by row, and Finish
+// emits one columnar frame (AppendColBlock). In that mode Len() is the
+// v2-equivalent byte size of the staged rows — the same flush-budget
+// currency as before, computed without encoding — and RawBytes() exposes
+// it for the sender's compression-ratio accounting.
 type BlockEncoder struct {
 	buf  []byte
 	rows int
+
+	// columnar (v3) staging
+	colMode  bool
+	compress bool
+	colTypes []Type
+	col      *ColBatch
+	rawBytes int
+}
+
+// EnableColumnar switches the encoder to columnar v3 frames over the
+// given column types. With compress false every column keeps its raw
+// encoding (the ablation grid's uncompressed arm). Must be called before
+// the first append.
+func (e *BlockEncoder) EnableColumnar(types []Type, compress bool) {
+	e.colMode, e.compress, e.colTypes = true, compress, types
+}
+
+// staging returns the columnar staging batch, creating it on first use.
+// The batch is plain (not pooled): it lives for the whole transfer and
+// recycles its own vector capacity across Finish calls.
+func (e *BlockEncoder) staging() *ColBatch {
+	if e.col == nil {
+		e.col = NewColBatch(e.colTypes)
+	}
+	return e.col
 }
 
 // Append encodes one row into the current block.
 func (e *BlockEncoder) Append(r Row) {
+	if e.colMode {
+		e.staging().AppendRow(r)
+		if e.rows == 0 {
+			e.rawBytes = blockHeaderLen
+		}
+		e.rawBytes += 4
+		for _, v := range r {
+			e.rawBytes += v2CellSize(v.Kind, v.Null, len(v.s))
+		}
+		e.rows++
+		return
+	}
 	if e.buf == nil {
 		e.buf = append(NewBlockBuffer(), make([]byte, blockHeaderLen)...)
 	}
@@ -106,11 +151,48 @@ func (e *BlockEncoder) Append(r Row) {
 	e.rows++
 }
 
+// v2CellSize is the wire cost of one value in the v1/v2 row encoding:
+// the tag byte plus the type's payload. It prices the columnar staging
+// in the same currency as the row encoders, so flush budgets and the
+// raw-vs-wire stats compare like with like.
+func v2CellSize(t Type, null bool, strLen int) int {
+	if null {
+		return 1
+	}
+	switch t {
+	case TypeString:
+		return 5 + strLen
+	case TypeBool:
+		return 2
+	default:
+		return 9
+	}
+}
+
 // AppendBatchRow encodes physical row p of a column-major batch into the
 // current block, byte-identical to Append of the materialized row but
 // straight off the vectors — the sender's columnar fast path, skipping the
 // per-row Value materialization entirely.
 func (e *BlockEncoder) AppendBatchRow(b *ColBatch, p int) {
+	if e.colMode {
+		st := e.staging()
+		if e.rows == 0 {
+			e.rawBytes = blockHeaderLen
+		}
+		e.rawBytes += 4
+		for c := 0; c < b.NumCols(); c++ {
+			col := b.Col(c)
+			st.Col(c).AppendFrom(col, p)
+			strLen := 0
+			if col.Type() == TypeString && !col.Null(p) {
+				strLen = len(col.Bytes(p))
+			}
+			e.rawBytes += v2CellSize(col.Type(), col.Null(p), strLen)
+		}
+		st.SetFullLen(st.FullLen() + 1)
+		e.rows++
+		return
+	}
 	if e.buf == nil {
 		e.buf = append(NewBlockBuffer(), make([]byte, blockHeaderLen)...)
 	}
@@ -149,11 +231,56 @@ func (e *BlockEncoder) AppendBatchRow(b *ColBatch, p int) {
 	e.rows++
 }
 
+// AppendBatch stages every live row of a column-major batch into the
+// current block — the sender's zero-pivot path when one target consumes
+// whole batches. Columnar mode only.
+func (e *BlockEncoder) AppendBatch(b *ColBatch) {
+	if !e.colMode {
+		panic("row: BlockEncoder.AppendBatch without EnableColumnar")
+	}
+	rows := b.Len()
+	if rows == 0 {
+		return
+	}
+	st := e.staging()
+	if e.rows == 0 {
+		e.rawBytes = blockHeaderLen
+	}
+	e.rawBytes += 4 * rows
+	for c := 0; c < b.NumCols(); c++ {
+		src := b.Col(c)
+		dstV := st.Col(c)
+		for si := 0; si < rows; si++ {
+			p := b.SelPos(si)
+			dstV.AppendFrom(src, p)
+			strLen := 0
+			if src.Type() == TypeString && !src.Null(p) {
+				strLen = len(src.Bytes(p))
+			}
+			e.rawBytes += v2CellSize(src.Type(), src.Null(p), strLen)
+		}
+	}
+	st.SetFullLen(st.FullLen() + rows)
+	e.rows += rows
+}
+
 // Rows returns the number of rows in the current block.
 func (e *BlockEncoder) Rows() int { return e.rows }
 
-// Len returns the current block's encoded size in bytes (header included).
-func (e *BlockEncoder) Len() int { return len(e.buf) }
+// Len returns the current block's size in bytes for flush budgeting: the
+// encoded frame so far (v1/v2), or the staged rows' v2-equivalent size
+// (columnar mode, where encoding happens at Finish).
+func (e *BlockEncoder) Len() int {
+	if e.colMode {
+		return e.rawBytes
+	}
+	return len(e.buf)
+}
+
+// RawBytes returns the current block's pre-compression size — what the
+// staged rows would cost in the v2 row encoding. Callers sampling the
+// compression ratio read it just before Finish.
+func (e *BlockEncoder) RawBytes() int { return e.Len() }
 
 // Finish seals and returns the block frame, transferring ownership to the
 // caller (recycle it with RecycleBlockBuffer once it has left the
@@ -161,6 +288,12 @@ func (e *BlockEncoder) Len() int { return len(e.buf) }
 func (e *BlockEncoder) Finish() []byte {
 	if e.rows == 0 {
 		return nil
+	}
+	if e.colMode {
+		frame := AppendColBlock(NewBlockBuffer(), e.col, e.compress)
+		e.col.Reset(e.colTypes)
+		e.rows, e.rawBytes = 0, 0
+		return frame
 	}
 	b := e.buf
 	binary.LittleEndian.PutUint32(b, blockFlag|uint32(len(b)-4))
@@ -171,11 +304,19 @@ func (e *BlockEncoder) Finish() []byte {
 	return b
 }
 
-// BlockDecoder iterates the rows of one encoded block frame in place —
-// no per-row reads, no payload copies.
+// BlockDecoder iterates the rows of one encoded block frame — v2 row
+// blocks in place (no per-row reads, no payload copies), v3 columnar
+// blocks through an internal ColBatch. DecodeBatch is the column-major
+// twin: one whole frame into a caller-owned batch, zero-pivot for v3.
 type BlockDecoder struct {
 	payload   []byte
 	remaining int
+
+	// v3 frames decode column-major; Next then serves owning rows off
+	// the batch.
+	colFrame bool
+	col      *ColBatch
+	colPos   int
 }
 
 // NewBlockDecoder validates the frame header and returns a decoder over
@@ -200,6 +341,19 @@ func (d *BlockDecoder) Reset(frame []byte) error {
 	if n := int(word &^ blockFlag); n != len(frame)-4 {
 		return fmt.Errorf("row: block frame length %d, have %d bytes", n, len(frame)-4)
 	}
+	if frame[4] == WireProtoCol {
+		if d.col == nil {
+			d.col = &ColBatch{}
+		}
+		rows, err := decodeColTail(frame[4:], d.col)
+		if err != nil {
+			return err
+		}
+		d.payload, d.remaining = nil, rows
+		d.colFrame, d.colPos = true, 0
+		return nil
+	}
+	d.colFrame = false
 	tail, rows, err := parseBlockTail(frame[4:])
 	if err != nil {
 		return err
@@ -208,16 +362,50 @@ func (d *BlockDecoder) Reset(frame []byte) error {
 	return nil
 }
 
+// DecodeBatch decodes one whole block frame into dst, reset to the given
+// column types: a v3 frame lands column-major with no row
+// materialization; a v2 frame transposes its rows. It returns the row
+// count.
+func (d *BlockDecoder) DecodeBatch(frame []byte, dst *ColBatch, types []Type) (int, error) {
+	if len(frame) >= 5 && IsBlockFrame(frame) && frame[4] == WireProtoCol {
+		return DecodeColBlock(frame, dst)
+	}
+	if err := d.Reset(frame); err != nil {
+		return 0, err
+	}
+	dst.Reset(types)
+	for {
+		r, ok, err := d.Next()
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			return dst.Len(), nil
+		}
+		if len(r) != dst.NumCols() {
+			return 0, fmt.Errorf("row: block row has %d values, batch has %d columns", len(r), dst.NumCols())
+		}
+		dst.AppendRow(r)
+	}
+}
+
 // Rows returns how many rows remain undecoded.
 func (d *BlockDecoder) Rows() int { return d.remaining }
 
 // Next decodes the next row; ok is false once the block is exhausted.
+// Rows from a v3 frame own their storage, like their v2 counterparts.
 func (d *BlockDecoder) Next() (r Row, ok bool, err error) {
 	if d.remaining == 0 {
 		if len(d.payload) != 0 {
 			return nil, false, fmt.Errorf("row: %d trailing block bytes", len(d.payload))
 		}
 		return nil, false, nil
+	}
+	if d.colFrame {
+		r = d.col.RowAt(d.colPos, nil)
+		d.colPos++
+		d.remaining--
+		return r, true, nil
 	}
 	r, rest, err := decodeBlockRow(d.payload)
 	if err != nil {

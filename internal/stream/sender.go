@@ -71,6 +71,11 @@ type SenderConfig struct {
 	// data-channel fault into a registration failure and mask the recovery
 	// path under test.
 	Dial func(network, addr string, timeout time.Duration) (net.Conn, error)
+	// DisableCompression turns off the per-column lightweight encodings of
+	// v3 frames: blocks still ship column-major, but every vector is written
+	// raw. Compression is on by default; the knob exists for the ablation
+	// grid and for debugging wire captures.
+	DisableCompression bool
 	// DisableReplay turns off the per-slot frame spool that restart
 	// attempts resend from. With a streaming input the spool is the only
 	// copy of already-consumed rows, so disabling it trades §6 restarts
@@ -111,6 +116,12 @@ type SenderStats struct {
 	// spool without a §6 group restart: Reconnects > 0 with Restarts == 0
 	// is the signature of partial-failure recovery.
 	Reconnects int
+	// RawBytes is what the delivered rows would have cost in the v2 row
+	// encoding; WireBytes is what the negotiated frames actually cost.
+	// RawBytes/WireBytes is the observable compression ratio — 1.0 on
+	// v1/v2 jobs, above 1.0 when v3's per-column encodings bite.
+	RawBytes  int64
+	WireBytes int64
 }
 
 // statsSchema is the sender UDF's output schema.
@@ -123,6 +134,8 @@ func statsSchema() row.Schema {
 		row.Column{Name: "restarts", Type: row.TypeInt},
 		row.Column{Name: "frames_sent", Type: row.TypeInt},
 		row.Column{Name: "reconnects", Type: row.TypeInt},
+		row.Column{Name: "raw_bytes", Type: row.TypeInt},
+		row.Column{Name: "wire_bytes", Type: row.TypeInt},
 	)
 }
 
@@ -184,6 +197,8 @@ func RegisterSenderUDF(e *sqlengine.Engine, cfg SenderConfig) error {
 				row.Int(int64(stats.Restarts)),
 				row.Int(stats.FramesSent),
 				row.Int(int64(stats.Reconnects)),
+				row.Int(stats.RawBytes),
+				row.Int(stats.WireBytes),
 			})
 		},
 	})
@@ -211,11 +226,12 @@ type SendRequest struct {
 }
 
 // spooledBlock is one §6 replay spool entry: an encoded wire frame (a
-// block, or a single v1 row frame) plus its row count, so retry attempts
-// resend and account it without re-decoding.
+// block, or a single v1 row frame) plus its row count and v2-equivalent
+// raw size, so retry attempts resend and account it without re-decoding.
 type spooledBlock struct {
 	frame []byte
 	rows  int64
+	raw   int64
 }
 
 // sendSource tracks where an attempt's rows come from. The first attempt
@@ -434,7 +450,7 @@ func sendOnce(req SendRequest, cfg SenderConfig, stats *SenderStats, completed m
 		if src.input != nil && src.spool != nil {
 			// The upstream pipeline is one-shot: drain it into the spool now
 			// so the retry attempt has the rows.
-			if err := src.consumeInput(k, nil, cfg, proto); err != nil {
+			if err := src.consumeInput(k, nil, cfg, proto, row.SchemaTypes(req.Schema)); err != nil {
 				return false, &fatalError{err}
 			}
 		}
@@ -448,7 +464,7 @@ func sendOnce(req SendRequest, cfg SenderConfig, stats *SenderStats, completed m
 	// that built them negotiated — both framings stay decodable on every
 	// reader, so a renegotiated retry never re-encodes.
 	if src.input != nil {
-		if err := src.consumeInput(k, chans, cfg, proto); err != nil {
+		if err := src.consumeInput(k, chans, cfg, proto, row.SchemaTypes(req.Schema)); err != nil {
 			// The pipeline feeding the sender failed: unsent rows are gone,
 			// no restart can recover them.
 			closeAll(chans)
@@ -463,7 +479,7 @@ func sendOnce(req SendRequest, cfg SenderConfig, stats *SenderStats, completed m
 			// consuming (via the handshake) are skipped, so a surviving
 			// reader is not fed duplicates it would have to discard.
 			for _, sb := range src.spool[j][resume[j]:] {
-				if err := tc.enqueue(sb.frame, sb.rows); err != nil {
+				if err := tc.enqueue(sb.frame, sb.rows, sb.raw); err != nil {
 					// Keep streaming the healthy slots; this one retries
 					// next attempt.
 					tc.abort()
@@ -534,6 +550,8 @@ func slotStats(stats *SenderStats, src *sendSource, j int, tc *targetChannel) {
 			stats.RowsSent += sb.rows
 			stats.BytesSent += int64(len(sb.frame))
 			stats.FramesSent++
+			stats.RawBytes += sb.raw
+			stats.WireBytes += int64(len(sb.frame))
 		}
 		if tc != nil {
 			stats.SpilledBytes += tc.spilledBytes
@@ -544,6 +562,8 @@ func slotStats(stats *SenderStats, src *sendSource, j int, tc *targetChannel) {
 	stats.BytesSent += tc.bytes
 	stats.SpilledBytes += tc.spilledBytes
 	stats.FramesSent += tc.frames
+	stats.RawBytes += tc.rawBytes
+	stats.WireBytes += tc.bytes
 }
 
 // recoverSlot redials one failed target until its slot is delivered and
@@ -567,7 +587,7 @@ func recoverSlot(req SendRequest, cfg SenderConfig, stats *SenderStats, spool []
 		stats.Reconnects++
 		enqueued := true
 		for _, sb := range spool[idx:] {
-			if err := tc.enqueue(sb.frame, sb.rows); err != nil {
+			if err := tc.enqueue(sb.frame, sb.rows, sb.raw); err != nil {
 				tc.abort()
 				lastErr = err
 				enqueued = false
@@ -646,15 +666,15 @@ func getTarget(coordAddr string, timeout time.Duration, job string, split int) (
 // block flushes on the row/byte budget and at end of stream, so channel
 // operations, spool entries, and wire writes are O(blocks), not O(rows).
 // The input is consumed afterwards.
-func (s *sendSource) consumeInput(k int, chans []*targetChannel, cfg SenderConfig, proto int) error {
+func (s *sendSource) consumeInput(k int, chans []*targetChannel, cfg SenderConfig, proto int, types []row.Type) error {
 	in := s.input
 	s.input = nil
-	flush := func(j int, frame []byte, rows int64) error {
+	flush := func(j int, frame []byte, rows, raw int64) error {
 		if frame == nil {
 			return nil
 		}
 		if s.spool != nil {
-			s.spool[j] = append(s.spool[j], spooledBlock{frame: frame, rows: rows})
+			s.spool[j] = append(s.spool[j], spooledBlock{frame: frame, rows: rows, raw: raw})
 		}
 		if chans == nil {
 			return nil
@@ -666,7 +686,7 @@ func (s *sendSource) consumeInput(k int, chans []*targetChannel, cfg SenderConfi
 			}
 			return nil
 		}
-		if err := tc.enqueue(frame, rows); err != nil {
+		if err := tc.enqueue(frame, rows, raw); err != nil {
 			// Keep streaming the healthy slots; this one retries next
 			// attempt (or fails the transfer when replay is off).
 			tc.abort()
@@ -674,12 +694,35 @@ func (s *sendSource) consumeInput(k int, chans []*targetChannel, cfg SenderConfi
 		return nil
 	}
 	encoders := make([]row.BlockEncoder, k)
+	if proto >= row.WireProtoCol {
+		// v3: every slot's encoder stages column-major and Finish emits a
+		// columnar frame with per-column encodings, regardless of whether
+		// the rows arrive through a batch cursor or a row iterator — a UDF
+		// pipe upstream must not cost the wire its compression. Len()
+		// reports the v2-equivalent size in this mode, so the flush budget
+		// (and the spill/queue behavior behind it) is unchanged.
+		for j := range encoders {
+			encoders[j].EnableColumnar(types, !cfg.DisableCompression)
+		}
+	}
+	colMode := proto >= row.WireProtoCol
+	finish := func(j int) error {
+		enc := &encoders[j]
+		rows, raw := int64(enc.Rows()), int64(enc.Len())
+		frame := enc.Finish()
+		if !colMode && frame != nil {
+			// v1/v2 frames are the raw encoding: ratio 1.0 by definition.
+			raw = int64(len(frame))
+		}
+		return flush(j, frame, rows, raw)
+	}
 	i := 0
 	// Columnar fast path: when the input is a thin cursor over the engine's
 	// columnar pipeline, encode wire frames straight from the batch's
 	// vectors — same round-robin slot assignment, same flush budget, and
-	// AppendBatchRow is byte-identical to Append, so the wire format cannot
-	// differ from the row path.
+	// AppendBatchRow is value-identical to Append, so the decoded stream
+	// cannot differ from the row path. With one target and v3 frames the
+	// whole batch appends vector-at-a-time: no per-row step at all.
 	if proto >= row.WireProtoBlock {
 		if cb, ok := sqlengine.AsColBatchSource(in); ok {
 			for {
@@ -691,22 +734,31 @@ func (s *sendSource) consumeInput(k int, chans []*targetChannel, cfg SenderConfi
 					break
 				}
 				n := b.Len()
+				if k == 1 && proto >= row.WireProtoCol {
+					enc := &encoders[0]
+					enc.AppendBatch(b)
+					i += n
+					if enc.Rows() >= cfg.BlockRows || enc.Len() >= cfg.BlockBytes {
+						if err := finish(0); err != nil {
+							return err
+						}
+					}
+					continue
+				}
 				for si := 0; si < n; si++ {
 					j := i % k
 					i++
 					enc := &encoders[j]
 					enc.AppendBatchRow(b, b.SelPos(si))
 					if enc.Rows() >= cfg.BlockRows || enc.Len() >= cfg.BlockBytes {
-						rows := int64(enc.Rows())
-						if err := flush(j, enc.Finish(), rows); err != nil {
+						if err := finish(j); err != nil {
 							return err
 						}
 					}
 				}
 			}
 			for j := range encoders {
-				rows := int64(encoders[j].Rows())
-				if err := flush(j, encoders[j].Finish(), rows); err != nil {
+				if err := finish(j); err != nil {
 					return err
 				}
 			}
@@ -725,7 +777,8 @@ func (s *sendSource) consumeInput(k int, chans []*targetChannel, cfg SenderConfi
 		i++
 		if proto < row.WireProtoBlock {
 			// v1 fallback: one frame per row, exactly the old wire format.
-			if err := flush(j, row.AppendBinary(nil, r), 1); err != nil {
+			f := row.AppendBinary(nil, r)
+			if err := flush(j, f, 1, int64(len(f))); err != nil {
 				return err
 			}
 			continue
@@ -733,16 +786,14 @@ func (s *sendSource) consumeInput(k int, chans []*targetChannel, cfg SenderConfi
 		enc := &encoders[j]
 		enc.Append(r)
 		if enc.Rows() >= cfg.BlockRows || enc.Len() >= cfg.BlockBytes {
-			rows := int64(enc.Rows())
-			if err := flush(j, enc.Finish(), rows); err != nil {
+			if err := finish(j); err != nil {
 				return err
 			}
 		}
 	}
 	// End of stream: flush every slot's partial block.
 	for j := range encoders {
-		rows := int64(encoders[j].Rows())
-		if err := flush(j, encoders[j].Finish(), rows); err != nil {
+		if err := finish(j); err != nil {
 			return err
 		}
 	}
@@ -791,6 +842,7 @@ type targetChannel struct {
 	spilledBytes int64
 	rows         int64
 	bytes        int64
+	rawBytes     int64
 	frames       int64
 	aborted      bool
 
@@ -945,10 +997,11 @@ func (tc *targetChannel) creditLoop() {
 // spills the whole block to disk in one write (the paper's
 // producer/consumer synchronization for slow ML workers, at block
 // granularity).
-func (tc *targetChannel) enqueue(f []byte, rows int64) error {
+func (tc *targetChannel) enqueue(f []byte, rows, raw int64) error {
 	account := func() {
 		tc.rows += rows
 		tc.bytes += int64(len(f))
+		tc.rawBytes += raw
 		tc.frames++
 	}
 	select {

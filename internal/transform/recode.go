@@ -336,6 +336,69 @@ func recodeApplyUDF() *sqlengine.TableUDF {
 			for _, c := range cols {
 				recodeIdx[ctx.InSchema.ColIndex(c)] = strings.ToLower(c)
 			}
+			// Columnar fast path: when the partition input is a thin cursor
+			// over a columnar pipeline (a v3 stream ingest included), rewrite
+			// whole batches — passthrough columns copy cell-by-cell without
+			// boxing into Values, and categorical columns probe the map
+			// straight from the vector's byte slab. The emit boundary stays
+			// row-at-a-time so the engine's per-row Conforms check still
+			// guards every output row.
+			if cb, ok := sqlengine.AsColBatchSource(in); ok {
+				outTypes := make([]row.Type, ctx.InSchema.Len())
+				for i, c := range ctx.InSchema.Cols {
+					if _, isCat := recodeIdx[i]; isCat {
+						outTypes[i] = row.TypeInt
+					} else {
+						outTypes[i] = c.Type
+					}
+				}
+				out := row.NewColBatch(outTypes)
+				var buf []row.Row
+				for {
+					b, ok, err := cb.NextColBatch()
+					if err != nil {
+						return err
+					}
+					if !ok {
+						return nil
+					}
+					k := b.Len()
+					if k == 0 {
+						continue
+					}
+					out.Reset(outTypes)
+					for i := 0; i < b.NumCols(); i++ {
+						col := b.Col(i)
+						ov := out.Col(i)
+						cname, isCat := recodeIdx[i]
+						if !isCat {
+							for si := 0; si < k; si++ {
+								ov.AppendFrom(col, b.SelPos(si))
+							}
+							continue
+						}
+						for si := 0; si < k; si++ {
+							p := b.SelPos(si)
+							if col.Null(p) {
+								ov.AppendNull()
+								continue
+							}
+							id, ok := m.IDBytes(cname, col.Bytes(p))
+							if !ok {
+								return fmt.Errorf("value %q of column %q missing from recode map %q", col.StringAt(p), cname, mapTable)
+							}
+							ov.AppendInt(id)
+						}
+					}
+					out.SetFullLen(k)
+					buf = out.Rows(buf[:0])
+					for _, r := range buf {
+						if err := emit(r); err != nil {
+							return err
+						}
+					}
+				}
+			}
 			for {
 				r, ok, err := in.Next()
 				if err != nil {

@@ -3,40 +3,66 @@
 #
 #   scripts/bench_figure3.sh [output.json]
 #
-# Output: one object per sub-benchmark (naive / insql / insql+stream) with
-# ns/op, B/op, allocs/op, sim-ms/op, and peak-heap-B — the numbers the
-# block-oriented-transfer work tracks across PRs.
+# Each sub-benchmark (naive / insql / insql+stream) runs 3 iterations
+# (-benchtime 3x) five times (-count=5) and the JSON records the
+# per-metric MEDIAN of the five samples plus the sample count — the same
+# steady-state protocol as bench_hotpath.sh. A single cold iteration
+# counts every sync.Pool miss (GC empties the pools between runs) and
+# scheduler wobble in ns/op and B/op, which is exactly the noise that
+# made earlier wire-protocol baselines untrustworthy.
 set -eu
 
 out="${1:-BENCH_figure3.json}"
 cd "$(dirname "$0")/.."
 
-raw=$(go test -run '^$' -bench 'BenchmarkFigure3' -benchmem -benchtime 1x .)
+raw=$(go test -run '^$' -bench 'BenchmarkFigure3' -benchmem -benchtime 3x -count 5 .)
 
 echo "$raw" | awk -v out="$out" '
 /^BenchmarkFigure3\// {
     name = $1
     sub(/^BenchmarkFigure3\//, "", name)
     sub(/-[0-9]+$/, "", name)
-    delete m
-    m["iterations"] = $2
-    for (i = 3; i < NF; i += 2) m[$(i + 1)] = $i
-    line = sprintf("  {\"benchmark\": \"%s\"", name)
-    order = "iterations ns/op B/op allocs/op sim-ms/op peak-heap-B"
-    split(order, keys, " ")
-    for (k = 1; k <= 6; k++)
-        if (keys[k] in m)
-            line = line sprintf(", \"%s\": %s", keys[k], m[keys[k]])
-    for (key in m) {
-        if (index(order, key) == 0 && index(key, "sim-ms-") == 1)
-            line = line sprintf(", \"%s\": %s", key, m[key])
+    if (!(name in seen)) { seen[name] = 1; names[nn++] = name }
+    cnt[name]++
+    c = cnt[name]
+    v[name, "iterations", c] = $2
+    for (i = 3; i < NF; i += 2) {
+        key = $(i + 1)
+        v[name, key, c] = $i
+        if (!((name, key) in mseen)) { mseen[name, key] = 1; mlist[name] = mlist[name] key " " }
     }
-    lines[n++] = line "}"
+}
+# median of the collected samples for one (name, metric); counts are small
+# (5), so an insertion sort is plenty.
+function median(name, key,    c, i, j, t, a) {
+    c = cnt[name]
+    for (i = 1; i <= c; i++) a[i] = v[name, key, i] + 0
+    for (i = 2; i <= c; i++)
+        for (j = i; j > 1 && a[j - 1] > a[j]; j--) { t = a[j]; a[j] = a[j - 1]; a[j - 1] = t }
+    return a[int((c + 1) / 2)]
+}
+function fmtnum(x) {
+    if (x == int(x)) return sprintf("%d", x)
+    return sprintf("%.4f", x)
 }
 END {
-    if (n == 0) { print "no BenchmarkFigure3 results parsed" > "/dev/stderr"; exit 1 }
+    if (nn == 0) { print "no BenchmarkFigure3 results parsed" > "/dev/stderr"; exit 1 }
     print "[" > out
-    for (i = 0; i < n; i++) print lines[i] (i < n - 1 ? "," : "") >> out
+    for (i = 0; i < nn; i++) {
+        name = names[i]
+        line = sprintf("  {\"benchmark\": \"%s\", \"samples\": %d, \"iterations\": %s",
+                       name, cnt[name], fmtnum(median(name, "iterations")))
+        order = "ns/op B/op allocs/op sim-ms/op peak-heap-B"
+        nk = split(order, keys, " ")
+        for (k = 1; k <= nk; k++)
+            if ((name SUBSEP keys[k] SUBSEP 1) in v)
+                line = line sprintf(", \"%s\": %s", keys[k], fmtnum(median(name, keys[k])))
+        nm = split(mlist[name], mk, " ")
+        for (k = 1; k <= nm; k++)
+            if (index(mk[k], "sim-ms-") == 1)
+                line = line sprintf(", \"%s\": %s", mk[k], fmtnum(median(name, mk[k])))
+        print line "}" (i < nn - 1 ? "," : "") >> out
+    }
     print "]" >> out
 }
 '
