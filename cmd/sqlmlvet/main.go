@@ -1,7 +1,9 @@
 // Command sqlmlvet is the repository's analysis suite: a vet-compatible
 // multichecker enforcing the engine's sharp-edged conventions — batch
-// reuse, pooled-buffer discipline, lock/goroutine hygiene, and error
-// discard on the transfer paths. Run it through the build tool:
+// reuse, pooled-buffer discipline, lock/goroutine hygiene, error discard
+// on the transfer paths, determinism (map order and wall clock), ColBatch
+// selection/lifetime safety, retry budgets, and wire-input bounds. Run it
+// through the build tool:
 //
 //	go build -o sqlmlvet ./cmd/sqlmlvet
 //	go vet -vettool=$(pwd)/sqlmlvet ./...
@@ -16,8 +18,12 @@ import (
 	"sqlml/internal/analyzers/batchretain"
 	"sqlml/internal/analyzers/errdiscard"
 	"sqlml/internal/analyzers/lockhygiene"
+	"sqlml/internal/analyzers/maporder"
 	"sqlml/internal/analyzers/poolreturn"
+	"sqlml/internal/analyzers/retrybudget"
 	"sqlml/internal/analyzers/unitchecker"
+	"sqlml/internal/analyzers/vecsafety"
+	"sqlml/internal/analyzers/wiretrust"
 )
 
 func main() {
@@ -25,6 +31,10 @@ func main() {
 		batchretain.Analyzer,
 		errdiscard.Analyzer,
 		lockhygiene.Analyzer,
+		maporder.Analyzer,
 		poolreturn.Analyzer,
+		retrybudget.Analyzer,
+		vecsafety.Analyzer,
+		wiretrust.Analyzer,
 	)
 }

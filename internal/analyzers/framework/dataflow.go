@@ -1,0 +1,515 @@
+// dataflow.go grows the framework from purely syntactic inspection into a
+// lightweight intra-procedural dataflow layer: value-origin tracking over
+// go/types and the AST. An analyzer instantiates a Flow per function body
+// with a FlowConfig naming its origin sources (map-range iteration,
+// classified calls such as wire-length decodes), then drives Walk, which
+// traverses the body in source order maintaining three kinds of facts it
+// can query at any visited node:
+//
+//   - Origins(expr): which configured sources the expression's value
+//     derives from, through assignments, arithmetic, conversions,
+//     indexing, and slicing (strong updates on reassignment);
+//   - Guarded(expr): whether every origin-carrying variable in the
+//     expression has appeared in a comparison on an earlier control path —
+//     the "was this wire-decoded length bounds-checked before the make"
+//     question;
+//   - Loops(): the stack of loop statements enclosing the visited node.
+//
+// The tracking is deliberately modest: per-variable (no field or heap
+// sensitivity), source-order (no joins over branches), and
+// intra-procedural (parameters are untainted; callees are opaque except
+// for the configured classifiers and the sanitizing builtins min, max,
+// len, and cap). That is exactly enough to express "does this value derive
+// from a map range / decoded wire bytes" without a fixpoint engine, and it
+// errs toward silence: an untracked flow loses the origin rather than
+// inventing one.
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Origin records one source a value derives from: the configured kind
+// and the position of the source expression (the range statement or the
+// classified call).
+type Origin struct {
+	Kind string
+	Pos  token.Pos
+}
+
+// FlowConfig names an analyzer's origin sources.
+type FlowConfig struct {
+	// MapRangeKind, when non-empty, seeds the key and value variables of
+	// every `range` statement over a map-typed operand with this kind.
+	MapRangeKind string
+	// Call, when non-nil, classifies call expressions as origin sources.
+	// A classified call taints its first result (binary.Uvarint's value,
+	// not its width).
+	Call func(call *ast.CallExpr) (kind string, ok bool)
+}
+
+// A Flow carries the dataflow facts for one function body.
+type Flow struct {
+	Info *types.Info
+	cfg  FlowConfig
+
+	origins map[*types.Var][]Origin
+	guarded map[*types.Var]bool
+	loops   []ast.Node
+}
+
+// NewFlow returns a Flow over one function body's types.
+func NewFlow(info *types.Info, cfg FlowConfig) *Flow {
+	return &Flow{
+		Info:    info,
+		cfg:     cfg,
+		origins: make(map[*types.Var][]Origin),
+		guarded: make(map[*types.Var]bool),
+	}
+}
+
+// Walk traverses body in source order, updating origin and guard facts at
+// each assignment and condition, and invoking visit on every node with the
+// facts current as of its enclosing statement (so a sink inside an
+// assignment's right-hand side sees the state before the assignment
+// lands). visit returning false prunes the subtree, like ast.Inspect.
+// Function literals are not descended into — each closure body is its own
+// intra-procedural context and gets its own Flow.
+func (f *Flow) Walk(body *ast.BlockStmt, visit func(ast.Node) bool) {
+	if body == nil {
+		return
+	}
+	f.walkStmt(body, visit)
+}
+
+// Loops returns the stack of loop statements (for and range) enclosing
+// the node currently being visited, innermost last. The returned slice is
+// only valid during the visit callback.
+func (f *Flow) Loops() []ast.Node { return f.loops }
+
+// LoopDeclaredOutside returns the innermost enclosing loop that v is
+// declared outside of, or nil.
+func (f *Flow) LoopDeclaredOutside(v *types.Var) ast.Node {
+	for i := len(f.loops) - 1; i >= 0; i-- {
+		if v.Pos() < f.loops[i].Pos() {
+			return f.loops[i]
+		}
+	}
+	return nil
+}
+
+// Origins returns the origins the expression's value currently derives
+// from: variable origins through the tracked assignment chain, plus any
+// classified call appearing directly in the expression.
+func (f *Flow) Origins(e ast.Expr) []Origin {
+	return f.originsOf(e)
+}
+
+// VarOrigins returns the origins currently recorded for v.
+func (f *Flow) VarOrigins(v *types.Var) []Origin { return f.origins[v] }
+
+// Guarded reports whether the expression's origin-carrying value has been
+// bounds-checked: every tainted variable in e has appeared in an earlier
+// comparison, and no classified call feeds e directly (a value flowing
+// straight from its source into a sink has had no chance to be checked).
+func (f *Flow) Guarded(e ast.Expr) bool {
+	ok := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		if !ok {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.Ident:
+			if v, isVar := ObjOf(f.Info, x).(*types.Var); isVar {
+				if len(f.origins[v]) > 0 && !f.guarded[v] {
+					ok = false
+				}
+			}
+		case *ast.CallExpr:
+			if f.cfg.Call != nil {
+				if _, classified := f.cfg.Call(x); classified {
+					ok = false
+					return false
+				}
+			}
+		case *ast.FuncLit:
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// --- traversal ----------------------------------------------------------
+
+func (f *Flow) walkStmt(n ast.Stmt, visit func(ast.Node) bool) {
+	if n == nil {
+		return
+	}
+	switch s := n.(type) {
+	case *ast.BlockStmt:
+		if !visit(s) {
+			return
+		}
+		for _, st := range s.List {
+			f.walkStmt(st, visit)
+		}
+	case *ast.ForStmt:
+		if !visit(s) {
+			return
+		}
+		f.walkStmt(s.Init, visit)
+		f.applyGuards(s.Cond)
+		f.inspect(s.Cond, visit)
+		f.loops = append(f.loops, s)
+		f.walkStmt(s.Body, visit)
+		f.walkStmt(s.Post, visit)
+		f.loops = f.loops[:len(f.loops)-1]
+	case *ast.RangeStmt:
+		if !visit(s) {
+			return
+		}
+		f.inspect(s.X, visit)
+		f.seedMapRange(s)
+		f.loops = append(f.loops, s)
+		f.walkStmt(s.Body, visit)
+		f.loops = f.loops[:len(f.loops)-1]
+	case *ast.IfStmt:
+		if !visit(s) {
+			return
+		}
+		f.walkStmt(s.Init, visit)
+		f.applyGuards(s.Cond)
+		f.inspect(s.Cond, visit)
+		f.walkStmt(s.Body, visit)
+		f.walkStmt(s.Else, visit)
+	case *ast.SwitchStmt:
+		if !visit(s) {
+			return
+		}
+		f.walkStmt(s.Init, visit)
+		// switch v {...} guards v like a comparison; a tagless switch's
+		// case expressions are conditions and carry their own guards.
+		f.markGuards(s.Tag)
+		f.inspect(s.Tag, visit)
+		f.walkStmt(s.Body, visit)
+	case *ast.TypeSwitchStmt:
+		if !visit(s) {
+			return
+		}
+		f.walkStmt(s.Init, visit)
+		f.walkStmt(s.Assign, visit)
+		f.walkStmt(s.Body, visit)
+	case *ast.SelectStmt:
+		if !visit(s) {
+			return
+		}
+		f.walkStmt(s.Body, visit)
+	case *ast.CaseClause:
+		if !visit(s) {
+			return
+		}
+		for _, e := range s.List {
+			f.applyGuards(e)
+			f.inspect(e, visit)
+		}
+		for _, st := range s.Body {
+			f.walkStmt(st, visit)
+		}
+	case *ast.CommClause:
+		if !visit(s) {
+			return
+		}
+		f.walkStmt(s.Comm, visit)
+		for _, st := range s.Body {
+			f.walkStmt(st, visit)
+		}
+	case *ast.LabeledStmt:
+		if !visit(s) {
+			return
+		}
+		f.walkStmt(s.Stmt, visit)
+	case *ast.AssignStmt:
+		if !visit(s) {
+			return
+		}
+		for _, e := range s.Rhs {
+			f.inspect(e, visit)
+		}
+		for _, e := range s.Lhs {
+			f.inspect(e, visit)
+		}
+		f.transfer(s)
+	case *ast.DeclStmt:
+		if !visit(s) {
+			return
+		}
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						f.inspect(v, visit)
+					}
+					f.transferSpec(vs)
+				}
+			}
+		}
+	default:
+		// Leaf statements: send, expr, inc/dec, return, defer, go, branch.
+		f.inspect(s, visit)
+	}
+}
+
+// inspect runs visit over a non-statement subtree, skipping closure
+// bodies.
+func (f *Flow) inspect(n ast.Node, visit func(ast.Node) bool) {
+	if n == nil || isNilNode(n) {
+		return
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil {
+			return false
+		}
+		if _, ok := c.(*ast.FuncLit); ok {
+			return false
+		}
+		return visit(c)
+	})
+}
+
+// isNilNode guards against typed-nil ast.Expr/ast.Stmt interfaces.
+func isNilNode(n ast.Node) bool {
+	switch x := n.(type) {
+	case ast.Expr:
+		return x == nil
+	case ast.Stmt:
+		return x == nil
+	}
+	return n == nil
+}
+
+// --- transfer functions -------------------------------------------------
+
+// transfer applies an assignment's effect on the origin facts.
+func (f *Flow) transfer(s *ast.AssignStmt) {
+	// Tuple form: v, n := call(...) — a classified call taints its first
+	// result only.
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		origins := f.originsOf(s.Rhs[0])
+		for i, lhs := range s.Lhs {
+			if i == 0 {
+				f.setVar(lhs, origins, s.Tok)
+			} else {
+				f.setVar(lhs, nil, s.Tok)
+			}
+		}
+		return
+	}
+	for i, lhs := range s.Lhs {
+		if i >= len(s.Rhs) {
+			break
+		}
+		f.setVar(lhs, f.originsOf(s.Rhs[i]), s.Tok)
+	}
+}
+
+func (f *Flow) transferSpec(vs *ast.ValueSpec) {
+	if len(vs.Values) == 1 && len(vs.Names) > 1 {
+		origins := f.originsOf(vs.Values[0])
+		for i, name := range vs.Names {
+			if i == 0 {
+				f.setIdent(name, origins, token.DEFINE)
+			} else {
+				f.setIdent(name, nil, token.DEFINE)
+			}
+		}
+		return
+	}
+	for i, name := range vs.Names {
+		if i >= len(vs.Values) {
+			break
+		}
+		f.setIdent(name, f.originsOf(vs.Values[i]), token.DEFINE)
+	}
+}
+
+// setVar updates the facts for one assignment target. Compound tokens
+// (+=, |=, …) merge instead of replacing; plain (re)assignment is a
+// strong update that also clears any stale guard.
+func (f *Flow) setVar(lhs ast.Expr, origins []Origin, tok token.Token) {
+	id, ok := Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return // field, element, or deref target: untracked
+	}
+	f.setIdent(id, origins, tok)
+}
+
+func (f *Flow) setIdent(id *ast.Ident, origins []Origin, tok token.Token) {
+	v, ok := ObjOf(f.Info, id).(*types.Var)
+	if !ok {
+		return
+	}
+	if tok != token.ASSIGN && tok != token.DEFINE {
+		if len(origins) > 0 {
+			f.origins[v] = append(f.origins[v], origins...)
+		}
+		return
+	}
+	if len(origins) == 0 {
+		delete(f.origins, v)
+		delete(f.guarded, v)
+		return
+	}
+	f.origins[v] = origins
+	delete(f.guarded, v) // fresh value: earlier checks do not cover it
+}
+
+// originsOf computes the origins of an expression from the current facts.
+func (f *Flow) originsOf(e ast.Expr) []Origin {
+	switch x := Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := ObjOf(f.Info, x).(*types.Var); ok {
+			return f.origins[v]
+		}
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ,
+			token.LAND, token.LOR:
+			return nil // booleans carry no length/order taint
+		}
+		return append(append([]Origin(nil), f.originsOf(x.X)...), f.originsOf(x.Y)...)
+	case *ast.UnaryExpr:
+		return f.originsOf(x.X)
+	case *ast.StarExpr:
+		return f.originsOf(x.X)
+	case *ast.IndexExpr:
+		return f.originsOf(x.X)
+	case *ast.SliceExpr:
+		return f.originsOf(x.X)
+	case *ast.CallExpr:
+		if f.cfg.Call != nil {
+			if kind, ok := f.cfg.Call(x); ok {
+				return []Origin{{Kind: kind, Pos: x.Pos()}}
+			}
+		}
+		// A type conversion is transparent; builtins (min, len, …) and
+		// unclassified calls sanitize.
+		if f.Info != nil && len(x.Args) == 1 {
+			if tv, ok := f.Info.Types[x.Fun]; ok && tv.IsType() {
+				return f.originsOf(x.Args[0])
+			}
+		}
+	}
+	return nil
+}
+
+// --- guards -------------------------------------------------------------
+
+// applyGuards records every variable appearing on either side of a
+// comparison within cond as guarded from here on.
+func (f *Flow) applyGuards(cond ast.Expr) {
+	if cond == nil {
+		return
+	}
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if b, ok := n.(*ast.BinaryExpr); ok {
+			switch b.Op {
+			case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+				f.markGuards(b.X)
+				f.markGuards(b.Y)
+			}
+		}
+		return true
+	})
+}
+
+// markGuards marks every variable in e as guarded.
+func (f *Flow) markGuards(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if v, isVar := ObjOf(f.Info, id).(*types.Var); isVar {
+				f.guarded[v] = true
+			}
+		}
+		return true
+	})
+}
+
+// seedMapRange taints the key and value variables of a range over a map.
+func (f *Flow) seedMapRange(s *ast.RangeStmt) {
+	if f.cfg.MapRangeKind == "" || f.Info == nil {
+		return
+	}
+	t := f.Info.TypeOf(s.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	origin := []Origin{{Kind: f.cfg.MapRangeKind, Pos: s.Pos()}}
+	for _, e := range []ast.Expr{s.Key, s.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if v, isVar := ObjOf(f.Info, id).(*types.Var); isVar {
+				f.origins[v] = origin
+				delete(f.guarded, v)
+			}
+		}
+	}
+}
+
+// --- shared AST/type helpers -------------------------------------------
+
+// Unparen strips any parenthesis wrappers from an expression.
+func Unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// ObjOf resolves an identifier to its object, defs first.
+func ObjOf(info *types.Info, id *ast.Ident) types.Object {
+	if info == nil {
+		return nil
+	}
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}
+
+// NamedTypeName returns the name of an expression's named type, looking
+// through one pointer, or "" — how the analyzers match the engine's types
+// (RowBatch, ColBatch, Vector) without importing them.
+func NamedTypeName(info *types.Info, e ast.Expr) string {
+	if info == nil {
+		return ""
+	}
+	t := info.TypeOf(e)
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name()
+}

@@ -1,0 +1,193 @@
+package framework_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"sqlml/internal/analyzers/framework"
+)
+
+// loadFunc type-checks src and returns the named function's body plus the
+// package's types.Info.
+func loadFunc(t *testing.T, src, name string) (*ast.BlockStmt, *types.Info, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "flow.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd.Body, info, fset
+		}
+	}
+	t.Fatalf("no function %s in source", name)
+	return nil, nil, nil
+}
+
+// flowFacts walks fn and records, for every call to sink(x), whether x
+// carried an origin and whether it was guarded at that point.
+func flowFacts(t *testing.T, src, fn string, cfg framework.FlowConfig) map[int][2]bool {
+	t.Helper()
+	body, info, fset := loadFunc(t, src, fn)
+	fl := framework.NewFlow(info, cfg)
+	out := make(map[int][2]bool)
+	fl.Walk(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "sink" && len(call.Args) == 1 {
+			arg := call.Args[0]
+			out[fset.Position(call.Pos()).Line] = [2]bool{
+				len(fl.Origins(arg)) > 0,
+				fl.Guarded(arg),
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// source classifies src() calls as wire origins.
+func wireCalls(call *ast.CallExpr) (string, bool) {
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "src" {
+		return "wire", true
+	}
+	return "", false
+}
+
+func TestFlowPropagationAndGuards(t *testing.T) {
+	const src = `package p
+
+func src() int    { return 0 }
+func sink(n int)  {}
+func opaque() int { return 1 }
+
+func f() {
+	n := src()
+	sink(n)            // line 9: tainted, unguarded
+	m := n*8 + 4
+	sink(m)            // line 11: arithmetic propagates
+	u := uint32(n)
+	sink(int(u))       // line 13: conversions propagate
+	if n > 64 {
+		return
+	}
+	sink(n)            // line 17: guarded by the comparison
+	sink(m)            // line 18: m itself was never compared
+	n = opaque()
+	sink(n)            // line 20: strong update clears the taint
+	sink(src())        // line 21: straight from source: never guarded
+}
+`
+	got := flowFacts(t, src, "f", framework.FlowConfig{Call: wireCalls})
+	want := map[int][2]bool{
+		9:  {true, false},
+		11: {true, false},
+		13: {true, false},
+		17: {true, true},
+		18: {true, false},
+		20: {false, true},
+		21: {true, false},
+	}
+	for line, w := range want {
+		g, ok := got[line]
+		if !ok {
+			t.Errorf("line %d: no sink fact recorded", line)
+			continue
+		}
+		if g != w {
+			t.Errorf("line %d: (tainted, guarded) = %v, want %v", line, g, w)
+		}
+	}
+}
+
+func TestFlowTupleTaintsFirstResult(t *testing.T) {
+	const src = `package p
+
+func src2() (int, int) { return 0, 0 }
+func sink(n int)       {}
+
+func f() {
+	v, w := src2()
+	sink(v) // line 8
+	sink(w) // line 9
+}
+`
+	cfg := framework.FlowConfig{Call: func(call *ast.CallExpr) (string, bool) {
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "src2" {
+			return "wire", true
+		}
+		return "", false
+	}}
+	got := flowFacts(t, src, "f", cfg)
+	if !got[8][0] {
+		t.Errorf("first tuple result should carry the origin")
+	}
+	if got[9][0] {
+		t.Errorf("second tuple result should not carry the origin")
+	}
+}
+
+func TestFlowMapRange(t *testing.T) {
+	const src = `package p
+
+func sink(s string) {}
+
+func f(m map[string]string, l []string) {
+	for k, v := range m {
+		sink(k) // line 7
+		sink(v) // line 8
+	}
+	for _, v := range l {
+		sink(v) // line 11: slice range is ordered, no taint
+	}
+}
+`
+	got := flowFacts(t, src, "f", framework.FlowConfig{MapRangeKind: "maporder"})
+	if !got[7][0] || !got[8][0] {
+		t.Errorf("map range key/value should carry the origin: %v", got)
+	}
+	if got[11][0] {
+		t.Errorf("slice range value should not carry the origin")
+	}
+}
+
+func TestFlowLoopsStack(t *testing.T) {
+	const src = `package p
+
+func f(m map[int]int) {
+	for {
+		for i := range m {
+			_ = i
+		}
+	}
+}
+`
+	body, info, _ := loadFunc(t, src, "f")
+	fl := framework.NewFlow(info, framework.FlowConfig{})
+	maxDepth := 0
+	fl.Walk(body, func(n ast.Node) bool {
+		if len(fl.Loops()) > maxDepth {
+			maxDepth = len(fl.Loops())
+		}
+		return true
+	})
+	if maxDepth != 2 {
+		t.Errorf("max loop depth seen = %d, want 2", maxDepth)
+	}
+}

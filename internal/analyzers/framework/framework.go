@@ -11,8 +11,9 @@
 // source line or on the line directly above, and the directive carries a
 // non-empty reason. Directives are themselves checked: an allow that
 // matches no diagnostic is reported as stale (analyzer name "allowstale"),
-// and an allow without a reason is reported as malformed, so suppressions
-// cannot rot silently.
+// an allow without a reason is reported as malformed, and an allow naming
+// an analyzer the run does not know is reported as unknown, so
+// suppressions cannot rot silently.
 package framework
 
 import (
@@ -145,11 +146,26 @@ func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, in
 	}
 	entries = kept
 
+	known := make(map[string]bool, len(analyzers))
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+
 	for _, d := range allows {
 		switch {
 		case d.analyzer == "":
 			entries = append(entries, Entry{Analyzer: AllowStaleName, Diagnostic: Diagnostic{
 				Pos: d.pos, Message: "malformed //lint:allow: missing analyzer name",
+			}})
+		case !known[d.analyzer]:
+			// A typo'd name would otherwise surface as a confusing "stale"
+			// report; name the real problem and list what this run knows.
+			entries = append(entries, Entry{Analyzer: AllowStaleName, Diagnostic: Diagnostic{
+				Pos:     d.pos,
+				Message: fmt.Sprintf("//lint:allow names unknown analyzer %q; analyzers in this run: %s", d.analyzer, strings.Join(names, " ")),
 			}})
 		case d.reason == "":
 			entries = append(entries, Entry{Analyzer: AllowStaleName, Diagnostic: Diagnostic{

@@ -1,6 +1,7 @@
 package framework_test
 
 import (
+	"fmt"
 	"go/ast"
 	"go/parser"
 	"go/token"
@@ -47,6 +48,138 @@ var fake = &framework.Analyzer{
 		}
 		return nil
 	},
+}
+
+// runFake applies the fake analyzer to src and returns (entries, fset).
+func runFake(t *testing.T, src string) ([]framework.Entry, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := framework.RunAnalyzers(fset, []*ast.File{f}, nil, nil, []*framework.Analyzer{fake})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return entries, fset
+}
+
+// TestAllowDirectiveParsing pins each malformed-directive outcome: the
+// directive never suppresses, and the right allowstale diagnostic names
+// the defect.
+func TestAllowDirectiveParsing(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		// want maps "analyzer@line" to a required message substring; every
+		// emitted entry must match one, and every want must be emitted.
+		want map[string]string
+	}{
+		{
+			name: "missing reason",
+			src: `package p
+func target() {}
+func a() {
+	//lint:allow fake
+	target()
+}
+`,
+			want: map[string]string{
+				"allowstale@4": "needs a reason",
+				"fake@5":       "flagged call", // not suppressed
+			},
+		},
+		{
+			name: "unknown analyzer",
+			src: `package p
+func target() {}
+func a() {
+	//lint:allow fakke mistyped but fully reasoned
+	target()
+}
+`,
+			want: map[string]string{
+				"allowstale@4": `unknown analyzer "fakke"`,
+				"fake@5":       "flagged call",
+			},
+		},
+		{
+			name: "missing analyzer name",
+			src: `package p
+func target() {}
+func a() {
+	//lint:allow
+	target()
+}
+`,
+			want: map[string]string{
+				"allowstale@4": "missing analyzer name",
+				"fake@5":       "flagged call",
+			},
+		},
+		{
+			name: "directive two lines above does not reach",
+			src: `package p
+func target() {}
+func a() {
+	//lint:allow fake reason placed too far away
+
+	target()
+}
+`,
+			want: map[string]string{
+				"allowstale@4": "stale //lint:allow fake",
+				"fake@6":       "flagged call",
+			},
+		},
+		{
+			name: "same line suppresses",
+			src: `package p
+func target() {}
+func a() {
+	target() //lint:allow fake end-of-line placement is covered
+}
+`,
+			want: map[string]string{},
+		},
+		{
+			name: "line above suppresses",
+			src: `package p
+func target() {}
+func a() {
+	//lint:allow fake line-above placement is covered
+	target()
+}
+`,
+			want: map[string]string{},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			entries, fset := runFake(t, tc.src)
+			got := make(map[string]string, len(entries))
+			for _, e := range entries {
+				key := fmt.Sprintf("%s@%d", e.Analyzer, fset.Position(e.Pos).Line)
+				got[key] = e.Message
+			}
+			for key, substr := range tc.want {
+				msg, ok := got[key]
+				if !ok {
+					t.Errorf("missing expected diagnostic %s (want substring %q); got %v", key, substr, got)
+					continue
+				}
+				if !strings.Contains(msg, substr) {
+					t.Errorf("%s = %q, want substring %q", key, msg, substr)
+				}
+			}
+			for key, msg := range got {
+				if _, ok := tc.want[key]; !ok {
+					t.Errorf("unexpected diagnostic %s: %q", key, msg)
+				}
+			}
+		})
+	}
 }
 
 func TestAllowDirectives(t *testing.T) {

@@ -1,0 +1,348 @@
+// Package maporder enforces the engine's determinism contracts against Go
+// map iteration order and wall-clock nondeterminism. Two byte-identity
+// oracles pin the engine's output exactly: the P1-vs-PN parallelism oracle
+// (TestPropertyParallelismOracle) requires every query result to be
+// byte-identical at any worker count, and the chaos suite
+// (TestChaosSoakExactlyOnce) requires the whole Figure-3 pipeline to be
+// byte-identical under injected faults. Both break silently the moment a
+// map's randomized iteration order — or a wall-clock read — leaks into an
+// ordered output.
+//
+// Rule 1 (everywhere): a value derived from `range` over a map must not
+// escape into order-carrying output. Flagged:
+//
+//   - appending a map-range-derived value to a slice declared outside the
+//     range loop, unless that slice is passed to a sort call later in the
+//     same function (the collect-then-sort idiom);
+//   - storing such a value into an element of an outer slice;
+//   - sending such a value on a channel from inside the range loop.
+//
+// Storing into another map stays unordered and is not flagged.
+//
+// Rule 2 (determinism-oracle packages only — sqlengine, transform, row,
+// ml): calls to time.Now and to math/rand package-level functions are
+// flagged. A *rand.Rand seeded explicitly (the kmeans/linear idiom,
+// rand.New(rand.NewSource(cfg.Seed))) is allowed — its draws replay —
+// as is time.Now feeding a SetDeadline-family call, which affects
+// liveness, never output bytes. The fault package's seeded splitmix64
+// schedules live outside these packages and need no exemption.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"sqlml/internal/analyzers/framework"
+)
+
+// Analyzer is the maporder pass.
+var Analyzer = &framework.Analyzer{
+	Name: "maporder",
+	Doc:  "flags map iteration order and wall-clock reads escaping into determinism-oracle-covered output",
+	Run:  run,
+}
+
+// kindMapRange tags values born from a range over a map.
+const kindMapRange = "maporder"
+
+// oraclePackages names the packages whose output is pinned by a
+// byte-identity determinism oracle and must therefore be clock- and
+// rand-free. "maporder" is the analyzertest fixture package.
+var oraclePackages = map[string]bool{
+	"sqlengine": true,
+	"transform": true,
+	"row":       true,
+	"ml":        true,
+	"maporder":  true,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		// The clock/rand rule covers engine code the oracles replay; test
+		// harnesses read the clock for deadlines and polling, which never
+		// reaches oracle-compared bytes.
+		oracle := pass.Pkg != nil && oraclePackages[pass.Pkg.Name()] &&
+			!strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFunc(pass, fn.Body, oracle)
+				}
+			case *ast.FuncLit:
+				checkFunc(pass, fn.Body, oracle)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// candidate is one append of a map-range value into an outer slice,
+// pending the end-of-function sort check.
+type candidate struct {
+	pos    token.Pos
+	target *types.Var
+	name   string
+	from   token.Pos
+}
+
+func checkFunc(pass *framework.Pass, body *ast.BlockStmt, oracle bool) {
+	fl := framework.NewFlow(pass.TypesInfo, framework.FlowConfig{MapRangeKind: kindMapRange})
+	var pending []candidate
+	deadlines := deadlineArgRanges(body)
+
+	fl.Walk(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			checkAssign(pass, fl, s, &pending)
+		case *ast.SendStmt:
+			if o := firstMapOrigin(fl, s.Value); o != nil && insideMapRange(fl) {
+				pass.Reportf(s.Pos(), "value from range over map (line %d) sent on a channel; the receiver observes nondeterministic order — iterate a sorted key slice", line(pass, o.Pos))
+			}
+		case *ast.CallExpr:
+			if oracle {
+				checkClockAndRand(pass, s, deadlines)
+			}
+		}
+		return true
+	})
+
+	// Collect-then-sort escape: drop candidates whose target is sorted
+	// anywhere in this function.
+	sorted := sortedVars(pass.TypesInfo, body)
+	for _, c := range pending {
+		if sorted[c.target] {
+			continue
+		}
+		pass.Reportf(c.pos, "value from range over map (line %d) appended to %s, which outlives the loop; map order is nondeterministic — sort %s before it is emitted, or iterate a sorted key slice", line(pass, c.from), c.name, c.name)
+	}
+}
+
+// checkAssign flags order-carrying stores of map-range-derived values.
+func checkAssign(pass *framework.Pass, fl *framework.Flow, s *ast.AssignStmt, pending *[]candidate) {
+	for i, lhs := range s.Lhs {
+		var rhs ast.Expr
+		switch {
+		case len(s.Rhs) == len(s.Lhs):
+			rhs = s.Rhs[i]
+		case len(s.Rhs) == 1:
+			rhs = s.Rhs[0]
+		}
+		if rhs == nil {
+			continue
+		}
+		// out = append(out, derived): candidate if out outlives the
+		// map-range loop.
+		if call, ok := framework.Unparen(rhs).(*ast.CallExpr); ok && isBuiltin(pass.TypesInfo, call, "append") {
+			o := appendedMapOrigin(fl, call)
+			if o == nil {
+				continue
+			}
+			id, ok := framework.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v, ok := framework.ObjOf(pass.TypesInfo, id).(*types.Var)
+			if !ok {
+				continue
+			}
+			if loop := fl.LoopDeclaredOutside(v); loop != nil && loopIsMapRange(fl, loop) {
+				*pending = append(*pending, candidate{pos: s.Pos(), target: v, name: id.Name, from: o.Pos})
+			}
+			continue
+		}
+		// out[i] = derived: an indexed store into an outer slice carries
+		// the iteration order too. Map targets stay unordered.
+		if ix, ok := framework.Unparen(lhs).(*ast.IndexExpr); ok && insideMapRange(fl) {
+			if t := pass.TypesInfo.TypeOf(ix.X); t != nil {
+				if _, isSlice := t.Underlying().(*types.Slice); isSlice {
+					if o := firstMapOrigin(fl, rhs); o != nil {
+						pass.Reportf(s.Pos(), "value from range over map (line %d) stored into a slice element; map order is nondeterministic — iterate a sorted key slice", line(pass, o.Pos))
+					}
+				}
+			}
+		}
+	}
+}
+
+// appendedMapOrigin returns the first map-range origin among append's
+// appended arguments (spread appends of a tainted slice included), or nil.
+func appendedMapOrigin(fl *framework.Flow, call *ast.CallExpr) *framework.Origin {
+	for _, a := range call.Args[1:] {
+		if o := firstMapOrigin(fl, a); o != nil {
+			return o
+		}
+		// Composite literals carrying a derived value: item{key: k}.
+		if lit, ok := framework.Unparen(a).(*ast.CompositeLit); ok {
+			for _, el := range lit.Elts {
+				val := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					val = kv.Value
+				}
+				if o := firstMapOrigin(fl, val); o != nil {
+					return o
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func firstMapOrigin(fl *framework.Flow, e ast.Expr) *framework.Origin {
+	for _, o := range fl.Origins(e) {
+		if o.Kind == kindMapRange {
+			return &o
+		}
+	}
+	return nil
+}
+
+// insideMapRange reports whether the innermost enclosing loops include a
+// range over a map.
+func insideMapRange(fl *framework.Flow) bool {
+	for _, l := range fl.Loops() {
+		if loopIsMapRange(fl, l) {
+			return true
+		}
+	}
+	return false
+}
+
+func loopIsMapRange(fl *framework.Flow, loop ast.Node) bool {
+	r, ok := loop.(*ast.RangeStmt)
+	if !ok {
+		return false
+	}
+	t := fl.Info.TypeOf(r.X)
+	if t == nil {
+		return false
+	}
+	_, isMap := t.Underlying().(*types.Map)
+	return isMap
+}
+
+// sortedVars collects every variable passed (anywhere in its expression
+// tree) to a sort-shaped call in the body: sort.Strings(out),
+// sort.Slice(out, less), slices.Sort(out), sort.Sort(byKey(out)), and
+// local helpers like sortFloats(out) — anything whose name starts with
+// "sort", case-insensitively.
+func sortedVars(info *types.Info, body *ast.BlockStmt) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(call)
+		if !strings.HasPrefix(strings.ToLower(name), "sort") && !isSortFunc(name) {
+			return true
+		}
+		for _, a := range call.Args {
+			ast.Inspect(a, func(c ast.Node) bool {
+				if id, ok := c.(*ast.Ident); ok {
+					if v, ok := framework.ObjOf(info, id).(*types.Var); ok {
+						out[v] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return out
+}
+
+func isSortFunc(name string) bool {
+	switch name {
+	case "Slice", "SliceStable", "Strings", "Ints", "Float64s", "Stable", "Sort", "SortFunc", "SortStableFunc":
+		return true
+	}
+	return false
+}
+
+// checkClockAndRand flags wall-clock and global-PRNG reads in
+// determinism-oracle packages.
+func checkClockAndRand(pass *framework.Pass, call *ast.CallExpr, deadlines []posRange) {
+	sel, ok := framework.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := framework.ObjOf(pass.TypesInfo, sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Name() {
+	case "time":
+		if fn.Name() == "Now" && !withinAny(call.Pos(), deadlines) {
+			pass.Reportf(call.Pos(), "time.Now in a determinism-oracle package (%s); the byte-identity oracles forbid wall-clock-dependent output — stamp timestamps outside the oracle boundary", pass.Pkg.Name())
+		}
+	case "rand":
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() != nil {
+			return // methods on an explicitly seeded *rand.Rand replay
+		}
+		switch fn.Name() {
+		case "New", "NewSource", "NewPCG", "NewChaCha8":
+			return // constructing a seeded generator is the fix, not the bug
+		}
+		pass.Reportf(call.Pos(), "global math/rand call in a determinism-oracle package (%s); draw from a rand.Rand seeded from the query or job seed instead", pass.Pkg.Name())
+	}
+}
+
+// posRange is a half-open source span.
+type posRange struct{ lo, hi token.Pos }
+
+func withinAny(p token.Pos, rs []posRange) bool {
+	for _, r := range rs {
+		if p >= r.lo && p < r.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// deadlineArgRanges returns the argument spans of SetDeadline-family
+// calls: time.Now there configures liveness, not output.
+func deadlineArgRanges(body *ast.BlockStmt) []posRange {
+	var out []posRange
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch calleeName(call) {
+		case "SetDeadline", "SetReadDeadline", "SetWriteDeadline":
+			for _, a := range call.Args {
+				out = append(out, posRange{a.Pos(), a.End()})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch f := framework.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}
+
+func line(pass *framework.Pass, pos token.Pos) int {
+	return pass.Fset.Position(pos).Line
+}
+
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := framework.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"sqlml/internal/analyzers/analyzertest"
+	"sqlml/internal/analyzers/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	analyzertest.Run(t, "../testdata", maporder.Analyzer, "maporder")
+}

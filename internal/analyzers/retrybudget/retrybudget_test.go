@@ -1,0 +1,12 @@
+package retrybudget_test
+
+import (
+	"testing"
+
+	"sqlml/internal/analyzers/analyzertest"
+	"sqlml/internal/analyzers/retrybudget"
+)
+
+func TestRetryBudget(t *testing.T) {
+	analyzertest.Run(t, "../testdata", retrybudget.Analyzer, "retrybudget")
+}

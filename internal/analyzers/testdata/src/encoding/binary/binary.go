@@ -1,0 +1,18 @@
+// Package binary is a fixture stub for wiretrust, matched by package name.
+package binary
+
+// ByteOrder mirrors encoding/binary's fixed-width reader surface.
+type ByteOrder struct{}
+
+func (ByteOrder) Uint16(b []byte) uint16 { return 0 }
+func (ByteOrder) Uint32(b []byte) uint32 { return 0 }
+func (ByteOrder) Uint64(b []byte) uint64 { return 0 }
+
+// LittleEndian is the order every sqlml frame uses.
+var LittleEndian ByteOrder
+
+// Uvarint decodes an unsigned varint from b.
+func Uvarint(b []byte) (uint64, int) { return 0, 0 }
+
+// Varint decodes a signed varint from b.
+func Varint(b []byte) (int64, int) { return 0, 0 }

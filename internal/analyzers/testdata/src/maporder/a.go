@@ -1,0 +1,126 @@
+// Fixture for the maporder analyzer: map iteration order and wall-clock
+// reads escaping into determinism-oracle-covered output. The package is
+// named maporder, which the analyzer treats as oracle-covered, so the
+// clock/rand rule is active here too.
+package maporder
+
+import (
+	"rand"
+	"sort"
+	"time"
+)
+
+// emitUnsorted accumulates map values in iteration order: the classic
+// nondeterministic-merge bug.
+func emitUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `value from range over map \(line 17\) appended to out`
+	}
+	return out
+}
+
+// emitSorted is the blessed collect-then-sort idiom: the append is
+// allowed because out is sorted before it escapes.
+func emitSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// emitSortedSlice sorts with a comparator; still allowed.
+func emitSortedSlice(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// scratchPerIteration appends to a slice declared inside the loop: no
+// order escapes the iteration.
+func scratchPerIteration(m map[string][]string) int {
+	n := 0
+	for _, vs := range m {
+		var local []string
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// sendDerived leaks iteration order through a channel.
+func sendDerived(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `value from range over map \(line 58\) sent on a channel`
+	}
+}
+
+// indexedStore writes map-range values through a slice index: the slice
+// carries the order just like an append would.
+func indexedStore(m map[string]int, out []string) {
+	i := 0
+	for k := range m {
+		out[i] = k // want `value from range over map \(line 67\) stored into a slice element`
+		i++
+	}
+}
+
+// derivedThroughLocals: taint follows assignments and string arithmetic.
+func derivedThroughLocals(m map[string]string) []string {
+	var out []string
+	for k, v := range m {
+		kv := k + "=" + v
+		out = append(out, kv) // want `value from range over map \(line 76\) appended to out`
+	}
+	return out
+}
+
+// rangeOverSlice is ordered iteration; nothing to flag.
+func rangeOverSlice(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// intoMap keeps the values unordered; map-to-map flows are fine.
+func intoMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// wallClock reads the clock inside an oracle package.
+func wallClock() time.Time {
+	return time.Now() // want `time.Now in a determinism-oracle package`
+}
+
+// globalRand draws from the process-global PRNG.
+func globalRand() int {
+	return rand.Intn(10) // want `global math/rand call in a determinism-oracle package`
+}
+
+// seededRand draws from an explicitly seeded generator: deterministic,
+// allowed. Constructing the generator (New/NewSource) is the fix.
+func seededRand(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// allowedUnsorted carries a reasoned suppression.
+func allowedUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//lint:allow maporder order is re-established by the caller's loser-tree merge
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,17 @@
+// Package rand is a fixture stub, matched by maporder by package name:
+// the real math/rand also has package name "rand".
+package rand
+
+type Source struct{}
+
+func NewSource(seed int64) *Source { return &Source{} }
+
+type Rand struct{}
+
+func New(src *Source) *Rand { return &Rand{} }
+
+func (r *Rand) Intn(n int) int   { return 0 }
+func (r *Rand) Float64() float64 { return 0 }
+
+func Intn(n int) int   { return 0 }
+func Float64() float64 { return 0 }

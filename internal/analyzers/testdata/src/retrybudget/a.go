@@ -1,0 +1,123 @@
+// Fixture for the retrybudget analyzer: reconnect loops must consume a
+// named budget, and exponential backoff must be capped.
+package retrybudget
+
+import (
+	"net"
+	"time"
+)
+
+// dialForever retries a dial with no budget: spins until the peer comes
+// back, which the chaos suite's unrecoverable-peer scenarios forbid.
+func dialForever(addr string) *net.Conn {
+	for { // want `unbounded reconnect loop`
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			continue
+		}
+		return c
+	}
+}
+
+// dialBudgeted counts attempts against a budget inside the loop: the
+// identifier evidence the analyzer looks for.
+func dialBudgeted(addr string, budget int) *net.Conn {
+	for attempt := 0; ; attempt++ {
+		if attempt >= budget {
+			return nil
+		}
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			continue
+		}
+		return c
+	}
+}
+
+// serve is a server accept loop: it returns on error instead of retrying,
+// so it may legitimately run forever.
+func serve(ln *net.Listener) {
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		_ = c
+	}
+}
+
+// drainThenReturn has a continue, but only inside a nested bounded loop;
+// the outer accept loop still exits on error.
+func drainThenReturn(ln *net.Listener, jobs []int) {
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		for _, j := range jobs {
+			if j == 0 {
+				continue
+			}
+			_, _ = c.Write(nil)
+		}
+	}
+}
+
+// uncappedBackoff doubles the delay with no ceiling: after enough
+// failures the duration overflows and the backoff becomes a hot spin.
+func uncappedBackoff(addr string) *net.Conn {
+	delay := time.Duration(1)
+	for attempt := 0; attempt < 8; attempt++ {
+		c, err := net.Dial("tcp", addr)
+		if err == nil {
+			return c
+		}
+		time.Sleep(delay)
+		delay *= 2 // want `backoff delay delay doubles every iteration with no cap`
+	}
+	return nil
+}
+
+// cappedBackoff clamps the doubled delay with a comparison.
+func cappedBackoff(addr string, maxDelay time.Duration) *net.Conn {
+	delay := time.Duration(1)
+	for attempt := 0; attempt < 8; attempt++ {
+		c, err := net.Dial("tcp", addr)
+		if err == nil {
+			return c
+		}
+		time.Sleep(delay)
+		delay *= 2
+		if delay > maxDelay {
+			delay = maxDelay
+		}
+	}
+	return nil
+}
+
+// clampBackoff caps through min(): equally acceptable evidence.
+func clampBackoff(addr string) *net.Conn {
+	delay := time.Duration(1)
+	for attempt := 0; attempt < 4; attempt++ {
+		c, err := net.Dial("tcp", addr)
+		if err == nil {
+			return c
+		}
+		time.Sleep(delay)
+		delay *= 2
+		delay = min(delay, time.Duration(1000))
+	}
+	return nil
+}
+
+// dialAllowed carries a reasoned suppression.
+func dialAllowed(addr string) *net.Conn {
+	//lint:allow retrybudget liveness probe; the caller cancels by closing the listener
+	for {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			continue
+		}
+		return c
+	}
+}

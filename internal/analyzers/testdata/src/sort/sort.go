@@ -1,0 +1,7 @@
+// Package sort is a fixture stub, matched by maporder by function name.
+package sort
+
+func Strings(s []string)                          {}
+func Ints(s []int)                                {}
+func Slice(x any, less func(i, j int) bool)       {}
+func SliceStable(x any, less func(i, j int) bool) {}

@@ -7,3 +7,5 @@ func Sleep(d Duration) {}
 
 // Time mirrors the deadline argument of the net.Conn setter family.
 type Time struct{}
+
+func Now() Time { return Time{} }

@@ -1,0 +1,127 @@
+// Fixture for the vecsafety analyzer: selection-blind indexing, use after
+// pool release, and dense/append mode mixes on ColBatch/Vector.
+package vecsafety
+
+import "row"
+
+// sumSelBlind is the canonical bug: Len() is the logical length, but the
+// raw loop variable indexes physical storage.
+func sumSelBlind(b *row.ColBatch) int64 {
+	var sum int64
+	ints := b.Col(0).Ints
+	for i := 0; i < b.Len(); i++ {
+		sum += ints[i] // want `vector storage indexed by the raw variable of a loop bounded by ColBatch\.Len\(\) \(line \d+\)`
+	}
+	return sum
+}
+
+// sumSelAware translates through SelPos: exempt.
+func sumSelAware(b *row.ColBatch) int64 {
+	var sum int64
+	ints := b.Col(0).Ints
+	for i := 0; i < b.Len(); i++ {
+		sum += ints[b.SelPos(i)]
+	}
+	return sum
+}
+
+// sumBranched branches on the selection vector explicitly: exempt.
+func sumBranched(b *row.ColBatch) int64 {
+	var sum int64
+	ints := b.Col(0).Ints
+	if b.Sel() == nil {
+		for i := 0; i < b.Len(); i++ {
+			sum += ints[i]
+		}
+	}
+	return sum
+}
+
+// sumPhysical iterates the physical length: raw indexing is correct.
+func sumPhysical(b *row.ColBatch) int64 {
+	var sum int64
+	ints := b.Col(0).Ints
+	for i := 0; i < b.FullLen(); i++ {
+		sum += ints[i]
+	}
+	return sum
+}
+
+// bytesSelBlind: the per-position accessors take physical indexes too.
+func bytesSelBlind(b *row.ColBatch) int {
+	n := 0
+	v := b.Col(1)
+	for i := 0; i < b.Len(); i++ {
+		n += len(v.Bytes(i)) // want `Vector\.Bytes called with the raw variable of a loop bounded by ColBatch\.Len\(\) \(line \d+\)`
+	}
+	return n
+}
+
+// directField indexes the storage selector inline through a hoisted bound.
+func directField(b *row.ColBatch, v *row.Vector) float64 {
+	var sum float64
+	n := b.Len()
+	for i := 0; i < n; i++ {
+		sum += v.Floats[i] // want `vector storage indexed by the raw variable of a loop bounded by ColBatch\.Len\(\) \(line \d+\)`
+	}
+	return sum
+}
+
+// useAfterRelease touches the batch after the pool took it back.
+func useAfterRelease(types []row.Type) int {
+	b := row.GetColBatch(types)
+	row.PutColBatch(b)
+	return b.Len() // want `use of batch b after PutColBatch returned it to the pool \(line \d+\)`
+}
+
+// viewAfterRelease keeps a column view across the release.
+func viewAfterRelease(types []row.Type) int64 {
+	b := row.GetColBatch(types)
+	v := b.Col(0)
+	row.PutColBatch(b)
+	return v.Ints[0] // want `use of view of batch b v after PutColBatch returned it to the pool \(line \d+\)`
+}
+
+// deferredRelease is the blessed idiom: the release runs at function exit.
+func deferredRelease(types []row.Type) int {
+	b := row.GetColBatch(types)
+	defer row.PutColBatch(b)
+	return b.Len()
+}
+
+// reacquired reuses the variable for a fresh batch: no stale reference.
+func reacquired(types []row.Type) int {
+	b := row.GetColBatch(types)
+	row.PutColBatch(b)
+	b = row.GetColBatch(types)
+	return b.Len()
+}
+
+// denseThenAppend mixes positional and append mutation.
+func denseThenAppend(v *row.Vector, t row.Type) {
+	v.ResetDense(t, 8)
+	v.Ints[0] = 1
+	v.AppendInt(2) // want `v\.AppendInt after ResetDense \(line \d+\)`
+}
+
+// denseOnly writes positionally: correct dense-mode use.
+func denseOnly(v *row.Vector, t row.Type) {
+	v.ResetDense(t, 8)
+	v.Ints[0] = 1
+	v.SetNull(3)
+}
+
+// resetSwitchesBack returns to append mode before appending.
+func resetSwitchesBack(v *row.Vector, t row.Type) {
+	v.ResetDense(t, 8)
+	v.Ints[0] = 1
+	v.Reset(t)
+	v.AppendInt(2)
+}
+
+// allowedTailAppend carries a reasoned suppression.
+func allowedTailAppend(v *row.Vector, t row.Type) {
+	v.ResetDense(t, 8)
+	//lint:allow vecsafety dense region is fully written above; appends extend past it deliberately
+	v.AppendInt(9)
+}

@@ -1,0 +1,92 @@
+// Fixture for the wiretrust analyzer: allocations sized by wire-decoded
+// values. Flagged cases allocate straight off a decoded length; compliant
+// cases bound-check (or clamp) the value first.
+package wiretrust
+
+import "encoding/binary"
+
+const maxFrame = 64 << 20
+
+// frameBuf stands in for bytes.Buffer: wiretrust matches Grow by name.
+type frameBuf struct{}
+
+func (f *frameBuf) Grow(n int) {}
+
+// decodeUnchecked allocates whatever the varint says.
+func decodeUnchecked(b []byte) []byte {
+	n, _ := binary.Uvarint(b)
+	return make([]byte, n) // want `allocation sized by a wire-decoded value \(line \d+\) with no preceding bound check`
+}
+
+// decodeChecked compares the length against the remaining payload first.
+func decodeChecked(b []byte) []byte {
+	n, _ := binary.Uvarint(b)
+	if n > uint64(len(b)) {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// headerDirect feeds a fixed-width header word straight into make: no
+// intervening variable, no chance to have checked it.
+func headerDirect(b []byte) []byte {
+	return make([]byte, binary.LittleEndian.Uint32(b)) // want `allocation sized by a wire-decoded value \(line \d+\) with no preceding bound check`
+}
+
+// arithmeticCarries: the taint survives conversion and multiplication.
+func arithmeticCarries(b []byte) []int64 {
+	rows := int(binary.LittleEndian.Uint32(b))
+	total := rows * 8
+	return make([]int64, total) // want `allocation sized by a wire-decoded value \(line \d+\) with no preceding bound check`
+}
+
+// cappedRows is the real decoder idiom: reject past the cap, then
+// allocate.
+func cappedRows(b []byte) []int64 {
+	rows := int(binary.LittleEndian.Uint32(b))
+	if rows > maxFrame {
+		return nil
+	}
+	return make([]int64, rows)
+}
+
+// clampSanitizes: min() yields an untainted bound.
+func clampSanitizes(b []byte) []byte {
+	n, _ := binary.Uvarint(b)
+	m := min(int(n), len(b))
+	return make([]byte, m)
+}
+
+// growUnchecked reserves capacity the peer chose.
+func growUnchecked(f *frameBuf, b []byte) {
+	n, _ := binary.Uvarint(b)
+	f.Grow(int(n)) // want `allocation sized by a wire-decoded value \(line \d+\) with no preceding bound check`
+}
+
+// appendRead is the append(buf, make(...)...) read idiom; the make inside
+// is still an unchecked allocation.
+func appendRead(b, buf []byte) []byte {
+	n := binary.LittleEndian.Uint64(b)
+	return append(buf, make([]byte, n)...) // want `allocation sized by a wire-decoded value \(line \d+\) with no preceding bound check`
+}
+
+// appendReadChecked is the same idiom behind the frame-size gate.
+func appendReadChecked(b, buf []byte) []byte {
+	n := binary.LittleEndian.Uint64(b)
+	if n > maxFrame {
+		return nil
+	}
+	return append(buf, make([]byte, n)...)
+}
+
+// constantSize never touches wire input.
+func constantSize() []byte {
+	return make([]byte, 4096)
+}
+
+// allowedTrusted carries a reasoned suppression.
+func allowedTrusted(b []byte) []byte {
+	n, _ := binary.Uvarint(b)
+	//lint:allow wiretrust length already validated by the outer ReadRawFrame bound check
+	return make([]byte, n)
+}

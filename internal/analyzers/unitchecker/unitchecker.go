@@ -247,9 +247,7 @@ func analyze(fset *token.FileSet, cfg *Config, analyzers []*framework.Analyzer) 
 	for _, name := range cfg.GoFiles {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
-			if cfg.SucceedOnTypecheckFailure {
-				os.Exit(0) // the compiler reports the parse error
-			}
+			failLoad(cfg, analyzers, "parse", err)
 			return nil, err
 		}
 		files = append(files, f)
@@ -270,12 +268,27 @@ func analyze(fset *token.FileSet, cfg *Config, analyzers []*framework.Analyzer) 
 	}
 	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
-		if cfg.SucceedOnTypecheckFailure {
-			os.Exit(0) // the compiler reports the type error
-		}
+		failLoad(cfg, analyzers, "type-check", err)
 		return nil, err
 	}
 	return framework.RunAnalyzers(fset, files, pkg, info, analyzers)
+}
+
+// failLoad reports a package the suite could not analyze and exits
+// non-zero. Historically the driver honored SucceedOnTypecheckFailure by
+// exiting 0 silently — on a broken package every analyzer was skipped
+// without a trace, so a type error introduced alongside a real bug hid
+// the bug from CI. A package that cannot be loaded is itself a lint
+// failure: say which package, which stage, and which analyzers did not
+// run, and make the run fail.
+func failLoad(cfg *Config, analyzers []*framework.Analyzer, stage string, err error) {
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		names[i] = a.Name
+	}
+	fmt.Fprintf(os.Stderr, "%s: %s failed for %s; skipped analyzers [%s]: %v\n",
+		filepath.Base(os.Args[0]), stage, cfg.ImportPath, strings.Join(names, " "), err)
+	os.Exit(1)
 }
 
 // makeImporter resolves imports through the vet config: source-level

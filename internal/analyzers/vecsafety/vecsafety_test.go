@@ -1,0 +1,12 @@
+package vecsafety_test
+
+import (
+	"testing"
+
+	"sqlml/internal/analyzers/analyzertest"
+	"sqlml/internal/analyzers/vecsafety"
+)
+
+func TestVecSafety(t *testing.T) {
+	analyzertest.Run(t, "../testdata", vecsafety.Analyzer, "vecsafety")
+}

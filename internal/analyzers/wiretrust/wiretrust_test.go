@@ -1,0 +1,12 @@
+package wiretrust_test
+
+import (
+	"testing"
+
+	"sqlml/internal/analyzers/analyzertest"
+	"sqlml/internal/analyzers/wiretrust"
+)
+
+func TestWireTrust(t *testing.T) {
+	analyzertest.Run(t, "../testdata", wiretrust.Analyzer, "wiretrust")
+}

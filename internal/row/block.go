@@ -457,6 +457,12 @@ func parseBlockTail(tail []byte) ([]byte, int, error) {
 		return nil, 0, fmt.Errorf("row: unsupported block version %d", v)
 	}
 	rows := int(binary.LittleEndian.Uint32(tail[2:]))
+	if rows > MaxBlockSize {
+		// Same bound the v3 column decoder applies: a row occupies at
+		// least one payload byte, so a count past the frame byte cap is a
+		// lie — reject it at the header instead of mid-decode.
+		return nil, 0, fmt.Errorf("row: block declares %d rows, exceeding MaxBlockSize", rows)
+	}
 	return tail[blockTailLen:], rows, nil
 }
 

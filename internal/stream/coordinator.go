@@ -212,6 +212,7 @@ func (c *Coordinator) Stop() {
 	var parked []net.Conn
 	for _, js := range c.jobs {
 		for _, conn := range js.sqlConns {
+			//lint:allow maporder teardown set: every parked connection is closed, so order never escapes
 			parked = append(parked, conn)
 		}
 	}
@@ -302,6 +303,7 @@ func (c *Coordinator) expireLeases(now time.Time) {
 			delete(js.sqlConns, w)
 			delete(js.sqlWaiters, w)
 			js.expired++
+			//lint:allow maporder fencing set: every expired connection is closed, so order never escapes
 			victims = append(victims, conn)
 			c.logf("lease expired for sql worker %d of job %s", w, job)
 		}
